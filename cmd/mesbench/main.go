@@ -1,0 +1,64 @@
+// Command mesbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mesbench -list
+//	mesbench -exp table4
+//	mesbench -exp fig9a -bits 40000 -seed 7
+//	mesbench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mes/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment name (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		bits  = flag.Int("bits", 0, "payload bits per measured point (default 20000)")
+		seed  = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
+		quick = flag.Bool("quick", false, "reduced payload for a fast pass")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+	opt := experiments.Options{Bits: *bits, Seed: *seed, Quick: *quick}
+	switch {
+	case *all:
+		for _, e := range experiments.Registry() {
+			fmt.Printf("==== %s — %s ====\n", e.Name, e.Paper)
+			out, err := e.Run(opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+				continue
+			}
+			fmt.Println(out)
+		}
+	case *exp != "":
+		e, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

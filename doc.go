@@ -1,0 +1,91 @@
+// Package mes is a Go reproduction of "MES-Attacks: Software-Controlled
+// Covert Channels based on Mutual Exclusion and Synchronization" (Shen,
+// Zhang, Qu — DAC 2023, arXiv:2211.11855).
+//
+// It provides:
+//
+//   - six covert channels built on OS mutual-exclusion and synchronization
+//     mechanisms — flock, FileLockEX, Mutex, Semaphore (contention) and
+//     Event, WaitableTimer (cooperation) — running on a deterministic
+//     discrete-event model of the OS substrates the paper uses (Windows
+//     kernel objects, the Linux fd/file/i-node tables, sandboxes and VMs);
+//   - the paper's three threat scenarios: local, cross-sandbox, cross-VM
+//     (with the hypervisor visibility rules that make only file-backed
+//     channels survive VM isolation);
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation (see internal/experiments and cmd/mesbench);
+//   - a wall-clock backend (internal/realtime) that runs the same protocol
+//     shapes on real goroutines and Go sync primitives.
+//
+// Quick start:
+//
+//	res, err := mes.Send(mes.Config{
+//		Mechanism: mes.Event,
+//		Scenario:  mes.Local(),
+//		Payload:   mes.TextBits("secret"),
+//		Seed:      1,
+//	})
+//	// res.ReceivedBits.Text() == "secret", res.TRKbps ≈ 13.1, res.BER < 1%
+//
+// This is a research artifact for studying and defending against
+// software-controlled covert channels; the simulated substrate makes every
+// run reproducible from a seed.
+package mes
+
+import (
+	"mes/internal/codec"
+	"mes/internal/core"
+)
+
+// Mechanism selects one of the paper's six MESMs.
+type Mechanism = core.Mechanism
+
+// The six mechanisms (paper §IV.G).
+const (
+	Flock      = core.Flock
+	FileLockEX = core.FileLockEX
+	Mutex      = core.Mutex
+	Semaphore  = core.Semaphore
+	Event      = core.Event
+	Timer      = core.Timer
+)
+
+// Scenario is a deployment scenario from the paper's threat model (§III).
+type Scenario = core.Scenario
+
+// Local places Trojan and Spy on the same host.
+func Local() Scenario { return core.Local() }
+
+// CrossSandbox places the Trojan inside a sandbox.
+func CrossSandbox() Scenario { return core.CrossSandbox() }
+
+// CrossVM places Trojan and Spy in different virtual machines.
+func CrossVM() Scenario { return core.CrossVM() }
+
+// Config describes a transmission; see core.Config for all knobs.
+type Config = core.Config
+
+// Params are channel time parameters (paper §V.C).
+type Params = core.Params
+
+// Result reports a completed transmission.
+type Result = core.Result
+
+// Bits is a bit sequence.
+type Bits = codec.Bits
+
+// Send runs one covert transmission and decodes the Spy's observations.
+func Send(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// TextBits encodes UTF-8 text for transmission.
+func TextBits(s string) Bits { return codec.FromString(s) }
+
+// ParseBits parses a "1010…" string.
+func ParseBits(s string) (Bits, error) { return codec.ParseBits(s) }
+
+// Mechanisms lists all six mechanisms in the paper's order.
+func Mechanisms() []Mechanism { return core.Mechanisms() }
+
+// Feasible reports whether a mechanism can form a channel in a scenario
+// (Table VI: identity-only kernel objects do not cross VM boundaries).
+func Feasible(m Mechanism, s Scenario) error { return core.Feasible(m, s) }

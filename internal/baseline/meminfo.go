@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mes/internal/codec"
+	"mes/internal/metrics"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// MeminfoConfig parameterizes the /proc/meminfo variation channel (Gao et
+// al.): the Trojan modulates a memory counter by allocating or not; the
+// Spy averages noisy counter samples per bit. Slow (the paper cites
+// 13.6 b/s) but reliable (BER ≈ 0.5%).
+type MeminfoConfig struct {
+	BitPeriod sim.Duration // default 73ms (≈ the cited 13.6 b/s)
+	Samples   int          // counter reads averaged per bit (default 25)
+	DeltaKB   float64      // Trojan's allocation footprint (default 4096)
+	NoiseKB   float64      // per-sample counter noise σ (default 4096)
+	Seed      uint64
+}
+
+func (c MeminfoConfig) withDefaults() MeminfoConfig {
+	if c.BitPeriod == 0 {
+		c.BitPeriod = 73 * sim.Millisecond
+	}
+	if c.Samples == 0 {
+		c.Samples = 25
+	}
+	if c.DeltaKB == 0 {
+		c.DeltaKB = 4096
+	}
+	if c.NoiseKB == 0 {
+		c.NoiseKB = 4096
+	}
+	return c
+}
+
+// MeminfoResult reports one transmission.
+type MeminfoResult struct {
+	BER   float64
+	TRbps float64 // bits per second (the paper quotes b/s, not kb/s)
+	Sent  codec.Bits
+	Got   codec.Bits
+}
+
+// RunMeminfo transmits payload through the meminfo-variation channel.
+func RunMeminfo(payload codec.Bits, cfg MeminfoConfig) (*MeminfoResult, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("baseline: empty payload")
+	}
+	cfg = cfg.withDefaults()
+	prof := timing.ProfileFor(timing.Linux, timing.Local)
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: cfg.Seed})
+	host := sys.Host()
+
+	// The shared observable: a memory counter with background churn.
+	allocated := false
+	noise := sim.NewRNG(cfg.Seed ^ 0xfeed)
+	counter := func() float64 {
+		v := 1 << 20 // baseline "MemAvailable" KB
+		out := float64(v) + cfg.NoiseKB*noise.NormFloat64()
+		if allocated {
+			out -= cfg.DeltaKB
+		}
+		return out
+	}
+
+	var means []float64
+	var start, end sim.Time
+	sampleGap := cfg.BitPeriod / sim.Duration(cfg.Samples+1)
+
+	sys.Spawn("trojan", host, func(p *osmodel.Proc) {
+		for _, bit := range payload {
+			p.Judge()
+			allocated = bit == 1
+			p.Sleep(cfg.BitPeriod)
+		}
+		allocated = false
+	})
+	sys.Spawn("spy", host, func(p *osmodel.Proc) {
+		p.Sleep(sampleGap / 2)
+		start = p.Now()
+		for i := range payload {
+			var sum float64
+			for s := 0; s < cfg.Samples; s++ {
+				p.ChargeOp(timing.OpRead)
+				sum += counter()
+				p.Sleep(sampleGap)
+			}
+			means = append(means, sum/float64(cfg.Samples))
+			target := start.Add(sim.Duration(i+1) * cfg.BitPeriod)
+			if rest := target.Sub(p.Now()); rest > 0 {
+				p.Sleep(rest)
+			}
+		}
+		end = p.Now()
+	})
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	if len(means) != len(payload) {
+		return nil, fmt.Errorf("baseline: sampled %d of %d bits", len(means), len(payload))
+	}
+	// Threshold midway between the allocated/idle means.
+	base := float64(int(1) << 20)
+	thr := base - cfg.DeltaKB/2
+	got := make(codec.Bits, len(means))
+	for i, m := range means {
+		if m < thr {
+			got[i] = 1
+		}
+	}
+	_, ber := metrics.BER(payload, got)
+	elapsed := end.Sub(start)
+	tr := 0.0
+	if elapsed > 0 {
+		tr = float64(len(payload)) / elapsed.Seconds()
+	}
+	return &MeminfoResult{BER: ber, TRbps: tr, Sent: payload, Got: got}, nil
+}

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"mes/internal/codec"
+	"mes/internal/metrics"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// ProcLocksConfig parameterizes the /proc/locks container channel (Gao et
+// al., cited in §VII.B): the Trojan encodes a symbol in the number of
+// flocks it holds on its own scratch files; the Spy reads the
+// world-visible /proc/locks and counts.
+type ProcLocksConfig struct {
+	Locks  int          // lock slots (8 or 32 in the paper)
+	Period sim.Duration // symbol period; zero selects the paper's operating point
+	Seed   uint64
+}
+
+// paperPeriods reproduces the cited operating points: 8 locks → 5.15 kb/s
+// (3 bits / ~580µs), 32 locks → 22.186 kb/s (5 bits / ~225µs).
+func (c ProcLocksConfig) period() sim.Duration {
+	if c.Period > 0 {
+		return c.Period
+	}
+	switch {
+	case c.Locks >= 32:
+		return sim.Micro(225)
+	case c.Locks >= 8:
+		return sim.Micro(582)
+	default:
+		return sim.Micro(800)
+	}
+}
+
+// BitsPerSymbol reports how many payload bits one lock-count symbol holds.
+func (c ProcLocksConfig) BitsPerSymbol() int {
+	return int(math.Floor(math.Log2(float64(c.Locks))))
+}
+
+// ProcLocksResult reports one transmission.
+type ProcLocksResult struct {
+	BER    float64
+	TRKbps float64
+	Sent   codec.Bits
+	Got    codec.Bits
+}
+
+// RunProcLocks transmits payload through the lock-count channel.
+func RunProcLocks(payload codec.Bits, cfg ProcLocksConfig) (*ProcLocksResult, error) {
+	if cfg.Locks < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 lock slots")
+	}
+	bps := cfg.BitsPerSymbol()
+	syms, err := codec.Pack(payload, bps)
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.period()
+
+	prof := timing.ProfileFor(timing.Linux, timing.Local)
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: cfg.Seed})
+	host := sys.Host()
+	for i := 0; i < cfg.Locks; i++ {
+		if _, err := sys.CreateSharedFile(fmt.Sprintf("/tmp/lockslot%d", i), 0, false, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Both sides anchor to a pre-agreed epoch so the Spy's sampling grid
+	// sits mid-period regardless of setup cost.
+	epoch := sim.Time(1 * sim.Millisecond)
+
+	var counts []int
+	sys.Spawn("trojan", host, func(p *osmodel.Proc) {
+		fds := make([]int, cfg.Locks)
+		for i := range fds {
+			fd, err := p.OpenFile(fmt.Sprintf("/tmp/lockslot%d", i), false)
+			if err != nil {
+				return
+			}
+			fds[i] = fd
+		}
+		held := 0
+		if rest := epoch.Sub(p.Now()); rest > 0 {
+			p.Sleep(rest)
+		}
+		start := p.Now()
+		for i, sym := range syms {
+			p.Judge()
+			// Adjust held lock count to the symbol value.
+			for held < sym {
+				if err := p.Flock(fds[held], vfs.LockEx, false); err != nil {
+					return
+				}
+				held++
+			}
+			for held > sym {
+				held--
+				if err := p.Flock(fds[held], vfs.LockNone, false); err != nil {
+					return
+				}
+			}
+			// Pace to absolute deadlines so sleep overshoot does not
+			// accumulate into phase drift against the Spy's sampling.
+			target := start.Add(sim.Duration(i+1) * period)
+			if rest := target.Sub(p.Now()); rest > 0 {
+				p.Sleep(rest)
+			}
+		}
+	})
+	var start, end sim.Time
+	sys.Spawn("spy", host, func(p *osmodel.Proc) {
+		// Sample mid-period, pacing off absolute deadlines so overshoot
+		// does not accumulate.
+		if rest := epoch.Add(period / 2).Sub(p.Now()); rest > 0 {
+			p.Sleep(rest)
+		}
+		start = p.Now()
+		for i := range syms {
+			counts = append(counts, p.LockCount())
+			target := start.Add(sim.Duration(i+1) * period)
+			if rest := target.Sub(p.Now()); rest > 0 {
+				p.Sleep(rest)
+			}
+		}
+		end = p.Now()
+	})
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	if len(counts) != len(syms) {
+		return nil, fmt.Errorf("baseline: sampled %d of %d symbols", len(counts), len(syms))
+	}
+	max := 1<<uint(bps) - 1
+	decoded := make([]int, len(counts))
+	for i, c := range counts {
+		if c > max {
+			c = max
+		}
+		decoded[i] = c
+	}
+	got, err := codec.Unpack(decoded, bps)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) > len(payload) {
+		got = got[:len(payload)]
+	}
+	_, ber := metrics.BER(payload, got)
+	return &ProcLocksResult{
+		BER:    ber,
+		TRKbps: metrics.TRKbps(len(payload), end.Sub(start)),
+		Sent:   payload,
+		Got:    got,
+	}, nil
+}

@@ -1,0 +1,156 @@
+// Package codec provides bitstream utilities for the covert channels:
+// text⇄bit conversion, M-ary symbol packing (paper §VI) and
+// sync-sequence framing (paper §V.B).
+package codec
+
+import (
+	"fmt"
+	"strings"
+
+	"mes/internal/sim"
+)
+
+// Bits is a bit sequence, one bit per element (values 0 or 1).
+type Bits []byte
+
+// ParseBits builds a Bits from a "1010…" string, ignoring spaces and
+// commas.
+func ParseBits(s string) (Bits, error) {
+	var b Bits
+	for _, c := range s {
+		switch c {
+		case '0':
+			b = append(b, 0)
+		case '1':
+			b = append(b, 1)
+		case ' ', ',', '_':
+		default:
+			return nil, fmt.Errorf("codec: invalid bit character %q", c)
+		}
+	}
+	return b, nil
+}
+
+// MustParseBits is ParseBits for constant inputs; it panics on error.
+func MustParseBits(s string) Bits {
+	b, err := ParseBits(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// String renders the bits as a "1010…" string.
+func (b Bits) String() string {
+	var sb strings.Builder
+	for _, bit := range b {
+		if bit == 0 {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('1')
+		}
+	}
+	return sb.String()
+}
+
+// FromBytes expands bytes to bits, most significant bit first.
+func FromBytes(data []byte) Bits {
+	b := make(Bits, 0, len(data)*8)
+	for _, by := range data {
+		for i := 7; i >= 0; i-- {
+			b = append(b, (by>>uint(i))&1)
+		}
+	}
+	return b
+}
+
+// Bytes packs bits back to bytes (MSB first). Trailing bits that do not
+// fill a byte are dropped.
+func (b Bits) Bytes() []byte {
+	out := make([]byte, 0, len(b)/8)
+	for i := 0; i+8 <= len(b); i += 8 {
+		var by byte
+		for j := 0; j < 8; j++ {
+			by = by<<1 | (b[i+j] & 1)
+		}
+		out = append(out, by)
+	}
+	return out
+}
+
+// FromString encodes UTF-8 text as bits.
+func FromString(s string) Bits { return FromBytes([]byte(s)) }
+
+// Text decodes the bits back to a string.
+func (b Bits) Text() string { return string(b.Bytes()) }
+
+// Random produces n uniform random bits.
+func Random(r *sim.RNG, n int) Bits {
+	b := make(Bits, n)
+	for i := range b {
+		b[i] = byte(r.Uint64() & 1)
+	}
+	return b
+}
+
+// Zeros counts the zero bits (the Semaphore channel must pre-provision at
+// least this many resources, paper Table III).
+func (b Bits) Zeros() int {
+	n := 0
+	for _, bit := range b {
+		if bit == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ones counts the one bits.
+func (b Bits) Ones() int { return len(b) - b.Zeros() }
+
+// Equal reports bitwise equality.
+func (b Bits) Equal(o Bits) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hamming counts positions where b and o differ; missing positions (length
+// mismatch) count as errors.
+func Hamming(b, o Bits) int {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		if b[i] != o[i] {
+			d++
+		}
+	}
+	if len(b) > n {
+		d += len(b) - n
+	}
+	if len(o) > n {
+		d += len(o) - n
+	}
+	return d
+}
+
+// Repeat tiles the pattern until n bits are produced.
+func Repeat(pattern Bits, n int) Bits {
+	if len(pattern) == 0 || n <= 0 {
+		return nil
+	}
+	out := make(Bits, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mes/internal/sim"
+)
+
+func TestParseBits(t *testing.T) {
+	b, err := ParseBits("10 1,0_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "10101" {
+		t.Fatalf("got %q", b.String())
+	}
+	if _, err := ParseBits("10x"); err == nil {
+		t.Fatal("invalid char accepted")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		b := FromBytes(data)
+		if len(b) != len(data)*8 {
+			return false
+		}
+		out := b.Bytes()
+		if len(out) != len(data) {
+			return false
+		}
+		for i := range data {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	const msg = "MES-Attacks: covert channels via MESM"
+	if got := FromString(msg).Text(); got != msg {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestZerosOnes(t *testing.T) {
+	b := MustParseBits("110110100011") // the paper's Table II/III key K
+	if b.Zeros() != 5 {
+		t.Fatalf("zeros = %d, want 5 (Table III initial resources)", b.Zeros())
+	}
+	if b.Ones() != 7 {
+		t.Fatalf("ones = %d, want 7", b.Ones())
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := MustParseBits("1010")
+	if d := Hamming(a, a); d != 0 {
+		t.Fatalf("self distance %d", d)
+	}
+	if d := Hamming(a, MustParseBits("0101")); d != 4 {
+		t.Fatalf("complement distance %d, want 4", d)
+	}
+	if d := Hamming(a, MustParseBits("10")); d != 2 {
+		t.Fatalf("length mismatch distance %d, want 2", d)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := Repeat(MustParseBits("10"), 5).String(); got != "10101" {
+		t.Fatalf("Repeat = %q", got)
+	}
+	if Repeat(nil, 5) != nil {
+		t.Fatal("Repeat of empty pattern should be nil")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(data []byte, bpsRaw uint8) bool {
+		bps := int(bpsRaw%4) + 1 // 1..4
+		bits := FromBytes(data)
+		syms, err := Pack(bits, bps)
+		if err != nil {
+			return false
+		}
+		back, err := Unpack(syms, bps)
+		if err != nil {
+			return false
+		}
+		// Unpack may append padding zeros; the prefix must match.
+		if len(back) < len(bits) {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		for _, s := range syms {
+			if s < 0 || s >= 1<<uint(bps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackExample(t *testing.T) {
+	// Paper §VI: 2-bit symbols, '00'→15µs slot (symbol 0) ... '11'→165µs
+	// (symbol 3).
+	syms, err := Pack(MustParseBits("00011011"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("syms = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestPackRejectsBadWidth(t *testing.T) {
+	if _, err := Pack(MustParseBits("1"), 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := Unpack([]int{5}, 2); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+}
+
+func TestSyncSymbols(t *testing.T) {
+	s := SyncSymbols(8, 1)
+	bits, _ := Unpack(s, 1)
+	if bits.String() != "10101010" {
+		t.Fatalf("binary sync = %v, want paper's 10101010", bits.String())
+	}
+	s2 := SyncSymbols(4, 2)
+	if s2[0] != 3 || s2[1] != 0 || s2[2] != 3 || s2[3] != 0 {
+		t.Fatalf("2-bit sync = %v, want [3 0 3 0]", s2)
+	}
+}
+
+func TestFrameSplit(t *testing.T) {
+	f := Frame{Sync: DefaultSync, Payload: MustParseBits("1100")}
+	all := f.Bits()
+	payload, ok := Split(all, DefaultSync)
+	if !ok || !payload.Equal(f.Payload) {
+		t.Fatalf("Split = %v, %v", payload, ok)
+	}
+	// Corrupt a sync bit: round must be rejected.
+	bad := make(Bits, len(all))
+	copy(bad, all)
+	bad[0] ^= 1
+	if _, ok := Split(bad, DefaultSync); ok {
+		t.Fatal("corrupted sync accepted")
+	}
+	if _, ok := Split(MustParseBits("1"), DefaultSync); ok {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestFindSyncAtRandomOffsets(t *testing.T) {
+	f := func(seed uint64, offRaw uint8) bool {
+		r := sim.NewRNG(seed)
+		off := int(offRaw % 32)
+		// Noise prefix that cannot contain the sync (all ones).
+		stream := make(Bits, 0, off+16)
+		for i := 0; i < off; i++ {
+			stream = append(stream, 1)
+		}
+		stream = append(stream, DefaultSync...)
+		stream = append(stream, Random(r, 8)...)
+		got := FindSync(stream, DefaultSync)
+		return got == off+len(DefaultSync)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindSyncMissing(t *testing.T) {
+	if FindSync(MustParseBits("11111111"), DefaultSync) != -1 {
+		t.Fatal("found sync in all-ones")
+	}
+	if FindSync(MustParseBits("10"), nil) != 0 {
+		t.Fatal("empty sync should match at 0")
+	}
+}

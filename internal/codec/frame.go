@@ -1,0 +1,45 @@
+package codec
+
+// DefaultSync is the paper's example synchronization sequence (§V.B).
+var DefaultSync = MustParseBits("10101010")
+
+// Frame is a transmission unit: a pre-negotiated sync sequence followed by
+// the payload. The receiver verifies the first len(sync) decoded bits
+// against the expected sequence; mismatch means the round is discarded
+// (paper §V.B).
+type Frame struct {
+	Sync    Bits
+	Payload Bits
+}
+
+// Bits concatenates sync and payload.
+func (f Frame) Bits() Bits {
+	out := make(Bits, 0, len(f.Sync)+len(f.Payload))
+	out = append(out, f.Sync...)
+	out = append(out, f.Payload...)
+	return out
+}
+
+// Split separates a received stream into sync and payload given the
+// expected sync length, reporting whether the sync matched.
+func Split(received Bits, sync Bits) (payload Bits, syncOK bool) {
+	if len(received) < len(sync) {
+		return nil, false
+	}
+	return received[len(sync):], received[:len(sync)].Equal(sync)
+}
+
+// FindSync scans received for the first exact occurrence of sync,
+// returning the offset after it, or -1. Receivers that join mid-stream use
+// this to lock on.
+func FindSync(received, sync Bits) int {
+	if len(sync) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sync) <= len(received); i++ {
+		if received[i : i+len(sync)].Equal(sync) {
+			return i + len(sync)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,43 @@
+package codec
+
+// Repetition coding: the paper's protocol recovers from residual errors by
+// retransmission rounds gated on the sync-sequence check (§V.B). A
+// lighter-weight alternative for one-shot exfiltration is forward error
+// correction; triple-repetition with majority vote corrects any single
+// flip per triplet at one-third rate, which comfortably absorbs a <1% BER
+// channel.
+
+// EncodeRepetition repeats every bit n times (n odd, ≥3).
+func EncodeRepetition(b Bits, n int) Bits {
+	if n < 3 || n%2 == 0 {
+		n = 3
+	}
+	out := make(Bits, 0, len(b)*n)
+	for _, bit := range b {
+		for i := 0; i < n; i++ {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// DecodeRepetition majority-votes n-bit groups back into data bits.
+// Trailing bits that do not fill a group are dropped.
+func DecodeRepetition(b Bits, n int) Bits {
+	if n < 3 || n%2 == 0 {
+		n = 3
+	}
+	out := make(Bits, 0, len(b)/n)
+	for i := 0; i+n <= len(b); i += n {
+		ones := 0
+		for j := 0; j < n; j++ {
+			ones += int(b[i+j])
+		}
+		if ones*2 > n {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mes/internal/sim"
+)
+
+func TestRepetitionRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		b := FromBytes(data)
+		enc := EncodeRepetition(b, 3)
+		if len(enc) != 3*len(b) {
+			return false
+		}
+		return DecodeRepetition(enc, 3).Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepetitionCorrectsSingleFlips(t *testing.T) {
+	f := func(data []byte, flipSeed uint64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		b := FromBytes(data)
+		enc := EncodeRepetition(b, 3)
+		// Flip exactly one bit per triplet: always correctable.
+		r := sim.NewRNG(flipSeed)
+		for i := 0; i < len(enc); i += 3 {
+			enc[i+r.Intn(3)] ^= 1
+		}
+		return DecodeRepetition(enc, 3).Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepetitionBadNNormalized(t *testing.T) {
+	b := MustParseBits("10")
+	if got := EncodeRepetition(b, 2); len(got) != 6 {
+		t.Fatalf("even n should normalize to 3; len = %d", len(got))
+	}
+	if got := DecodeRepetition(EncodeRepetition(b, 0), 0); !got.Equal(b) {
+		t.Fatal("n=0 round trip failed")
+	}
+}
+
+func TestRepetitionDropsTail(t *testing.T) {
+	enc := MustParseBits("1110") // one full triplet + orphan
+	if got := DecodeRepetition(enc, 3); got.String() != "1" {
+		t.Fatalf("decode = %q", got.String())
+	}
+}

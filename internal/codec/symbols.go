@@ -1,0 +1,59 @@
+package codec
+
+import "fmt"
+
+// Pack groups bits into symbols of bitsPerSymbol bits each (MSB first),
+// zero-padding the tail. This is the multi-bit coding of paper §VI: a
+// 2-bit symbol maps 00→0, 01→1, 10→2, 11→3, each transmitted as a distinct
+// wait time.
+func Pack(b Bits, bitsPerSymbol int) ([]int, error) {
+	if bitsPerSymbol < 1 || bitsPerSymbol > 16 {
+		return nil, fmt.Errorf("codec: bitsPerSymbol %d out of range [1,16]", bitsPerSymbol)
+	}
+	var syms []int
+	for i := 0; i < len(b); i += bitsPerSymbol {
+		sym := 0
+		for j := 0; j < bitsPerSymbol; j++ {
+			sym <<= 1
+			if i+j < len(b) {
+				sym |= int(b[i+j])
+			}
+		}
+		syms = append(syms, sym)
+	}
+	return syms, nil
+}
+
+// Unpack expands symbols back to bits (MSB first), producing
+// len(syms)*bitsPerSymbol bits; the caller trims padding.
+func Unpack(syms []int, bitsPerSymbol int) (Bits, error) {
+	if bitsPerSymbol < 1 || bitsPerSymbol > 16 {
+		return nil, fmt.Errorf("codec: bitsPerSymbol %d out of range [1,16]", bitsPerSymbol)
+	}
+	max := 1<<uint(bitsPerSymbol) - 1
+	b := make(Bits, 0, len(syms)*bitsPerSymbol)
+	for _, s := range syms {
+		if s < 0 || s > max {
+			return nil, fmt.Errorf("codec: symbol %d out of range [0,%d]", s, max)
+		}
+		for j := bitsPerSymbol - 1; j >= 0; j-- {
+			b = append(b, byte((s>>uint(j))&1))
+		}
+	}
+	return b, nil
+}
+
+// SyncSymbols builds the synchronization preamble in symbol space: an
+// alternating max/0 pattern of the given length. In binary this is the
+// paper's "10101010"; for M-ary it exercises the extreme levels so the
+// receiver can calibrate its thresholds.
+func SyncSymbols(n, bitsPerSymbol int) []int {
+	max := 1<<uint(bitsPerSymbol) - 1
+	out := make([]int, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = max
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+// TestCalibrationReport prints simulated Table IV/V/VI rows next to the
+// paper's targets. Run with -v to inspect; the assertions only enforce the
+// coarse bands (BER < 1%, paper's TR ordering), the exact targets live in
+// EXPERIMENTS.md.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	type target struct {
+		mech Mechanism
+		scn  Scenario
+		tr   float64 // paper kb/s
+		ber  float64 // paper %
+	}
+	targets := []target{
+		{Flock, Local(), 7.182, 0.615},
+		{FileLockEX, Local(), 7.678, 0.758},
+		{Mutex, Local(), 7.612, 0.759},
+		{Semaphore, Local(), 4.498, 0.741},
+		{Event, Local(), 13.105, 0.554},
+		{Timer, Local(), 11.683, 0.600},
+		{Flock, CrossSandbox(), 6.946, 0.642},
+		{FileLockEX, CrossSandbox(), 7.181, 0.700},
+		{Mutex, CrossSandbox(), 7.109, 0.701},
+		{Semaphore, CrossSandbox(), 4.338, 0.731},
+		{Event, CrossSandbox(), 12.383, 0.583},
+		{Timer, CrossSandbox(), 10.458, 0.610},
+		{Flock, CrossVM(), 5.893, 0.832},
+		{FileLockEX, CrossVM(), 6.552, 0.713},
+	}
+	const bits = 20000
+	payload := codec.Random(sim.NewRNG(99), bits)
+	for _, tg := range targets {
+		res, err := Run(Config{
+			Mechanism: tg.mech,
+			Scenario:  tg.scn,
+			Payload:   payload,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Errorf("%-10v %-12v: %v", tg.mech, tg.scn, err)
+			continue
+		}
+		t.Logf("%-10v %-12v TR %7.3f kb/s (paper %7.3f)   BER %6.3f%% (paper %5.3f%%)  sync=%v",
+			tg.mech, tg.scn, res.TRKbps, tg.tr, res.BER*100, tg.ber, res.SyncOK)
+		if res.BER >= 0.01 {
+			t.Errorf("%v/%v: BER %.3f%% exceeds the paper's <1%% band", tg.mech, tg.scn, res.BER*100)
+		}
+		if !res.SyncOK {
+			t.Errorf("%v/%v: sync sequence not recovered", tg.mech, tg.scn)
+		}
+		if res.TRKbps < tg.tr*0.7 || res.TRKbps > tg.tr*1.4 {
+			t.Errorf("%v/%v: TR %.3f kb/s outside ±(30-40)%% of paper's %.3f", tg.mech, tg.scn, res.TRKbps, tg.tr)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mes/internal/kobj"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// sender is the Trojan half of a channel: it transmits one symbol per call
+// by shaping the time at which the Spy leaves its constraint state.
+type sender interface {
+	setup(p *osmodel.Proc) error
+	send(p *osmodel.Proc, sym int) error
+}
+
+// receiver is the Spy half: it performs one constraint-state round trip
+// and reports how long release took.
+type receiver interface {
+	setup(p *osmodel.Proc) error
+	measure(p *osmodel.Proc) (sim.Duration, error)
+}
+
+// openRetry retries an open until the peer has created the object. A bound
+// failure means the object is unreachable from this domain (cross-VM
+// isolation) rather than merely not created yet.
+const (
+	openRetries  = 50
+	openRetryGap = 20 * sim.Microsecond
+)
+
+func retryOpen[T any](p *osmodel.Proc, open func() (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for i := 0; i < openRetries; i++ {
+		v, err := open()
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		p.Sleep(openRetryGap)
+	}
+	return zero, fmt.Errorf("core: object never became reachable: %w", lastErr)
+}
+
+// waitSyms converts a symbol to the Trojan's wait before signalling:
+// tw0 + sym·ti (paper §VI; binary symbols degenerate to tw0 / tw0+ti).
+func (p Params) waitFor(sym int) sim.Duration {
+	return p.TW0 + sim.Duration(sym)*p.TI
+}
+
+// judgeSymbol charges the per-symbol decision work: one branch for binary,
+// plus one comparison per extra level for M-ary coding. This is §VI's
+// observation that "the number of judgement cases increases" with symbol
+// width, which is why 3-bit coding gains nothing over 2-bit.
+func judgeSymbol(p *osmodel.Proc, par Params) {
+	p.Judge()
+	for i := 2; i < par.M(); i++ {
+		p.Judge()
+	}
+}
+
+// --- Event (cooperation, Protocol 2) ---
+
+type eventSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *eventSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenEvent(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *eventSender) send(p *osmodel.Proc, sym int) error {
+	judgeSymbol(p, s.par)
+	p.Sleep(s.par.waitFor(sym))
+	return p.SetEvent(s.h)
+}
+
+type eventReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *eventReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateEvent(r.name, kobj.AutoReset, false)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *eventReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	res, err := p.WaitForSingleObject(r.h, osmodel.Infinite)
+	if err != nil {
+		return 0, err
+	}
+	if res != osmodel.WaitObject0 {
+		return 0, fmt.Errorf("core: event wait returned %d", res)
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- WaitableTimer (cooperation) ---
+
+type timerSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *timerSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenWaitableTimer(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *timerSender) send(p *osmodel.Proc, sym int) error {
+	judgeSymbol(p, s.par)
+	due := s.par.waitFor(sym)
+	if err := p.SetWaitableTimer(s.h, due); err != nil {
+		return err
+	}
+	// Pace past the due time before the next (cancelling) re-arm; the
+	// platform sleep overshoot guarantees the margin.
+	p.Sleep(due)
+	return nil
+}
+
+type timerReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *timerReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateWaitableTimer(r.name, kobj.AutoReset)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *timerReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	res, err := p.WaitForSingleObject(r.h, osmodel.Infinite)
+	if err != nil {
+		return 0, err
+	}
+	if res != osmodel.WaitObject0 {
+		return 0, fmt.Errorf("core: timer wait returned %d", res)
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- Mutex (contention) ---
+
+type mutexSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *mutexSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenMutex(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *mutexSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	if _, err := p.WaitForSingleObject(s.h, osmodel.Infinite); err != nil {
+		return err
+	}
+	p.Sleep(s.par.TT1)
+	return p.ReleaseMutex(s.h)
+}
+
+type mutexReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *mutexReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateMutex(r.name, false)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *mutexReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if _, err := p.WaitForSingleObject(r.h, osmodel.Infinite); err != nil {
+		return 0, err
+	}
+	if err := p.ReleaseMutex(r.h); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- Semaphore (contention, binary-semaphore mutual-exclusion form) ---
+//
+// The paper's performance channel uses the Semaphore's mutual-exclusion
+// function (§IV.E rules out the produce-before-consume form: pre-filled
+// resources satisfy every P instantly and "the spy receives no 0"). Each
+// bit costs the 6-instruction P-P-S-sleep-V-V budget, which is why its TR
+// trails the 3-instruction lock channels (§V.C.1).
+
+type semSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *semSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenSemaphore(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *semSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	if _, err := p.WaitForSingleObject(s.h, osmodel.Infinite); err != nil { // P
+		return err
+	}
+	p.ChargeOp(timing.OpSemP) // second P of the 6-op lock emulation
+	p.Sleep(s.par.TT1)
+	p.ChargeOp(timing.OpSemV)         // first V
+	return p.ReleaseSemaphore(s.h, 1) // second V
+}
+
+type semReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *semReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateSemaphore(r.name, 1, 1)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *semReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if _, err := p.WaitForSingleObject(r.h, osmodel.Infinite); err != nil { // P
+		return 0, err
+	}
+	if err := p.ReleaseSemaphore(r.h, 1); err != nil { // V
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- FileLockEX (contention, Windows file object) ---
+
+type fileLockSender struct {
+	name string
+	path string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *fileLockSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenLockableFile(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *fileLockSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	if _, err := p.LockFileEx(s.h, true, false); err != nil {
+		return err
+	}
+	p.Sleep(s.par.TT1)
+	return p.UnlockFileEx(s.h)
+}
+
+type fileLockReceiver struct {
+	name string
+	path string
+	h    kobj.Handle
+}
+
+func (r *fileLockReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateLockableFile(r.name, r.path, true)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *fileLockReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if _, err := p.LockFileEx(r.h, true, false); err != nil {
+		return 0, err
+	}
+	if err := p.UnlockFileEx(r.h); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- flock (contention, Linux; Protocol 1) ---
+
+type flockSender struct {
+	path string
+	par  Params
+	fd   int
+}
+
+func (s *flockSender) setup(p *osmodel.Proc) error {
+	fd, err := retryOpen(p, func() (int, error) { return p.OpenFile(s.path, false) })
+	if err != nil {
+		return err
+	}
+	s.fd = fd
+	return nil
+}
+
+func (s *flockSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	if err := p.Flock(s.fd, vfs.LockEx, false); err != nil {
+		return err
+	}
+	p.Sleep(s.par.TT1)
+	return p.Flock(s.fd, vfs.LockNone, false)
+}
+
+type flockReceiver struct {
+	path string
+	fd   int
+}
+
+func (r *flockReceiver) setup(p *osmodel.Proc) error {
+	fd, err := retryOpen(p, func() (int, error) { return p.OpenFile(r.path, false) })
+	if err != nil {
+		return err
+	}
+	r.fd = fd
+	return nil
+}
+
+func (r *flockReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if err := p.Flock(r.fd, vfs.LockEx, false); err != nil {
+		return 0, err
+	}
+	if err := p.Flock(r.fd, vfs.LockNone, false); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// newPair builds the sender/receiver implementations for a mechanism. The
+// object/file name is unique per link so concurrent links don't collide.
+func newPair(m Mechanism, par Params, name string) (sender, receiver, error) {
+	switch m {
+	case Event:
+		return &eventSender{name: name, par: par}, &eventReceiver{name: name}, nil
+	case Timer:
+		return &timerSender{name: name, par: par}, &timerReceiver{name: name}, nil
+	case Mutex:
+		return &mutexSender{name: name, par: par}, &mutexReceiver{name: name}, nil
+	case Semaphore:
+		return &semSender{name: name, par: par}, &semReceiver{name: name}, nil
+	case FileLockEX:
+		path := "/host/" + name + ".txt"
+		return &fileLockSender{name: name, path: path, par: par},
+			&fileLockReceiver{name: name, path: path}, nil
+	case Flock:
+		path := "/share/" + name + ".txt"
+		return &flockSender{path: path, par: par}, &flockReceiver{path: path}, nil
+	default:
+		return nil, nil, errors.New("core: unknown mechanism")
+	}
+}

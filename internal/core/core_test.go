@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+func TestMechanismMetadata(t *testing.T) {
+	if len(Mechanisms()) != 6 {
+		t.Fatalf("mechanism count = %d, want 6", len(Mechanisms()))
+	}
+	kinds := map[Mechanism]Kind{
+		Flock: Contention, FileLockEX: Contention, Mutex: Contention,
+		Semaphore: Contention, Event: Cooperation, Timer: Cooperation,
+	}
+	for m, k := range kinds {
+		if m.Kind() != k {
+			t.Errorf("%v.Kind() = %v, want %v", m, m.Kind(), k)
+		}
+	}
+	if Flock.OS() != timing.Linux {
+		t.Error("flock should live on Linux")
+	}
+	for _, m := range []Mechanism{FileLockEX, Mutex, Semaphore, Event, Timer} {
+		if m.OS() != timing.Windows {
+			t.Errorf("%v should live on Windows", m)
+		}
+	}
+}
+
+func TestParseMechanism(t *testing.T) {
+	for _, m := range Mechanisms() {
+		got, err := ParseMechanism(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMechanism(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMechanism("Cache"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestDefaultParamsMatchPaperTimesets(t *testing.T) {
+	p := DefaultParams(Event, timing.Local)
+	if p.TW0 != sim.Micro(15) || p.TI != sim.Micro(65) {
+		t.Errorf("Event local = %v, want tw0=15µs ti=65µs (Table IV)", p)
+	}
+	p = DefaultParams(Flock, timing.VM)
+	if p.TT1 != sim.Micro(200) || p.TT0 != sim.Micro(70) {
+		t.Errorf("flock VM = %v, want tt1=200µs tt0=70µs (Table VI)", p)
+	}
+	if DefaultParams(Event, timing.VM) != (Params{}) {
+		t.Error("Event has no VM timeset (infeasible channel)")
+	}
+}
+
+func TestNoiselessRoundTripAllMechanismsLocal(t *testing.T) {
+	payload := codec.FromString("MESM")
+	for _, m := range Mechanisms() {
+		res, err := Run(Config{
+			Mechanism: m,
+			Scenario:  Local(),
+			Payload:   payload,
+			Seed:      1,
+			Noiseless: true,
+		})
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		if res.BER != 0 {
+			t.Errorf("%v: noiseless BER = %g, want 0 (received %q)", m, res.BER, res.ReceivedBits.Text())
+		}
+		if !res.SyncOK {
+			t.Errorf("%v: sync not recovered", m)
+		}
+		if got := res.ReceivedBits.Text(); got != "MESM" {
+			t.Errorf("%v: decoded %q", m, got)
+		}
+	}
+}
+
+func TestNoiselessRoundTripSandbox(t *testing.T) {
+	payload := codec.FromString("jail")
+	for _, m := range Mechanisms() {
+		res, err := Run(Config{
+			Mechanism: m,
+			Scenario:  CrossSandbox(),
+			Payload:   payload,
+			Seed:      2,
+			Noiseless: true,
+		})
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		if res.BER != 0 {
+			t.Errorf("%v sandbox: BER = %g", m, res.BER)
+		}
+	}
+}
+
+func TestCrossVMFeasibilityMatrix(t *testing.T) {
+	payload := codec.MustParseBits("10110010")
+	// Only the file-backed mechanisms cross VM boundaries.
+	for _, m := range Mechanisms() {
+		_, err := Run(Config{Mechanism: m, Scenario: CrossVM(), Payload: payload, Seed: 3, Noiseless: true})
+		wantOK := m == Flock || m == FileLockEX
+		var inf *ErrInfeasible
+		if wantOK && err != nil {
+			t.Errorf("%v cross-VM should work: %v", m, err)
+		}
+		if !wantOK && !errors.As(err, &inf) {
+			t.Errorf("%v cross-VM: err = %v, want ErrInfeasible", m, err)
+		}
+	}
+	// On VMware (type 2) nothing works, including the file channels.
+	for _, m := range []Mechanism{Flock, FileLockEX} {
+		scn := Scenario{Isolation: timing.VM, Hypervisor: osmodel.VMwareT2}
+		var inf *ErrInfeasible
+		if _, err := Run(Config{Mechanism: m, Scenario: scn, Payload: payload, Seed: 3}); !errors.As(err, &inf) {
+			t.Errorf("%v on VMware: err = %v, want ErrInfeasible", m, err)
+		}
+	}
+}
+
+func TestFeasibleReasonText(t *testing.T) {
+	err := Feasible(Event, CrossVM())
+	if err == nil || !strings.Contains(err.Error(), "isolated between VMs") {
+		t.Fatalf("Feasible(Event, VM) = %v", err)
+	}
+}
+
+func TestMultiBitSymbolsRoundTrip(t *testing.T) {
+	payload := codec.FromString("Ab")
+	for _, bps := range []int{2, 3} {
+		par := DefaultParams(Event, timing.Local)
+		par.TI = sim.Micro(50) // Fig. 11 levels: 15/65/115/165
+		par.BitsPerSymbol = bps
+		res, err := Run(Config{
+			Mechanism: Event,
+			Scenario:  Local(),
+			Payload:   payload,
+			Params:    par,
+			Seed:      4,
+			Noiseless: true,
+		})
+		if err != nil {
+			t.Fatalf("bps=%d: %v", bps, err)
+		}
+		if res.BER != 0 {
+			t.Errorf("bps=%d: BER %g", bps, res.BER)
+		}
+		if got := res.ReceivedBits.Text(); got != "Ab" {
+			t.Errorf("bps=%d: decoded %q", bps, got)
+		}
+	}
+}
+
+func TestMultiBitRejectsContention(t *testing.T) {
+	par := DefaultParams(Flock, timing.Local)
+	par.BitsPerSymbol = 2
+	_, err := Run(Config{Mechanism: Flock, Scenario: Local(), Payload: codec.MustParseBits("10"), Params: par, Seed: 1})
+	if err == nil {
+		t.Fatal("multi-bit contention accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Mechanism: Event, Scenario: Local()}); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := Run(Config{Mechanism: Event, Scenario: Local(), Payload: codec.MustParseBits("1"), SyncLen: 1}); err == nil {
+		t.Error("sync length 1 accepted")
+	}
+	if _, err := Run(Config{Mechanism: Event, Scenario: Local(), Payload: codec.MustParseBits("1"), UnfairCompetition: true}); err == nil {
+		t.Error("unfair mode on Event accepted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(5), 500)
+	run := func() *Result {
+		res, err := Run(Config{Mechanism: Flock, Scenario: Local(), Payload: payload, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BER != b.BER || a.TRKbps != b.TRKbps || !a.ReceivedBits.Equal(b.ReceivedBits) {
+		t.Fatal("equal seeds diverged")
+	}
+	c, err := Run(Config{Mechanism: Flock, Scenario: Local(), Payload: payload, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed == c.Elapsed {
+		t.Fatal("different seeds produced identical timing")
+	}
+}
+
+func TestNoisyBERWithinPaperBand(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(6), 5000)
+	for _, m := range Mechanisms() {
+		res, err := Run(Config{Mechanism: m, Scenario: Local(), Payload: payload, Seed: 21})
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		if res.BER >= 0.01 {
+			t.Errorf("%v: BER %.3f%% ≥ 1%%", m, res.BER*100)
+		}
+	}
+}
+
+func TestCooperationFasterThanContention(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(7), 3000)
+	tr := make(map[Mechanism]float64)
+	for _, m := range Mechanisms() {
+		res, err := Run(Config{Mechanism: m, Scenario: Local(), Payload: payload, Seed: 31})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		tr[m] = res.TRKbps
+	}
+	// Paper ordering: Event > Timer > {FileLockEX, Mutex, flock} > Semaphore.
+	if !(tr[Event] > tr[Timer] && tr[Timer] > tr[FileLockEX] && tr[Timer] > tr[Mutex] && tr[Timer] > tr[Flock]) {
+		t.Errorf("cooperation channels must outrun contention: %v", tr)
+	}
+	for _, m := range []Mechanism{FileLockEX, Mutex, Flock} {
+		if tr[Semaphore] >= tr[m] {
+			t.Errorf("Semaphore (6-op bit) should be slowest: %v vs %v", tr[Semaphore], tr[m])
+		}
+	}
+}
+
+func TestUnfairCompetitionKillsChannel(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(8), 200)
+	_, err := Run(Config{
+		Mechanism:           Flock,
+		Scenario:            Local(),
+		Payload:             payload,
+		Seed:                41,
+		UnfairCompetition:   true,
+		DisableInterBitSync: true,
+	})
+	if err == nil {
+		t.Fatal("unfair competition should destroy the channel (paper §V.B)")
+	}
+	if !strings.Contains(err.Error(), "no signal") && !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestInterBitSyncAblationDegrades(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(9), 1000)
+	base, err := Run(Config{Mechanism: Flock, Scenario: Local(), Payload: payload, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := Run(Config{
+		Mechanism:           Flock,
+		Scenario:            Local(),
+		Payload:             payload,
+		Seed:                51,
+		DisableInterBitSync: true,
+	})
+	if err != nil {
+		// Total collapse (undecodable) also demonstrates the requirement.
+		t.Logf("open-loop run collapsed entirely: %v", err)
+		return
+	}
+	if ablated.BER < 10*base.BER {
+		t.Errorf("removing inter-bit sync should blow up BER: with=%.4f%% without=%.4f%%",
+			base.BER*100, ablated.BER*100)
+	}
+}
+
+func TestSyncSequenceDetectsCorruptPreamble(t *testing.T) {
+	// With an inverted decoder threshold the sync check must fail; emulate
+	// by decoding a stream whose preamble was damaged: feed DecodeAll
+	// directly.
+	dec := &Decoder{m: 2, level0: 10, spacing: 100}
+	lat := []sim.Duration{
+		sim.Micro(110), sim.Micro(10), sim.Micro(110), sim.Micro(10),
+	}
+	syms := dec.DecodeAll(lat)
+	want := []int{1, 0, 1, 0}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("decode = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestDecoderCalibration(t *testing.T) {
+	syncSyms := codec.SyncSymbols(8, 1)
+	lat := make([]sim.Duration, 8)
+	for i, s := range syncSyms {
+		if s == 1 {
+			lat[i] = sim.Micro(100)
+		} else {
+			lat[i] = sim.Micro(20)
+		}
+	}
+	dec, err := CalibrateDecoder(2, syncSyms, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Threshold(0) != 60 {
+		t.Fatalf("threshold = %g, want 60", dec.Threshold(0))
+	}
+	if dec.Decode(sim.Micro(59)) != 0 || dec.Decode(sim.Micro(61)) != 1 {
+		t.Fatal("threshold decode wrong")
+	}
+	// Clamping.
+	if dec.Decode(sim.Micro(100000)) != 1 || dec.Decode(0) != 0 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestDecoderCalibrationOutlierRobust(t *testing.T) {
+	syncSyms := codec.SyncSymbols(8, 1)
+	lat := make([]sim.Duration, 8)
+	for i, s := range syncSyms {
+		if s == 1 {
+			lat[i] = sim.Micro(100)
+		} else {
+			lat[i] = sim.Micro(20)
+		}
+	}
+	lat[0] = sim.Micro(100000) // one wild outlier in the preamble
+	dec, err := CalibrateDecoder(2, syncSyms, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr := dec.Threshold(0); thr < 55 || thr > 70 {
+		t.Fatalf("median calibration should shrug off the outlier; threshold = %g", thr)
+	}
+}
+
+func TestDecoderCalibrationFailures(t *testing.T) {
+	if _, err := CalibrateDecoder(1, nil, nil); err == nil {
+		t.Error("alphabet 1 accepted")
+	}
+	if _, err := CalibrateDecoder(2, []int{0, 0}, []sim.Duration{1, 1}); err == nil {
+		t.Error("preamble without max symbol accepted")
+	}
+	// Level inversion: channel carries no signal.
+	if _, err := CalibrateDecoder(2, []int{1, 0}, []sim.Duration{sim.Micro(10), sim.Micro(10)}); err == nil {
+		t.Error("flat levels accepted")
+	}
+}
+
+func TestDecoderMaryLevels(t *testing.T) {
+	syncSyms := codec.SyncSymbols(8, 2) // [3 0 3 0 ...]
+	lat := make([]sim.Duration, 8)
+	for i, s := range syncSyms {
+		if s == 3 {
+			lat[i] = sim.Micro(165)
+		} else {
+			lat[i] = sim.Micro(15)
+		}
+	}
+	dec, err := CalibrateDecoder(4, syncSyms, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 11 levels: 15/65/115/165µs.
+	for s := 0; s < 4; s++ {
+		want := 15.0 + float64(s)*50
+		if lv := dec.Level(s); lv != want {
+			t.Errorf("level %d = %g, want %g", s, lv, want)
+		}
+		if got := dec.Decode(sim.Micro(want + 10)); got != s && !(s == 3) {
+			t.Errorf("decode(%gµs) = %d, want %d", want+10, got, s)
+		}
+	}
+}
+
+func TestResultLatencySeries(t *testing.T) {
+	payload := codec.MustParseBits("1100")
+	res, err := Run(Config{Mechanism: Event, Scenario: Local(), Payload: payload, Seed: 13, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// warm-up + 8 sync + 4 payload
+	if len(res.Latencies) != 1+8+4 {
+		t.Fatalf("latency series length = %d, want 13", len(res.Latencies))
+	}
+	// Noiseless: '1' latencies exceed '0' latencies by exactly ti.
+	gap := res.Latencies[9] - res.Latencies[11] // payload bits 1 and 0
+	if gap < sim.Micro(64) || gap > sim.Micro(66) {
+		t.Fatalf("level gap = %v, want ≈ ti = 65µs", gap)
+	}
+}
+
+func TestTRMeasurementWindowExcludesSetup(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(14), 256)
+	res, err := Run(Config{
+		Mechanism:  Event,
+		Scenario:   Local(),
+		Payload:    payload,
+		Seed:       15,
+		Noiseless:  true,
+		SetupDelay: 50 * sim.Millisecond, // huge setup must not bias TR
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TRKbps < 10 {
+		t.Fatalf("TR = %.3f kb/s; setup delay leaked into the measurement window", res.TRKbps)
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mes/internal/codec"
+	"mes/internal/metrics"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// Config describes one covert-channel transmission.
+type Config struct {
+	Mechanism Mechanism
+	Scenario  Scenario
+	// Params are the time parameters; zero value selects the paper's
+	// Timeset for the mechanism/scenario (DefaultParams).
+	Params Params
+	// Payload is the secret bitstream the Trojan leaks.
+	Payload codec.Bits
+	// SyncLen is the length (in symbols) of the synchronization preamble
+	// (default 8, the paper's "10101010").
+	SyncLen int
+	// Seed drives all noise; equal seeds replay identically.
+	Seed uint64
+	// Noiseless disables all stochastic timing (protocol-logic tests).
+	Noiseless bool
+	// Trace optionally records kernel events.
+	Trace *sim.Trace
+	// DisableInterBitSync removes the contention channels' per-bit
+	// rendezvous (paper §V.B ablation: errors accumulate).
+	DisableInterBitSync bool
+	// UnfairCompetition switches the critical resource to unfair (barging)
+	// competition (paper §V.B: the channel only works under fair
+	// competition). Supported on the flock mechanism.
+	UnfairCompetition bool
+	// SetupDelay is how long the Trojan waits before opening the shared
+	// object (default 200µs).
+	SetupDelay sim.Duration
+}
+
+// Result reports one transmission.
+type Result struct {
+	Mechanism Mechanism
+	Scenario  Scenario
+	Params    Params
+
+	SentSyms     []int          // transmitted symbols (sync + payload)
+	Latencies    []sim.Duration // Spy measurements, one per symbol
+	DecodedSyms  []int          // decoded payload symbols
+	ReceivedBits codec.Bits     // decoded payload bits (trimmed to payload length)
+	SyncOK       bool           // preamble verified (paper §V.B round check)
+
+	BitErrors int
+	BER       float64 // payload bit error rate
+	TRKbps    float64 // payload transmission rate, kb/s
+	Elapsed   sim.Duration
+	Decoder   *Decoder
+}
+
+// link carries the shared state of one transmission run.
+type link struct {
+	cfg     Config
+	par     Params
+	m       int
+	syms    []int
+	syncLen int
+
+	prof      *timing.Profile
+	lat       []sim.Duration
+	payStart  sim.Time
+	payEnd    sim.Time
+	trojanErr error
+	spyErr    error
+	misses    int
+	uncontend sim.Duration // redraw value for missed acquisitions
+}
+
+// Run simulates a complete transmission and decodes the Spy's view.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Payload) == 0 {
+		return nil, errors.New("core: empty payload")
+	}
+	if err := Feasible(cfg.Mechanism, cfg.Scenario); err != nil {
+		return nil, err
+	}
+	par := cfg.Params
+	if par == (Params{}) {
+		par = DefaultParams(cfg.Mechanism, cfg.Scenario.Isolation)
+	}
+	if par.bps() > 1 && cfg.Mechanism.Kind() != Cooperation {
+		return nil, fmt.Errorf("core: multi-bit symbols require a cooperation channel (paper §VI); %v is %v",
+			cfg.Mechanism, cfg.Mechanism.Kind())
+	}
+	if cfg.UnfairCompetition && cfg.Mechanism != Flock {
+		return nil, errors.New("core: unfair-competition mode is modeled on the flock mechanism")
+	}
+	syncLen := cfg.SyncLen
+	if syncLen == 0 {
+		syncLen = 8
+	}
+	if syncLen < 2 {
+		return nil, errors.New("core: sync preamble needs at least 2 symbols")
+	}
+
+	l := &link{cfg: cfg, par: par, m: par.M(), syncLen: syncLen}
+	paySyms, err := codec.Pack(cfg.Payload, par.bps())
+	if err != nil {
+		return nil, err
+	}
+	// A single warm-up symbol absorbs the Trojan's setup latency so the
+	// first preamble measurement reflects steady-state timing.
+	l.syms = append([]int{0}, append(codec.SyncSymbols(syncLen, par.bps()), paySyms...)...)
+
+	prof := timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+	if cfg.Noiseless {
+		prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+	}
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: cfg.Seed, Trace: cfg.Trace})
+	l.prof = &prof
+	trojanDom, spyDom := domainsFor(sys, cfg.Mechanism, cfg.Scenario)
+
+	name := fmt.Sprintf("mes_%v_%d", cfg.Mechanism, cfg.Seed)
+	snd, rcv, err := newPair(cfg.Mechanism, par, name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mechanism == Flock {
+		path := "/share/" + name + ".txt"
+		in, err := sys.CreateSharedFile(path, 64, true, true)
+		if err != nil {
+			return nil, err
+		}
+		in.SetFair(!cfg.UnfairCompetition)
+	}
+	l.uncontend = uncontendedEstimate(&prof, cfg.Mechanism)
+
+	contention := cfg.Mechanism.Kind() == Contention
+	var rv *osmodel.Rendezvous
+	if contention && !cfg.DisableInterBitSync {
+		rv = osmodel.NewRendezvous(sys)
+	}
+
+	setupDelay := cfg.SetupDelay
+	if setupDelay == 0 {
+		setupDelay = 200 * sim.Microsecond
+	}
+
+	sys.Spawn("spy", spyDom, func(p *osmodel.Proc) {
+		if err := rcv.setup(p); err != nil {
+			l.spyErr = err
+			return
+		}
+		var prevM sim.Duration
+		for i := range l.syms {
+			if rv != nil {
+				rv.ArriveFollow(p)
+			}
+			m, err := rcv.measure(p)
+			if err != nil {
+				l.spyErr = err
+				return
+			}
+			m = l.observe(p, m, prevM)
+			prevM = m
+			l.lat = append(l.lat, m)
+			if contention && rv == nil && !cfg.UnfairCompetition {
+				// Open-loop pacing (Protocol 1's SLEEP_PERIOD_2) when the
+				// fine-grained inter-bit sync is ablated away. In the
+				// unfair ablation the Spy hammers instead — §V.B: the Spy
+				// then occupies the resource for the rest of the round.
+				p.Sleep(par.TT0)
+			}
+			if i == l.syncLen { // warm-up + preamble done
+				l.payStart = p.Now()
+			}
+		}
+		l.payEnd = p.Now()
+	})
+
+	sys.Spawn("trojan", trojanDom, func(p *osmodel.Proc) {
+		p.Sleep(setupDelay)
+		if err := snd.setup(p); err != nil {
+			l.trojanErr = err
+			return
+		}
+		for _, sym := range l.syms {
+			if rv != nil {
+				rv.ArriveLead(p)
+			}
+			if err := snd.send(p, sym); err != nil {
+				l.trojanErr = err
+				return
+			}
+			if contention && rv == nil {
+				p.Sleep(par.TT0) // Protocol 1's SLEEP_PERIOD_1
+			}
+		}
+	})
+
+	runErr := sys.Run()
+	if l.trojanErr != nil {
+		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
+	}
+	if l.spyErr != nil {
+		return nil, fmt.Errorf("core: spy failed: %w", l.spyErr)
+	}
+	var dl *sim.DeadlockError
+	if runErr != nil && !errors.As(runErr, &dl) {
+		return nil, runErr
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
+	}
+	return l.decode()
+}
+
+// observe applies the Spy-side measurement noise model to a raw latency m
+// (see internal/timing and DESIGN.md §5):
+//
+//   - cooperation: "system blocking" outliers stretch the observation,
+//     capped just under one bit period (longer delays are rounds the
+//     sync-check protocol discards) — Fig. 9(a)'s error source;
+//   - contention: a late lock attempt shortens the observed blocking of a
+//     contended bit (Fig. 10's left side), and the Spy can miss the
+//     blocking window entirely on long holds (Fig. 10's right side);
+//   - both: rare wholesale corruption (the Spy observes the neighbouring
+//     bit's timing), the guard-independent BER floor.
+func (l *link) observe(p *osmodel.Proc, m, prevM sim.Duration) sim.Duration {
+	prof := l.prof
+	rng := p.Rand()
+	if l.cfg.Mechanism.Kind() == Cooperation {
+		cap := l.par.TW0 + 25*sim.Microsecond
+		m += prof.HazardCapped(rng, m, cap)
+	} else {
+		if m > l.par.TT1/2 {
+			// Contended acquisition: a delayed attempt eats into the
+			// observed blocking time…
+			if d := prof.AttemptDelay(rng); d > 0 {
+				if m-d > l.uncontend {
+					m -= d
+				} else {
+					m = l.uncontend
+				}
+			}
+			// …and the Spy can be descheduled across the release edge,
+			// missing the window outright.
+			if prof.Miss(rng, m) {
+				m = l.uncontend
+				l.misses++
+			}
+		}
+	}
+	if prevM > 0 && prof.Corrupt(rng) {
+		m = prevM
+	}
+	return m
+}
+
+// decode calibrates from the preamble and assembles the result.
+func (l *link) decode() (*Result, error) {
+	res := &Result{
+		Mechanism: l.cfg.Mechanism,
+		Scenario:  l.cfg.Scenario,
+		Params:    l.par,
+		SentSyms:  l.syms,
+		Latencies: l.lat,
+		Elapsed:   l.payEnd.Sub(l.payStart),
+	}
+	if len(l.lat) != len(l.syms) {
+		return res, fmt.Errorf("core: received %d measurements for %d symbols", len(l.lat), len(l.syms))
+	}
+	const warmup = 1
+	dec, err := CalibrateDecoder(l.m, l.syms[warmup:warmup+l.syncLen], l.lat[warmup:warmup+l.syncLen])
+	if err != nil {
+		return res, err
+	}
+	res.Decoder = dec
+
+	decodedSync := dec.DecodeAll(l.lat[warmup : warmup+l.syncLen])
+	res.SyncOK = true
+	for i, s := range codec.SyncSymbols(l.syncLen, l.par.bps()) {
+		if decodedSync[i] != s {
+			res.SyncOK = false
+			break
+		}
+	}
+
+	res.DecodedSyms = dec.DecodeAll(l.lat[warmup+l.syncLen:])
+	bits, err := codec.Unpack(res.DecodedSyms, l.par.bps())
+	if err != nil {
+		return res, err
+	}
+	if len(bits) > len(l.cfg.Payload) {
+		bits = bits[:len(l.cfg.Payload)] // trim symbol padding
+	}
+	res.ReceivedBits = bits
+	res.BitErrors, res.BER = metrics.BER(l.cfg.Payload, bits)
+	res.TRKbps = metrics.TRKbps(len(l.cfg.Payload), res.Elapsed)
+	return res, nil
+}
+
+// domainsFor places the Trojan and Spy per the scenario.
+func domainsFor(sys *osmodel.System, m Mechanism, scn Scenario) (trojan, spy *osmodel.Domain) {
+	switch scn.Isolation {
+	case timing.Sandbox:
+		return sys.AddSandbox("jail"), sys.Host()
+	case timing.VM:
+		hv := scn.hypervisorFor(m)
+		return sys.AddVM("vm1", hv), sys.AddVM("vm2", hv)
+	default:
+		return sys.Host(), sys.Host()
+	}
+}
+
+// uncontendedEstimate is the Spy's expected measurement when the resource
+// is free: the miss model's redraw value.
+func uncontendedEstimate(prof *timing.Profile, m Mechanism) sim.Duration {
+	ts := prof.OpCost[timing.OpTimestamp]
+	switch m {
+	case Mutex:
+		return 2*ts + prof.OpCost[timing.OpMutexAcquire] + prof.OpCost[timing.OpMutexRelease]
+	case Semaphore:
+		return 2*ts + prof.OpCost[timing.OpSemP] + prof.OpCost[timing.OpSemV]
+	default:
+		return 2*ts + prof.OpCost[timing.OpLock] + prof.OpCost[timing.OpUnlock]
+	}
+}

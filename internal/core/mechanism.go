@@ -1,0 +1,118 @@
+// Package core implements the paper's contribution: the MES-Attacks covert
+// channel framework. A channel is a (mechanism, scenario, parameters)
+// triple; Run simulates a full Trojan→Spy transmission — synchronization
+// preamble, payload, per-bit fine synchronization for contention channels —
+// and returns decoded bits with BER/TR metrics.
+//
+// Mechanisms (paper §IV.G):
+//
+//   - contention (mutual exclusion): Flock, FileLockEX, Mutex, Semaphore.
+//     Bit 1 = the Trojan occupies the critical resource for TT1; bit 0 =
+//     the Trojan sleeps TT0. The Spy times its own acquisition.
+//   - cooperation (synchronization): Event, Timer. The Spy blocks in a
+//     wait; the Trojan signals after TW0 (+ symbol·TI). The paper's novel
+//     cooperation-based volatile channel.
+package core
+
+import (
+	"fmt"
+
+	"mes/internal/timing"
+)
+
+// Kind classifies a mechanism per the paper's Table I.
+type Kind int
+
+// Channel kinds.
+const (
+	Contention  Kind = iota // mutual exclusion: Trojan and Spy compete
+	Cooperation             // synchronization: Trojan and Spy cooperate
+)
+
+func (k Kind) String() string {
+	if k == Contention {
+		return "contention"
+	}
+	return "cooperation"
+}
+
+// Mechanism identifies one of the six MESMs the paper builds channels on.
+type Mechanism int
+
+// The six mechanisms evaluated in the paper.
+const (
+	Flock      Mechanism = iota // Linux flock(2) on a shared i-node
+	FileLockEX                  // Windows LockFileEx on a file object
+	Mutex                       // Windows mutex kernel object
+	Semaphore                   // Windows semaphore kernel object
+	Event                       // Windows event kernel object
+	Timer                       // Windows waitable timer kernel object
+	numMechanisms
+)
+
+// Mechanisms lists all six in the paper's Table IV column order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{Flock, FileLockEX, Mutex, Semaphore, Event, Timer}
+}
+
+// String returns the paper's name for the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case Flock:
+		return "flock"
+	case FileLockEX:
+		return "FileLockEX"
+	case Mutex:
+		return "Mutex"
+	case Semaphore:
+		return "Semaphore"
+	case Event:
+		return "Event"
+	case Timer:
+		return "Timer"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Kind reports whether the mechanism yields a contention or cooperation
+// channel.
+func (m Mechanism) Kind() Kind {
+	switch m {
+	case Event, Timer:
+		return Cooperation
+	default:
+		return Contention
+	}
+}
+
+// OS reports which modeled operating system hosts the mechanism.
+func (m Mechanism) OS() timing.OSKind {
+	if m == Flock {
+		return timing.Linux
+	}
+	return timing.Windows
+}
+
+// ParseMechanism resolves a mechanism by its paper name
+// (case-insensitive on the first letter for convenience).
+func ParseMechanism(name string) (Mechanism, error) {
+	for _, m := range Mechanisms() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	switch name {
+	case "event":
+		return Event, nil
+	case "timer":
+		return Timer, nil
+	case "mutex":
+		return Mutex, nil
+	case "semaphore":
+		return Semaphore, nil
+	case "filelockex", "filelock":
+		return FileLockEX, nil
+	}
+	return 0, fmt.Errorf("core: unknown mechanism %q", name)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mes/internal/codec"
+	"mes/internal/metrics"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// AggregateResult reports an N-pair parallel transmission (paper §V.C.1:
+// an attacker controlling many Trojan/Spy pairs multiplies the rate; with
+// the testbed's 6833 concurrent processes the paper projects tens of
+// Mb/s).
+type AggregateResult struct {
+	Pairs         int
+	BitsPerPair   int
+	TotalBits     int
+	Makespan      sim.Duration
+	AggregateKbps float64
+	PerPairKbps   float64
+	WorstBER      float64
+}
+
+// RunParallel simulates n independent Trojan/Spy pairs of the same
+// mechanism running concurrently on one machine, each with its own named
+// object, and reports the aggregate rate. All pairs share the simulated
+// host's timing environment.
+func RunParallel(mech Mechanism, scn Scenario, n, bitsPerPair int, seed uint64) (*AggregateResult, error) {
+	if n < 1 {
+		return nil, errors.New("core: need at least one pair")
+	}
+	if err := Feasible(mech, scn); err != nil {
+		return nil, err
+	}
+	if mech.Kind() != Cooperation {
+		return nil, errors.New("core: RunParallel models the cooperation channels (the paper scales Event)")
+	}
+	par := DefaultParams(mech, scn.Isolation)
+	prof := timing.ProfileFor(mech.OS(), scn.Isolation)
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: seed})
+	trojanDom, spyDom := domainsFor(sys, mech, scn)
+
+	rng := sim.NewRNG(seed)
+	type pairState struct {
+		lat     []sim.Duration
+		payload codec.Bits
+		err     error
+	}
+	states := make([]*pairState, n)
+	var earliest sim.Time
+	var latest sim.Time
+
+	for i := 0; i < n; i++ {
+		st := &pairState{payload: codec.Random(rng.Split(), bitsPerPair)}
+		states[i] = st
+		name := fmt.Sprintf("mes_par_%d", i)
+		snd, rcv, err := newPair(mech, par, name)
+		if err != nil {
+			return nil, err
+		}
+		syms := append([]int{0}, append(codec.SyncSymbols(8, 1), mustPack(st.payload)...)...)
+		sys.Spawn(fmt.Sprintf("spy%d", i), spyDom, func(p *osmodel.Proc) {
+			if err := rcv.setup(p); err != nil {
+				st.err = err
+				return
+			}
+			for range syms {
+				m, err := rcv.measure(p)
+				if err != nil {
+					st.err = err
+					return
+				}
+				st.lat = append(st.lat, m)
+			}
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+		sys.Spawn(fmt.Sprintf("trojan%d", i), trojanDom, func(p *osmodel.Proc) {
+			p.Sleep(200 * sim.Microsecond)
+			if err := snd.setup(p); err != nil {
+				st.err = err
+				return
+			}
+			for _, sym := range syms {
+				if err := snd.send(p, sym); err != nil {
+					st.err = err
+					return
+				}
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	res := &AggregateResult{Pairs: n, BitsPerPair: bitsPerPair, TotalBits: n * bitsPerPair}
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
+		}
+		dec, err := CalibrateDecoder(2, codec.SyncSymbols(8, 1), st.lat[1:9])
+		if err != nil {
+			return nil, err
+		}
+		bits, err := codec.Unpack(dec.DecodeAll(st.lat[9:]), 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(bits) > len(st.payload) {
+			bits = bits[:len(st.payload)]
+		}
+		if _, ber := metrics.BER(st.payload, bits); ber > res.WorstBER {
+			res.WorstBER = ber
+		}
+	}
+	res.Makespan = latest.Sub(earliest)
+	if res.Makespan > 0 {
+		res.AggregateKbps = metrics.TRKbps(res.TotalBits, res.Makespan)
+		res.PerPairKbps = res.AggregateKbps / float64(n)
+	}
+	return res, nil
+}
+
+func mustPack(b codec.Bits) []int {
+	syms, err := codec.Pack(b, 1)
+	if err != nil {
+		panic(err)
+	}
+	return syms
+}

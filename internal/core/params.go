@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// Params are the channel's time parameters (paper §V.C).
+type Params struct {
+	// Contention channels: TT1 is the Trojan's resource hold time for bit
+	// 1, TT0 its sleep time for bit 0.
+	TT1, TT0 sim.Duration
+	// Cooperation channels: TW0 is the wait before signalling symbol 0,
+	// TI the additional wait per symbol level (bit 1 = TW0+TI).
+	TW0, TI sim.Duration
+	// BitsPerSymbol selects M-ary coding (paper §VI); 0/1 = binary. Only
+	// cooperation channels support M > 2, as in the paper.
+	BitsPerSymbol int
+	// SemResources is the Semaphore channel's pre-provisioned resource
+	// count (paper Table III). It exists for the Table II/III
+	// reproduction; the performance channel uses the binary-semaphore
+	// (mutual exclusion) form.
+	SemResources int
+}
+
+// bits per symbol, normalized.
+func (p Params) bps() int {
+	if p.BitsPerSymbol < 1 {
+		return 1
+	}
+	return p.BitsPerSymbol
+}
+
+// M is the symbol alphabet size.
+func (p Params) M() int { return 1 << uint(p.bps()) }
+
+// String renders the parameters in the paper's Timeset style.
+func (p Params) String() string {
+	if p.TW0 != 0 || p.TI != 0 {
+		return fmt.Sprintf("tw0=%v ti=%v", p.TW0, p.TI)
+	}
+	return fmt.Sprintf("tt1=%v tt0=%v", p.TT1, p.TT0)
+}
+
+// DefaultParams returns the paper's Timeset for a mechanism in a scenario
+// (Tables IV, V and VI).
+func DefaultParams(m Mechanism, iso timing.Isolation) Params {
+	us := func(v float64) sim.Duration { return sim.Micro(v) }
+	switch iso {
+	case timing.Local: // Table IV
+		switch m {
+		case Flock:
+			return Params{TT1: us(160), TT0: us(60)}
+		case FileLockEX:
+			return Params{TT1: us(150), TT0: us(50)}
+		case Mutex:
+			return Params{TT1: us(140), TT0: us(60)}
+		case Semaphore:
+			return Params{TT1: us(230), TT0: us(100)}
+		case Event:
+			return Params{TW0: us(15), TI: us(65)}
+		case Timer:
+			return Params{TW0: us(15), TI: us(75)}
+		}
+	case timing.Sandbox: // Table V
+		switch m {
+		case Flock:
+			return Params{TT1: us(170), TT0: us(60)}
+		case FileLockEX:
+			return Params{TT1: us(170), TT0: us(60)}
+		case Mutex:
+			return Params{TT1: us(150), TT0: us(60)}
+		case Semaphore:
+			return Params{TT1: us(240), TT0: us(100)}
+		case Event:
+			return Params{TW0: us(15), TI: us(70)}
+		case Timer:
+			return Params{TW0: us(15), TI: us(85)}
+		}
+	case timing.VM: // Table VI (only the file-backed channels work)
+		switch m {
+		case Flock:
+			return Params{TT1: us(200), TT0: us(70)}
+		case FileLockEX:
+			return Params{TT1: us(190), TT0: us(70)}
+		}
+	}
+	return Params{}
+}
+
+// Scenario selects the deployment (paper §III): local, cross-sandbox or
+// cross-VM, with the hypervisor choice for the latter.
+type Scenario struct {
+	Isolation  timing.Isolation
+	Hypervisor osmodel.Hypervisor // VM only; zero value selects the paper's choice
+}
+
+// Local is the both-processes-on-host scenario.
+func Local() Scenario { return Scenario{Isolation: timing.Local} }
+
+// CrossSandbox puts the Trojan inside a sandbox (Firejail/Sandboxie).
+func CrossSandbox() Scenario { return Scenario{Isolation: timing.Sandbox} }
+
+// CrossVM puts Trojan and Spy in different VMs. The hypervisor defaults
+// per OS: Hyper-V for Windows mechanisms, KVM for flock (paper §V.C.3).
+func CrossVM() Scenario { return Scenario{Isolation: timing.VM} }
+
+// hypervisorFor resolves the effective hypervisor for a mechanism.
+func (s Scenario) hypervisorFor(m Mechanism) osmodel.Hypervisor {
+	if s.Hypervisor != osmodel.NoHypervisor {
+		return s.Hypervisor
+	}
+	if m.OS() == timing.Linux {
+		return osmodel.KVM
+	}
+	return osmodel.HyperV
+}
+
+// String names the scenario.
+func (s Scenario) String() string {
+	if s.Isolation == timing.VM {
+		return fmt.Sprintf("%v(%v)", s.Isolation, s.Hypervisor)
+	}
+	return s.Isolation.String()
+}
+
+// ErrInfeasible reports that a mechanism cannot form a channel in a
+// scenario (Table VI: identity-only kernel objects are isolated between
+// VMs; VMware type-2 shares nothing at all).
+type ErrInfeasible struct {
+	Mechanism Mechanism
+	Scenario  Scenario
+	Reason    string
+}
+
+func (e *ErrInfeasible) Error() string {
+	return fmt.Sprintf("core: %v channel infeasible in %v scenario: %s",
+		e.Mechanism, e.Scenario, e.Reason)
+}
+
+// Feasible reports whether the mechanism can form a channel in the
+// scenario, with the reason when it cannot.
+func Feasible(m Mechanism, s Scenario) error {
+	if s.Isolation != timing.VM {
+		return nil
+	}
+	hv := s.hypervisorFor(m)
+	switch hv {
+	case osmodel.VMwareT2:
+		return &ErrInfeasible{m, s, "type-2 hypervisor: kernel objects and files are not shared between VMs"}
+	case osmodel.HyperV:
+		if m != FileLockEX {
+			return &ErrInfeasible{m, s, "identity-only kernel objects exist per session and are isolated between VMs"}
+		}
+	case osmodel.KVM:
+		if m != Flock {
+			return &ErrInfeasible{m, s, "only the shared read-only mount is visible between KVM guests"}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"mes/internal/codec"
+)
+
+// SemLedgerRow is one row of the paper's Table II/III: the per-bit actions
+// of the Trojan and Spy in the produce/consume Semaphore channel and the
+// remaining resource count.
+type SemLedgerRow struct {
+	Index  int    // 1-based bit index (K1, K2, …)
+	Bit    byte   // the key bit being sent
+	Trojan string // "Request" (produce) or "Sleep"
+	Spy    string // "Release" or "Unable to release"
+	Pool   int    // resources remaining after the bit
+}
+
+// SemLedger replays the produce/consume Semaphore channel's resource
+// accounting for a key with the given initial resource pool, reproducing
+// the paper's Table II (initial = 0: the Spy stalls whenever a '0' finds
+// the pool empty) and Table III (initial = number of zeros: every bit
+// completes).
+//
+// Semantics (paper §IV.E): on a '1' the Trojan produces a resource after
+// its hold, which the Spy consumes — pool unchanged; on a '0' the Trojan
+// only sleeps, so the Spy's consume draws down the pre-provisioned pool.
+// With an empty pool the Spy blocks until the next '1' produces — the
+// stall that makes the naive attack output only as many bits as there are
+// '1's.
+func SemLedger(key codec.Bits, initial int) (rows []SemLedgerRow, stalls int) {
+	pool := initial
+	pendingStall := false
+	for i, bit := range key {
+		row := SemLedgerRow{Index: i + 1, Bit: bit}
+		if bit == 1 {
+			row.Trojan = "Request"
+			if pendingStall {
+				// The produced resource satisfies the Spy's P that has
+				// been blocked since the stalled '0'; this bit's own
+				// measurement is lost.
+				pendingStall = false
+				row.Spy = "Release"
+			} else {
+				row.Spy = "Release"
+			}
+			// produce +1, consume -1: pool unchanged
+		} else {
+			row.Trojan = "Sleep"
+			switch {
+			case pendingStall:
+				// Still blocked from an earlier '0'; nothing to consume.
+				row.Spy = "Unable to release"
+				stalls++
+			case pool > 0:
+				pool--
+				row.Spy = "Release"
+			default:
+				row.Spy = "Unable to release"
+				stalls++
+				pendingStall = true
+			}
+		}
+		row.Pool = pool
+		rows = append(rows, row)
+	}
+	return rows, stalls
+}
+
+// MinSemResources returns the provisioning rule of Table III: the pool
+// must cover every zero in the key.
+func MinSemResources(key codec.Bits) int { return key.Zeros() }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+
+	"mes/internal/codec"
+	"mes/internal/metrics"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// Signal-based covert channel — the paper's stated future work (§IV.A:
+// "other low-level communication methods such as signal may also be able
+// to be used to design covert channels, and this is left for our future
+// work"). It is a cooperation channel with the same shape as Event: the
+// Spy blocks in sigwait, the Trojan delivers SIGUSR1 after a
+// data-dependent delay, and the Spy decodes its blocking latency.
+
+// SIGUSR1 is the signal number the channel uses.
+const SIGUSR1 = 10
+
+// SignalResult reports a signal-channel transmission.
+type SignalResult struct {
+	ReceivedBits codec.Bits
+	BitErrors    int
+	BER          float64
+	TRKbps       float64
+	Elapsed      sim.Duration
+}
+
+// RunSignalChannel transmits payload over the signal channel on the Linux
+// local profile. Parameter semantics match the cooperation channels
+// (TW0/TI); zero params default to tw0=15µs, ti=70µs.
+func RunSignalChannel(payload codec.Bits, par Params, seed uint64) (*SignalResult, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("core: empty payload")
+	}
+	if par.TW0 == 0 && par.TI == 0 {
+		par = Params{TW0: sim.Micro(15), TI: sim.Micro(70)}
+	}
+	prof := timing.ProfileFor(timing.Linux, timing.Local)
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: seed})
+	host := sys.Host()
+
+	const syncLen = 8
+	syms := append([]int{0}, append(codec.SyncSymbols(syncLen, 1), mustPack(payload)...)...)
+
+	var lat []sim.Duration
+	var payStart, payEnd sim.Time
+	var prevM sim.Duration
+	rng := sim.NewRNG(seed ^ 0x51615)
+
+	spy := sys.Spawn("spy", host, func(p *osmodel.Proc) {
+		for i := range syms {
+			start := p.Timestamp()
+			p.SigWait(SIGUSR1)
+			m := p.Timestamp().Sub(start)
+			// Same Spy-side observation model as the Event channel.
+			m += prof.HazardCapped(p.Rand(), m, par.TW0+25*sim.Microsecond)
+			if prevM > 0 && prof.Corrupt(rng) {
+				m = prevM
+			}
+			prevM = m
+			lat = append(lat, m)
+			if i == syncLen {
+				payStart = p.Now()
+			}
+		}
+		payEnd = p.Now()
+	})
+	var trojanErr error
+	sys.Spawn("trojan", host, func(p *osmodel.Proc) {
+		p.Sleep(200 * sim.Microsecond)
+		for _, sym := range syms {
+			p.Judge()
+			p.Sleep(par.waitFor(sym))
+			if err := p.Kill(spy, SIGUSR1); err != nil {
+				trojanErr = err
+				return
+			}
+		}
+	})
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	if trojanErr != nil {
+		return nil, trojanErr
+	}
+
+	dec, err := CalibrateDecoder(2, codec.SyncSymbols(syncLen, 1), lat[1:1+syncLen])
+	if err != nil {
+		return nil, err
+	}
+	bits, err := codec.Unpack(dec.DecodeAll(lat[1+syncLen:]), 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(bits) > len(payload) {
+		bits = bits[:len(payload)]
+	}
+	res := &SignalResult{ReceivedBits: bits, Elapsed: payEnd.Sub(payStart)}
+	res.BitErrors, res.BER = metrics.BER(payload, bits)
+	res.TRKbps = metrics.TRKbps(len(payload), res.Elapsed)
+	return res, nil
+}

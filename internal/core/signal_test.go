@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+func TestSignalChannelRoundTrip(t *testing.T) {
+	payload := codec.FromString("SIGUSR1")
+	res, err := RunSignalChannel(payload, Params{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER >= 0.01 {
+		t.Fatalf("signal channel BER %.3f%%", res.BER*100)
+	}
+	if res.BER == 0 && res.ReceivedBits.Text() != "SIGUSR1" {
+		t.Fatalf("decoded %q", res.ReceivedBits.Text())
+	}
+	// Cooperation-class rate: comparable to Event on the Linux profile.
+	if res.TRKbps < 5 || res.TRKbps > 25 {
+		t.Fatalf("signal channel TR %.3f kb/s out of band", res.TRKbps)
+	}
+}
+
+func TestSignalChannelLongPayloadBER(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(11), 10000)
+	res, err := RunSignalChannel(payload, Params{TW0: sim.Micro(15), TI: sim.Micro(70)}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER >= 0.01 {
+		t.Fatalf("BER %.3f%% ≥ 1%%", res.BER*100)
+	}
+}
+
+func TestSignalChannelEmptyPayload(t *testing.T) {
+	if _, err := RunSignalChannel(nil, Params{}, 1); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"mes/internal/core"
+	"mes/internal/report"
+)
+
+// AggregateRow is one point of the §V.C.1 scaling claim: N concurrent
+// Trojan/Spy pairs multiply the rate; the paper projects tens of Mb/s at
+// its testbed's 6833-process limit.
+type AggregateRow struct {
+	Pairs         int
+	AggregateKbps float64
+	PerPairKbps   float64
+	WorstBERPct   float64
+	Projected     bool // true when linearly extrapolated, as the paper does
+}
+
+// Aggregate measures real N-pair runs for small N and projects the
+// paper's idealized large-N points from the measured per-pair rate.
+func Aggregate(opt Options) ([]AggregateRow, error) {
+	bitsPerPair := 400
+	if opt.Quick {
+		bitsPerPair = 120
+	}
+	measured := []int{1, 4, 16, 64}
+	var rows []AggregateRow
+	var lastPerPair float64
+	for _, n := range measured {
+		res, err := core.RunParallel(core.Event, core.Local(), n, bitsPerPair, opt.seed())
+		if err != nil {
+			return nil, err
+		}
+		lastPerPair = res.PerPairKbps
+		rows = append(rows, AggregateRow{
+			Pairs:         n,
+			AggregateKbps: res.AggregateKbps,
+			PerPairKbps:   res.PerPairKbps,
+			WorstBERPct:   res.WorstBER * 100,
+		})
+	}
+	// The paper's projection: the process limit on the testbed was 6833
+	// concurrent processes (≈3416 pairs); "ideally we can achieve
+	// transfer rates of tens of Mbps".
+	for _, n := range []int{1000, 3416} {
+		rows = append(rows, AggregateRow{
+			Pairs:         n,
+			AggregateKbps: lastPerPair * float64(n),
+			PerPairKbps:   lastPerPair,
+			Projected:     true,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAggregate prints the scaling table.
+func RenderAggregate(rows []AggregateRow) string {
+	tb := report.NewTable("§V.C.1 multi-pair scaling (Event, local)",
+		"pairs", "aggregate(kb/s)", "per-pair(kb/s)", "worst BER(%)", "projected")
+	for _, r := range rows {
+		tb.AddRow(r.Pairs, r.AggregateKbps, r.PerPairKbps, r.WorstBERPct, r.Projected)
+	}
+	return tb.String() + "paper: ≈6833 concurrent processes ⇒ tens of Mb/s ideal aggregate\n"
+}

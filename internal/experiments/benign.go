@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"mes/internal/detect"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// benignScores simulates ordinary lock users — several workers taking
+// exclusive locks on a few files with ragged exponential think times —
+// and returns the detector's scores for them.
+func benignScores(seed uint64) ([]detect.Score, error) {
+	tr := sim.NewTrace(0)
+	sys := osmodel.NewSystem(osmodel.Config{
+		Profile: timing.ProfileFor(timing.Linux, timing.Local),
+		Seed:    seed,
+		Trace:   tr,
+	})
+	paths := []string{"/var/db.lock", "/var/spool.lock", "/var/cron.lock"}
+	for _, p := range paths {
+		if _, err := sys.CreateSharedFile(p, 0, false, false); err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < 4; w++ {
+		sys.Spawn("worker", sys.Host(), func(p *osmodel.Proc) {
+			r := p.Rand()
+			for i := 0; i < 300; i++ {
+				path := paths[r.Intn(len(paths))]
+				fd, err := p.OpenFile(path, false)
+				if err != nil {
+					return
+				}
+				p.Flock(fd, vfs.LockEx, false)
+				p.Sleep(sim.Duration(r.ExpFloat64() * float64(150*sim.Microsecond)))
+				p.Flock(fd, vfs.LockNone, false)
+				p.CloseFd(fd)
+				p.Sleep(sim.Duration(r.ExpFloat64() * float64(400*sim.Microsecond)))
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	return detect.Analyze(tr.Entries()), nil
+}

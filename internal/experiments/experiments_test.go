@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 3}
+
+func TestFig8Distinguishable(t *testing.T) {
+	r, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SyncLat) != len(r.Bits) || len(r.MutexLat) != len(r.Bits) {
+		t.Fatalf("trace lengths %d/%d, want %d", len(r.SyncLat), len(r.MutexLat), len(r.Bits))
+	}
+	if !r.Distinguishable() {
+		t.Fatal("PoC levels not distinguishable")
+	}
+	// Seconds-scale levels: sync '1' ≈ 2s, '0' ≈ 1s.
+	for i, b := range r.Bits {
+		sec := r.SyncLat[i].Seconds()
+		if b == 1 && (sec < 1.8 || sec > 2.3) {
+			t.Errorf("sync '1' bit %d latency %.2fs, want ≈2s", i, sec)
+		}
+		if b == 0 && (sec < 0.8 || sec > 1.3) {
+			t.Errorf("sync '0' bit %d latency %.2fs, want ≈1s", i, sec)
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig.8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	pts, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig9TW0s)*len(Fig9TIs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byTI := map[float64][]Fig9Point{}
+	for _, p := range pts {
+		byTI[p.TIus] = append(byTI[p.TIus], p)
+	}
+	// Paper Fig. 9(a): ti=30 exceeds 1% BER and grows with tw0; ti≥50
+	// stays under 1%.
+	t30 := byTI[30]
+	if t30[0].BERPct <= t30[len(t30)-1].BERPct == false {
+		// growth check: last point should not be below the first
+		t.Logf("ti=30 BER start %.2f end %.2f", t30[0].BERPct, t30[len(t30)-1].BERPct)
+	}
+	if t30[len(t30)-1].BERPct < 1.0 {
+		t.Errorf("ti=30, tw0=75: BER %.3f%%, paper exceeds 1%%", t30[len(t30)-1].BERPct)
+	}
+	for _, ti := range []float64{70, 90, 110, 130} {
+		for _, p := range byTI[ti] {
+			if p.BERPct >= 1.0 {
+				t.Errorf("ti=%g tw0=%g: BER %.3f%% ≥ 1%%, paper stays below", ti, p.TW0us, p.BERPct)
+			}
+		}
+	}
+	// Paper Fig. 9(b): TR decreases with both tw0 and ti.
+	if !(byTI[30][0].TRKbps > byTI[130][0].TRKbps) {
+		t.Error("TR should fall as ti grows")
+	}
+	for _, ti := range Fig9TIs {
+		seq := byTI[ti]
+		if !(seq[0].TRKbps > seq[len(seq)-1].TRKbps) {
+			t.Errorf("ti=%g: TR should fall as tw0 grows", ti)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	pts, err := Fig10(Options{Quick: false, Bits: 12000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(tt1 float64) Fig10Point {
+		for _, p := range pts {
+			if p.TT1us == tt1 {
+				return p
+			}
+		}
+		t.Fatalf("missing point %g", tt1)
+		return Fig10Point{}
+	}
+	// Paper: concave BER — elevated below 160, stable <1% in [160,220],
+	// rising again past ~220.
+	if p := find(110); p.BERPct <= find(170).BERPct {
+		t.Errorf("BER(110)=%.3f should exceed plateau BER(170)=%.3f", p.BERPct, find(170).BERPct)
+	}
+	if p := find(170); p.BERPct >= 1.0 {
+		t.Errorf("plateau BER(170)=%.3f%%, want <1%%", p.BERPct)
+	}
+	if p := find(320); p.BERPct <= find(200).BERPct {
+		t.Errorf("BER(320)=%.3f should exceed plateau BER(200)=%.3f", p.BERPct, find(200).BERPct)
+	}
+	// TR decreases monotonically with tt1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TRKbps >= pts[i-1].TRKbps {
+			t.Errorf("TR should fall with tt1: %v then %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestFig11AllLevels(t *testing.T) {
+	r, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LevelsObserved() != 4 {
+		t.Fatalf("levels observed = %d, want 4", r.LevelsObserved())
+	}
+	if r.SERPct > 5 {
+		t.Fatalf("symbol error rate %.2f%% too high", r.SERPct)
+	}
+}
+
+func TestSemTablesMatchPaper(t *testing.T) {
+	r, err := SemTables(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III's resource trajectory: 5,5,4,4,4,3,3,2,1,0,0,0.
+	want := []int{5, 5, 4, 4, 4, 3, 3, 2, 1, 0, 0, 0}
+	for i, row := range r.Provisioned {
+		if row.Pool != want[i] {
+			t.Errorf("provisioned K%d pool = %d, want %d", i+1, row.Pool, want[i])
+		}
+		if row.Spy != "Release" {
+			t.Errorf("provisioned K%d spy = %q", i+1, row.Spy)
+		}
+	}
+	// Table II: K3 is the first stall.
+	if r.Naive[2].Spy != "Unable to release" {
+		t.Errorf("naive K3 spy = %q, want stall", r.Naive[2].Spy)
+	}
+	if r.NaiveStalls == 0 {
+		t.Error("naive ledger did not stall")
+	}
+	if !r.DESStallConfirmed {
+		t.Error("DES run of the naive channel did not deadlock")
+	}
+	if r.ProvisionCount != 5 {
+		t.Errorf("provision count = %d, want 5 (zeros in K)", r.ProvisionCount)
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Options) ([]TableRow, error)
+		want int
+	}{
+		{"table4", Table4, 6},
+		{"table5", Table5, 6},
+		{"table6", Table6, 2},
+	} {
+		rows, err := tc.run(quick)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(rows) != tc.want {
+			t.Fatalf("%s: %d rows, want %d", tc.name, len(rows), tc.want)
+		}
+		for _, r := range rows {
+			if r.BERPct >= 2.0 { // quick mode tolerance; full runs stay <1%
+				t.Errorf("%s %v: BER %.3f%%", tc.name, r.Mechanism, r.BERPct)
+			}
+			if r.TRKbps < r.PaperTR*0.6 || r.TRKbps > r.PaperTR*1.5 {
+				t.Errorf("%s %v: TR %.3f vs paper %.3f", tc.name, r.Mechanism, r.TRKbps, r.PaperTR)
+			}
+		}
+	}
+	if got := len(Table6Infeasible()); got != 4 {
+		t.Errorf("infeasible cross-VM channels = %d, want 4", got)
+	}
+}
+
+func TestMultiBitPeaksAtTwoBits(t *testing.T) {
+	rows, err := MultiBit(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tr1, tr2, tr3 := rows[0].TRKbps, rows[1].TRKbps, rows[2].TRKbps
+	if !(tr2 > tr1) {
+		t.Errorf("2-bit TR %.3f should beat 1-bit %.3f (paper: 15.095 > 13.105)", tr2, tr1)
+	}
+	if !(tr3 < tr2) {
+		t.Errorf("3-bit TR %.3f should not beat 2-bit %.3f (paper: no further increase)", tr3, tr2)
+	}
+}
+
+func TestAggregateScalesLinearly(t *testing.T) {
+	rows, err := Aggregate(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r16 AggregateRow
+	for _, r := range rows {
+		switch r.Pairs {
+		case 1:
+			r1 = r
+		case 16:
+			r16 = r
+		}
+	}
+	if r16.AggregateKbps < 10*r1.AggregateKbps {
+		t.Errorf("16 pairs aggregate %.3f kb/s, want ≈16× single %.3f", r16.AggregateKbps, r1.AggregateKbps)
+	}
+	last := rows[len(rows)-1]
+	if !last.Projected || last.Pairs != 3416 {
+		t.Errorf("final row should be the paper's 3416-pair projection: %+v", last)
+	}
+	if last.AggregateKbps < 10000 {
+		t.Errorf("projection %.0f kb/s, paper claims tens of Mb/s", last.AggregateKbps)
+	}
+}
+
+func TestFairnessAblation(t *testing.T) {
+	r, err := Fairness(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.UnfairDead {
+		t.Error("unfair competition should kill the channel")
+	}
+	if r.FairBERPct >= 2 {
+		t.Errorf("fair BER %.3f%%", r.FairBERPct)
+	}
+}
+
+func TestInterSyncAblation(t *testing.T) {
+	r, err := InterSync(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Collapsed && r.WithoutBERPct < 5*r.WithBERPct {
+		t.Errorf("open-loop BER %.3f%% vs synced %.3f%%: expected ≥5× degradation",
+			r.WithoutBERPct, r.WithBERPct)
+	}
+}
+
+func TestInterferenceAblation(t *testing.T) {
+	rows, err := Interference(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if !(last.PageCacheBER > first.PageCacheBER+2) {
+		t.Errorf("page-cache BER should degrade with interferers: %.3f → %.3f",
+			first.PageCacheBER, last.PageCacheBER)
+	}
+	if last.EventBER > 2 || last.FlockBER > 2 {
+		t.Errorf("MES channels should hold their floor: event %.3f flock %.3f",
+			last.EventBER, last.FlockBER)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	rows, err := Baselines(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.BERPct > 3 {
+			t.Errorf("%s: BER %.3f%%", r.Channel, r.BERPct)
+		}
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	for _, e := range Registry() {
+		out, err := e.Run(Options{Quick: true, Seed: 9})
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", e.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mes/internal/core"
+	"mes/internal/report"
+	"mes/internal/sim"
+)
+
+// Fig10Point is one cell of the paper's Fig. 10 sweep: the flock channel
+// at (tt1, tt0=60µs).
+type Fig10Point struct {
+	TT1us  float64
+	BERPct float64
+	TRKbps float64
+}
+
+// Fig10TT1s is the paper's sweep axis (µs).
+var Fig10TT1s = []float64{110, 140, 170, 200, 230, 260, 290, 320}
+
+// Fig10 sweeps the flock channel's tt1 (paper Fig. 10: BER is a "concave"
+// curve — high below 160µs for resolution reasons, low in [160,220], and
+// rising past ~220µs as blocking makes the Spy read short times).
+func Fig10(opt Options) ([]Fig10Point, error) {
+	payload := opt.payload(opt.sweepBits())
+	var out []Fig10Point
+	for _, tt1 := range Fig10TT1s {
+		res, err := core.Run(core.Config{
+			Mechanism: core.Flock,
+			Scenario:  core.Local(),
+			Payload:   payload,
+			Params: core.Params{
+				TT1: sim.Micro(tt1),
+				TT0: sim.Micro(60),
+			},
+			Seed: opt.seed(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10 tt1=%g: %w", tt1, err)
+		}
+		out = append(out, Fig10Point{TT1us: tt1, BERPct: res.BER * 100, TRKbps: res.TRKbps})
+	}
+	return out, nil
+}
+
+// RenderFig10 draws the figure and table.
+func RenderFig10(points []Fig10Point) string {
+	ber := report.Series{Name: "BER(%)"}
+	tr := report.Series{Name: "TR(kb/s)"}
+	for _, p := range points {
+		ber.X = append(ber.X, p.TT1us)
+		ber.Y = append(ber.Y, p.BERPct)
+		tr.X = append(tr.X, p.TT1us)
+		tr.Y = append(tr.Y, p.TRKbps)
+	}
+	out := report.Plot("Fig.10 flock BER(%) vs tt1(µs)", "tt1", "BER%", 56, 10, ber)
+	out += report.Plot("Fig.10 flock TR(kb/s) vs tt1(µs)", "tt1", "kb/s", 56, 10, tr)
+	tb := report.NewTable("Fig.10 data", "tt1(µs)", "BER(%)", "TR(kb/s)")
+	for _, p := range points {
+		tb.AddRow(p.TT1us, p.BERPct, p.TRKbps)
+	}
+	return out + tb.String()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mes/internal/core"
+	"mes/internal/report"
+	"mes/internal/sim"
+)
+
+// Fig9Point is one cell of the paper's Fig. 9 sweep: the Event channel at
+// (tw0, ti), with its bit error rate and transmission rate.
+type Fig9Point struct {
+	TW0us, TIus float64
+	BERPct      float64
+	TRKbps      float64
+}
+
+// Fig9TW0s and Fig9TIs are the paper's sweep axes (µs).
+var (
+	Fig9TW0s = []float64{15, 25, 35, 45, 55, 65, 75}
+	Fig9TIs  = []float64{30, 50, 70, 90, 110, 130}
+)
+
+// Fig9 sweeps the Event channel's timing parameters (paper Fig. 9(a) BER
+// and Fig. 9(b) TR).
+func Fig9(opt Options) ([]Fig9Point, error) {
+	payload := opt.payload(opt.sweepBits())
+	var out []Fig9Point
+	for _, ti := range Fig9TIs {
+		for _, tw0 := range Fig9TW0s {
+			res, err := core.Run(core.Config{
+				Mechanism: core.Event,
+				Scenario:  core.Local(),
+				Payload:   payload,
+				Params: core.Params{
+					TW0: sim.Micro(tw0),
+					TI:  sim.Micro(ti),
+				},
+				Seed: opt.seed(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 tw0=%g ti=%g: %w", tw0, ti, err)
+			}
+			out = append(out, Fig9Point{
+				TW0us:  tw0,
+				TIus:   ti,
+				BERPct: res.BER * 100,
+				TRKbps: res.TRKbps,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig9 draws both panels and the underlying table.
+func RenderFig9(points []Fig9Point) string {
+	bySeries := map[float64]*report.Series{}
+	trSeries := map[float64]*report.Series{}
+	var order []float64
+	for _, p := range points {
+		s, ok := bySeries[p.TIus]
+		if !ok {
+			s = &report.Series{Name: fmt.Sprintf("ti=%g", p.TIus)}
+			bySeries[p.TIus] = s
+			trSeries[p.TIus] = &report.Series{Name: fmt.Sprintf("ti=%g", p.TIus)}
+			order = append(order, p.TIus)
+		}
+		s.X = append(s.X, p.TW0us)
+		s.Y = append(s.Y, p.BERPct)
+		trSeries[p.TIus].X = append(trSeries[p.TIus].X, p.TW0us)
+		trSeries[p.TIus].Y = append(trSeries[p.TIus].Y, p.TRKbps)
+	}
+	var berList, trList []report.Series
+	for _, ti := range order {
+		berList = append(berList, *bySeries[ti])
+		trList = append(trList, *trSeries[ti])
+	}
+	out := report.Plot("Fig.9(a) Event BER(%) vs tw0(µs)", "tw0", "BER%", 56, 10, berList...)
+	out += report.Plot("Fig.9(b) Event TR(kb/s) vs tw0(µs)", "tw0", "kb/s", 56, 10, trList...)
+	tb := report.NewTable("Fig.9 data", "tw0(µs)", "ti(µs)", "BER(%)", "TR(kb/s)")
+	for _, p := range points {
+		tb.AddRow(p.TW0us, p.TIus, p.BERPct, p.TRKbps)
+	}
+	return out + tb.String()
+}

@@ -1,0 +1,50 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V–§VI) plus the ablations DESIGN.md calls out. Each
+// generator returns typed rows and can render itself via internal/report;
+// cmd/mesbench drives them by name through the Registry.
+package experiments
+
+import (
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+// Options tunes experiment cost. The zero value selects full fidelity.
+type Options struct {
+	// Bits is the payload size per measured point (default 20000; sweeps
+	// use a third of it).
+	Bits int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick reduces Bits for smoke tests and CI.
+	Quick bool
+}
+
+func (o Options) bits() int {
+	if o.Quick {
+		return 2000
+	}
+	if o.Bits == 0 {
+		return 20000
+	}
+	return o.Bits
+}
+
+func (o Options) sweepBits() int {
+	b := o.bits() / 2
+	if b < 1000 {
+		b = 1000
+	}
+	return b
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) payload(n int) codec.Bits {
+	return codec.Random(sim.NewRNG(o.seed()^0x9e3779b9), n)
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// format3 formats a float with three decimals (render helpers).
+func format3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// Experiment is a named, runnable reproduction artifact.
+type Experiment struct {
+	Name  string
+	Paper string // which table/figure/section it regenerates
+	Run   func(Options) (string, error)
+}
+
+// Registry lists every reproduction artifact by name, in a stable order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"fig8", "Fig. 8 proof of concept", func(o Options) (string, error) {
+			r, err := Fig8(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + fmt.Sprintf("distinguishable: %v\n", r.Distinguishable()), nil
+		}},
+		{"fig9a", "Fig. 9(a) Event BER sweep", func(o Options) (string, error) {
+			pts, err := Fig9(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig9(pts), nil
+		}},
+		{"fig9b", "Fig. 9(b) Event TR sweep", func(o Options) (string, error) {
+			pts, err := Fig9(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig9(pts), nil
+		}},
+		{"fig10", "Fig. 10 flock BER/TR sweep", func(o Options) (string, error) {
+			pts, err := Fig10(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig10(pts), nil
+		}},
+		{"fig11", "Fig. 11 2-bit symbol transmission", func(o Options) (string, error) {
+			r, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table2", "Table II naive semaphore", runSemTables},
+		{"table3", "Table III provisioned semaphore", runSemTables},
+		{"table4", "Table IV local performance", func(o Options) (string, error) {
+			rows, err := Table4(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable("Table IV: local scenario", rows), nil
+		}},
+		{"table5", "Table V cross-sandbox performance", func(o Options) (string, error) {
+			rows, err := Table5(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable("Table V: cross-sandbox scenario", rows), nil
+		}},
+		{"table6", "Table VI cross-VM performance", func(o Options) (string, error) {
+			rows, err := Table6(o)
+			if err != nil {
+				return "", err
+			}
+			out := RenderTable("Table VI: cross-VM scenario", rows)
+			out += "infeasible cross-VM channels (paper §V.C.3):\n"
+			for _, s := range Table6Infeasible() {
+				out += "  - " + s + "\n"
+			}
+			return out, nil
+		}},
+		{"multibit", "§VI multi-bit symbol study", func(o Options) (string, error) {
+			rows, err := MultiBit(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderMultiBit(rows), nil
+		}},
+		{"aggregate", "§V.C.1 multi-pair scaling", func(o Options) (string, error) {
+			rows, err := Aggregate(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderAggregate(rows), nil
+		}},
+		{"fairness", "§V.B fair vs unfair competition", func(o Options) (string, error) {
+			r, err := Fairness(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"intersync", "§V.B inter-bit synchronization ablation", func(o Options) (string, error) {
+			r, err := InterSync(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"interference", "closed vs open resources ablation", func(o Options) (string, error) {
+			rows, err := Interference(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderInterference(rows), nil
+		}},
+		{"baselines", "§VII related-work channels", func(o Options) (string, error) {
+			rows, err := Baselines(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderBaselines(rows), nil
+		}},
+		{"signal", "§IV.A future work: signal-based channel", func(o Options) (string, error) {
+			r, err := SignalChannel(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"detector", "defense extension: trace-based channel detector", func(o Options) (string, error) {
+			r, err := Detector(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	return exps
+}
+
+func runSemTables(o Options) (string, error) {
+	r, err := SemTables(o)
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}

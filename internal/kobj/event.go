@@ -1,0 +1,93 @@
+package kobj
+
+// ResetMode selects Event/Timer reset behavior after a successful wait.
+type ResetMode int
+
+// Reset modes, mirroring the Windows bManualReset flag.
+const (
+	AutoReset   ResetMode = iota // one waiter released per Set, state self-clears
+	ManualReset                  // stays signalled until Reset
+)
+
+func (m ResetMode) String() string {
+	if m == AutoReset {
+		return "auto"
+	}
+	return "manual"
+}
+
+// Event is the synchronization kernel object used by the cooperation-based
+// covert channel (paper §IV.F, Protocol 2). Its observable state is the
+// pair (signalled, reset mode): the data members the paper's Fig. 4 shows.
+type Event struct {
+	name      string
+	mode      ResetMode
+	signalled bool
+	q         waitQueue
+}
+
+// NewEvent creates an event with the given reset mode and initial state.
+func NewEvent(name string, mode ResetMode, initiallySignalled bool) *Event {
+	return &Event{name: name, mode: mode, signalled: initiallySignalled}
+}
+
+// Name returns the object name.
+func (e *Event) Name() string { return e.name }
+
+// Type returns TypeEvent.
+func (e *Event) Type() Type { return TypeEvent }
+
+// Signalled reports the current signal state.
+func (e *Event) Signalled() bool { return e.signalled }
+
+// TryWait consumes the signal if present (auto-reset) and reports success.
+func (e *Event) TryWait(Waiter) bool {
+	if !e.signalled {
+		return false
+	}
+	if e.mode == AutoReset {
+		e.signalled = false
+	}
+	return true
+}
+
+// Enqueue registers w as blocked on the event.
+func (e *Event) Enqueue(w Waiter) { e.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (e *Event) CancelWait(w Waiter) bool { return e.q.remove(w) }
+
+// WaiterCount reports the number of blocked waiters.
+func (e *Event) WaiterCount() int { return e.q.len() }
+
+// Set signals the event. For auto-reset events exactly one waiter is
+// released (or the state latches if none are queued); for manual-reset
+// events all waiters are released and the state latches. The returned
+// waiters must be woken by the caller, in order.
+func (e *Event) Set() []Waiter {
+	if e.mode == AutoReset {
+		if w := e.q.pop(); w != nil {
+			// Direct handoff: the released waiter consumed the signal.
+			return []Waiter{w}
+		}
+		e.signalled = true
+		return nil
+	}
+	e.signalled = true
+	return e.q.drain()
+}
+
+// Reset clears the signal state.
+func (e *Event) Reset() { e.signalled = false }
+
+// Pulse signals and immediately clears: queued waiters are released
+// (one for auto-reset, all for manual-reset) but the state does not latch.
+func (e *Event) Pulse() []Waiter {
+	if e.mode == AutoReset {
+		if w := e.q.pop(); w != nil {
+			return []Waiter{w}
+		}
+		return nil
+	}
+	return e.q.drain()
+}

@@ -1,0 +1,173 @@
+package kobj
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// tw is a trivial Waiter for tests.
+type tw string
+
+func (t tw) WaiterName() string { return string(t) }
+
+func waiters(n int) []Waiter {
+	out := make([]Waiter, n)
+	for i := range out {
+		out[i] = tw(fmt.Sprintf("w%d", i))
+	}
+	return out
+}
+
+func TestAutoResetEventLatchesWithoutWaiter(t *testing.T) {
+	e := NewEvent("e", AutoReset, false)
+	if e.TryWait(tw("a")) {
+		t.Fatal("wait succeeded on unsignalled event")
+	}
+	if woken := e.Set(); len(woken) != 0 {
+		t.Fatalf("Set woke %v with empty queue", woken)
+	}
+	if !e.Signalled() {
+		t.Fatal("signal did not latch")
+	}
+	if !e.TryWait(tw("a")) {
+		t.Fatal("wait failed on signalled event")
+	}
+	if e.Signalled() {
+		t.Fatal("auto-reset event stayed signalled after successful wait")
+	}
+}
+
+func TestAutoResetEventReleasesExactlyOne(t *testing.T) {
+	e := NewEvent("e", AutoReset, false)
+	ws := waiters(3)
+	for _, w := range ws {
+		e.Enqueue(w)
+	}
+	woken := e.Set()
+	if len(woken) != 1 || woken[0] != ws[0] {
+		t.Fatalf("Set woke %v, want [w0]", woken)
+	}
+	if e.Signalled() {
+		t.Fatal("direct handoff must not latch the signal")
+	}
+	if e.WaiterCount() != 2 {
+		t.Fatalf("queue len = %d, want 2", e.WaiterCount())
+	}
+}
+
+func TestManualResetEventReleasesAll(t *testing.T) {
+	e := NewEvent("e", ManualReset, false)
+	ws := waiters(3)
+	for _, w := range ws {
+		e.Enqueue(w)
+	}
+	woken := e.Set()
+	if len(woken) != 3 {
+		t.Fatalf("Set woke %d, want 3", len(woken))
+	}
+	for i, w := range woken {
+		if w != ws[i] {
+			t.Fatalf("wake order %v, want FIFO %v", woken, ws)
+		}
+	}
+	if !e.Signalled() {
+		t.Fatal("manual-reset event must latch")
+	}
+	// Latched: subsequent waits succeed without consuming.
+	if !e.TryWait(tw("x")) || !e.TryWait(tw("y")) {
+		t.Fatal("latched manual event rejected waits")
+	}
+	e.Reset()
+	if e.TryWait(tw("z")) {
+		t.Fatal("wait succeeded after Reset")
+	}
+}
+
+func TestEventInitiallySignalled(t *testing.T) {
+	e := NewEvent("e", AutoReset, true)
+	if !e.TryWait(tw("a")) {
+		t.Fatal("initially signalled event rejected first wait")
+	}
+	if e.TryWait(tw("b")) {
+		t.Fatal("second wait consumed an already-consumed signal")
+	}
+}
+
+func TestEventPulse(t *testing.T) {
+	e := NewEvent("e", AutoReset, false)
+	if woken := e.Pulse(); len(woken) != 0 {
+		t.Fatal("pulse with no waiters woke someone")
+	}
+	if e.Signalled() {
+		t.Fatal("pulse latched an auto-reset event")
+	}
+	ws := waiters(2)
+	e.Enqueue(ws[0])
+	e.Enqueue(ws[1])
+	if woken := e.Pulse(); len(woken) != 1 || woken[0] != ws[0] {
+		t.Fatalf("auto pulse woke %v, want [w0]", woken)
+	}
+
+	m := NewEvent("m", ManualReset, false)
+	m.Enqueue(ws[0])
+	m.Enqueue(ws[1])
+	if woken := m.Pulse(); len(woken) != 2 {
+		t.Fatalf("manual pulse woke %d, want 2", len(woken))
+	}
+	if m.Signalled() {
+		t.Fatal("manual pulse latched")
+	}
+}
+
+func TestEventCancelWait(t *testing.T) {
+	e := NewEvent("e", AutoReset, false)
+	ws := waiters(3)
+	for _, w := range ws {
+		e.Enqueue(w)
+	}
+	if !e.CancelWait(ws[1]) {
+		t.Fatal("CancelWait missed a queued waiter")
+	}
+	if e.CancelWait(ws[1]) {
+		t.Fatal("CancelWait found an already-removed waiter")
+	}
+	woken := e.Set()
+	if len(woken) != 1 || woken[0] != ws[0] {
+		t.Fatalf("woke %v, want [w0]", woken)
+	}
+	if woken = e.Set(); len(woken) != 1 || woken[0] != ws[2] {
+		t.Fatalf("woke %v, want [w2]", woken)
+	}
+}
+
+// Property: for any sequence of Set calls against an auto-reset event with
+// queued waiters, every Set releases at most one waiter, and no waiter is
+// released twice.
+func TestAutoResetNoDoubleRelease(t *testing.T) {
+	f := func(nWaiters uint8, nSets uint8) bool {
+		e := NewEvent("e", AutoReset, false)
+		n := int(nWaiters%16) + 1
+		ws := waiters(n)
+		for _, w := range ws {
+			e.Enqueue(w)
+		}
+		seen := make(map[Waiter]bool)
+		for i := 0; i < int(nSets%32); i++ {
+			woken := e.Set()
+			if len(woken) > 1 {
+				return false
+			}
+			for _, w := range woken {
+				if seen[w] {
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return len(seen) <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

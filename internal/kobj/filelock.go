@@ -1,0 +1,149 @@
+package kobj
+
+// FileObject is a lockable file kernel object (the target of LockFileEx in
+// the FileLockEX channel). The channel only needs whole-file exclusive and
+// shared locks with fair blocking, applied to a file opened read-only: the
+// paper's threat model forbids the processes from *writing* to the shared
+// resource, and locking a read-only handle is exactly the loophole the
+// attack exploits.
+//
+// Crucially for the cross-VM scenario (Table VI), a FileObject is backed by
+// a real host path. Backed objects resolve across VM boundaries on a
+// type-1 hypervisor, while identity-only objects (Event/Mutex/...) exist
+// per session — which is why FileLockEX is the only Windows channel that
+// survives cross-VM.
+type FileObject struct {
+	name        string
+	backingPath string
+	readOnly    bool
+
+	exclusive Waiter
+	shared    map[Waiter]bool
+	q         []fileWaiter
+}
+
+type fileWaiter struct {
+	w         Waiter
+	exclusive bool
+}
+
+// NewFileObject creates a lockable file object backed by path.
+func NewFileObject(name, path string, readOnly bool) *FileObject {
+	return &FileObject{
+		name:        name,
+		backingPath: path,
+		readOnly:    readOnly,
+		shared:      make(map[Waiter]bool),
+	}
+}
+
+// Name returns the object name.
+func (f *FileObject) Name() string { return f.name }
+
+// Type returns TypeFile.
+func (f *FileObject) Type() Type { return TypeFile }
+
+// BackingPath returns the host path the object is backed by.
+func (f *FileObject) BackingPath() string { return f.backingPath }
+
+// ReadOnly reports whether the object was opened without write access.
+func (f *FileObject) ReadOnly() bool { return f.readOnly }
+
+// ExclusiveHolder returns the current exclusive lock holder, or nil.
+func (f *FileObject) ExclusiveHolder() Waiter { return f.exclusive }
+
+// SharedHolders returns the number of shared lock holders.
+func (f *FileObject) SharedHolders() int { return len(f.shared) }
+
+// TryWait implements Object by attempting an exclusive lock (the channel's
+// default acquisition).
+func (f *FileObject) TryWait(w Waiter) bool { return f.TryLock(w, true) }
+
+// TryLock attempts to acquire the lock for w without blocking. Lock
+// requests honor queue fairness: a request never jumps ahead of already
+// queued waiters, mirroring the fair competition the channels require.
+func (f *FileObject) TryLock(w Waiter, exclusive bool) bool {
+	if len(f.q) > 0 {
+		return false
+	}
+	return f.grantable(w, exclusive) && f.grant(w, exclusive)
+}
+
+func (f *FileObject) grantable(w Waiter, exclusive bool) bool {
+	if f.exclusive != nil && f.exclusive != w {
+		return false
+	}
+	if exclusive {
+		if len(f.shared) > 1 {
+			return false
+		}
+		if len(f.shared) == 1 && !f.shared[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *FileObject) grant(w Waiter, exclusive bool) bool {
+	if exclusive {
+		delete(f.shared, w) // lock upgrade
+		f.exclusive = w
+	} else {
+		if f.exclusive == w {
+			f.exclusive = nil // lock downgrade
+		}
+		f.shared[w] = true
+	}
+	return true
+}
+
+// EnqueueLock registers w as blocked waiting for the given lock kind.
+func (f *FileObject) EnqueueLock(w Waiter, exclusive bool) {
+	f.q = append(f.q, fileWaiter{w: w, exclusive: exclusive})
+}
+
+// Enqueue implements Object (exclusive wait).
+func (f *FileObject) Enqueue(w Waiter) { f.EnqueueLock(w, true) }
+
+// CancelWait removes w from the queue.
+func (f *FileObject) CancelWait(w Waiter) bool {
+	for i, fw := range f.q {
+		if fw.w == w {
+			f.q = append(f.q[:i], f.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WaiterCount reports the number of blocked lock requests.
+func (f *FileObject) WaiterCount() int { return len(f.q) }
+
+// Unlock releases w's lock (exclusive or shared) and grants the lock to as
+// many queued waiters as compatibility allows, in FIFO order. The granted
+// waiters are returned for the caller to wake.
+func (f *FileObject) Unlock(w Waiter) []Waiter {
+	if f.exclusive == w {
+		f.exclusive = nil
+	}
+	delete(f.shared, w)
+	return f.promote()
+}
+
+// promote grants queued requests that have become compatible.
+func (f *FileObject) promote() []Waiter {
+	var woken []Waiter
+	for len(f.q) > 0 {
+		head := f.q[0]
+		if !f.grantable(head.w, head.exclusive) {
+			break
+		}
+		f.grant(head.w, head.exclusive)
+		woken = append(woken, head.w)
+		f.q = f.q[1:]
+		if head.exclusive {
+			break
+		}
+	}
+	return woken
+}

@@ -1,0 +1,177 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFileLockExclusive(t *testing.T) {
+	f := NewFileObject("f", "/share/file.txt", true)
+	a, b := tw("a"), tw("b")
+	if !f.TryLock(a, true) {
+		t.Fatal("exclusive lock on free file failed")
+	}
+	if f.TryLock(b, true) {
+		t.Fatal("second exclusive lock granted")
+	}
+	if f.TryLock(b, false) {
+		t.Fatal("shared lock granted while exclusively held")
+	}
+	f.EnqueueLock(b, true)
+	woken := f.Unlock(a)
+	if len(woken) != 1 || woken[0] != b {
+		t.Fatalf("unlock woke %v, want [b]", woken)
+	}
+	if f.ExclusiveHolder() != b {
+		t.Fatal("lock not handed to queued waiter")
+	}
+}
+
+func TestFileLockSharedCoexist(t *testing.T) {
+	f := NewFileObject("f", "/share/file.txt", true)
+	a, b := tw("a"), tw("b")
+	if !f.TryLock(a, false) || !f.TryLock(b, false) {
+		t.Fatal("shared locks should coexist")
+	}
+	if f.TryLock(tw("c"), true) {
+		t.Fatal("exclusive granted over shared holders")
+	}
+	f.Unlock(a)
+	if f.TryLock(tw("c"), true) {
+		t.Fatal("exclusive granted with one shared holder remaining")
+	}
+	f.Unlock(b)
+	if !f.TryLock(tw("c"), true) {
+		t.Fatal("exclusive refused on free file")
+	}
+}
+
+func TestFileLockUpgradeDowngrade(t *testing.T) {
+	f := NewFileObject("f", "/p", true)
+	a := tw("a")
+	if !f.TryLock(a, false) {
+		t.Fatal("shared failed")
+	}
+	if !f.TryLock(a, true) {
+		t.Fatal("upgrade by sole shared holder failed")
+	}
+	if f.ExclusiveHolder() != a || f.SharedHolders() != 0 {
+		t.Fatal("upgrade left stale shared state")
+	}
+	if !f.TryLock(a, false) {
+		t.Fatal("downgrade failed")
+	}
+	if f.ExclusiveHolder() != nil || f.SharedHolders() != 1 {
+		t.Fatal("downgrade left exclusive state")
+	}
+}
+
+func TestFileLockFIFOFairness(t *testing.T) {
+	f := NewFileObject("f", "/p", true)
+	a := tw("a")
+	f.TryLock(a, true)
+	ws := waiters(3)
+	for _, w := range ws {
+		f.EnqueueLock(w, true)
+	}
+	// A fresh TryLock must not jump the queue even when compatible later.
+	var order []Waiter
+	order = append(order, f.Unlock(a)...)
+	for i := 0; i < 2; i++ {
+		order = append(order, f.Unlock(order[len(order)-1])...)
+	}
+	for i, w := range order {
+		if w != ws[i] {
+			t.Fatalf("grant order %v, want FIFO %v", order, ws)
+		}
+	}
+}
+
+func TestFileLockNoQueueJump(t *testing.T) {
+	f := NewFileObject("f", "/p", true)
+	a := tw("a")
+	f.TryLock(a, false) // shared held
+	f.EnqueueLock(tw("b"), true)
+	// c's shared request is compatible with a's shared lock, but granting it
+	// would starve b: fair queueing refuses.
+	if f.TryLock(tw("c"), false) {
+		t.Fatal("shared TryLock jumped ahead of queued exclusive waiter")
+	}
+}
+
+func TestFileLockSharedBatchPromotion(t *testing.T) {
+	f := NewFileObject("f", "/p", true)
+	a := tw("a")
+	f.TryLock(a, true)
+	f.EnqueueLock(tw("s1"), false)
+	f.EnqueueLock(tw("s2"), false)
+	f.EnqueueLock(tw("x"), true)
+	f.EnqueueLock(tw("s3"), false)
+	woken := f.Unlock(a)
+	if len(woken) != 2 {
+		t.Fatalf("promoted %d, want the 2 leading shared requests", len(woken))
+	}
+	if f.WaiterCount() != 2 {
+		t.Fatalf("queue len = %d, want 2 (x and s3 still blocked)", f.WaiterCount())
+	}
+}
+
+func TestFileLockCancelWait(t *testing.T) {
+	f := NewFileObject("f", "/p", true)
+	f.TryLock(tw("a"), true)
+	b := tw("b")
+	f.EnqueueLock(b, true)
+	if !f.CancelWait(b) {
+		t.Fatal("cancel missed queued waiter")
+	}
+	if woken := f.Unlock(tw("a")); len(woken) != 0 {
+		t.Fatalf("unlock woke cancelled waiter %v", woken)
+	}
+}
+
+// Property: replaying any script of lock/unlock attempts, the invariant
+// "exclusive holder implies no shared holders (other than via upgrade) and
+// at most one exclusive holder" always holds.
+func TestFileLockInvariant(t *testing.T) {
+	f := func(script []uint8) bool {
+		fo := NewFileObject("f", "/p", true)
+		ws := waiters(4)
+		held := make(map[Waiter]bool)
+		for _, op := range script {
+			w := ws[int(op)%len(ws)]
+			switch (op >> 2) % 3 {
+			case 0:
+				if fo.TryLock(w, true) {
+					held[w] = true
+				}
+			case 1:
+				if fo.TryLock(w, false) {
+					held[w] = true
+				}
+			case 2:
+				fo.Unlock(w)
+				delete(held, w)
+			}
+			if fo.ExclusiveHolder() != nil && fo.SharedHolders() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileObjectMetadata(t *testing.T) {
+	f := NewFileObject("shared.txt", "/host/shared.txt", true)
+	if f.Type() != TypeFile || f.Name() != "shared.txt" {
+		t.Fatal("metadata wrong")
+	}
+	if !f.ReadOnly() {
+		t.Fatal("read-only flag lost")
+	}
+	if f.BackingPath() != "/host/shared.txt" {
+		t.Fatal("backing path lost")
+	}
+}

@@ -1,0 +1,82 @@
+package kobj
+
+// Mutex is the mutual-exclusion kernel object. Per the paper's Fig. 4, its
+// signalled state is characterised by the owning thread ID and a recursion
+// counter. Ownership is handed off to the next queued waiter on release
+// (fair, queue-order competition — the regime the paper's channels
+// require, §V.B).
+type Mutex struct {
+	name      string
+	owner     Waiter
+	recursion int
+	q         waitQueue
+}
+
+// NewMutex creates a mutex. If initialOwner is non-nil the mutex starts
+// owned by it with recursion 1 (CreateMutex's bInitialOwner).
+func NewMutex(name string, initialOwner Waiter) *Mutex {
+	m := &Mutex{name: name}
+	if initialOwner != nil {
+		m.owner = initialOwner
+		m.recursion = 1
+	}
+	return m
+}
+
+// Name returns the object name.
+func (m *Mutex) Name() string { return m.name }
+
+// Type returns TypeMutex.
+func (m *Mutex) Type() Type { return TypeMutex }
+
+// Owner returns the current owner, or nil if the mutex is free.
+func (m *Mutex) Owner() Waiter { return m.owner }
+
+// Recursion returns the recursive acquisition depth of the current owner.
+func (m *Mutex) Recursion() int { return m.recursion }
+
+// TryWait acquires the mutex if it is free or already owned by w
+// (recursive acquisition).
+func (m *Mutex) TryWait(w Waiter) bool {
+	switch m.owner {
+	case nil:
+		m.owner = w
+		m.recursion = 1
+		return true
+	case w:
+		m.recursion++
+		return true
+	default:
+		return false
+	}
+}
+
+// Enqueue registers w as blocked on the mutex.
+func (m *Mutex) Enqueue(w Waiter) { m.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (m *Mutex) CancelWait(w Waiter) bool { return m.q.remove(w) }
+
+// WaiterCount reports the number of blocked waiters.
+func (m *Mutex) WaiterCount() int { return m.q.len() }
+
+// Release drops one level of ownership held by w. When the recursion count
+// reaches zero, ownership transfers to the head waiter, which is returned
+// for the caller to wake. Releasing a mutex not owned by w returns
+// ErrNotOwner (Windows ERROR_NOT_OWNER).
+func (m *Mutex) Release(w Waiter) ([]Waiter, error) {
+	if m.owner != w {
+		return nil, ErrNotOwner
+	}
+	m.recursion--
+	if m.recursion > 0 {
+		return nil, nil
+	}
+	if next := m.q.pop(); next != nil {
+		m.owner = next
+		m.recursion = 1
+		return []Waiter{next}, nil
+	}
+	m.owner = nil
+	return nil, nil
+}

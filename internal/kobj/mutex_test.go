@@ -1,0 +1,136 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMutexBasicExclusion(t *testing.T) {
+	m := NewMutex("m", nil)
+	a, b := tw("a"), tw("b")
+	if !m.TryWait(a) {
+		t.Fatal("free mutex rejected acquire")
+	}
+	if m.TryWait(b) {
+		t.Fatal("owned mutex granted to second thread")
+	}
+	m.Enqueue(b)
+	woken, err := m.Release(a)
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if len(woken) != 1 || woken[0] != b {
+		t.Fatalf("woken = %v, want [b]", woken)
+	}
+	if m.Owner() != b {
+		t.Fatalf("owner = %v, want b (direct handoff)", m.Owner())
+	}
+}
+
+func TestMutexRecursion(t *testing.T) {
+	m := NewMutex("m", nil)
+	a := tw("a")
+	for i := 0; i < 3; i++ {
+		if !m.TryWait(a) {
+			t.Fatalf("recursive acquire %d failed", i)
+		}
+	}
+	if m.Recursion() != 3 {
+		t.Fatalf("recursion = %d, want 3", m.Recursion())
+	}
+	for i := 0; i < 2; i++ {
+		if woken, err := m.Release(a); err != nil || len(woken) != 0 {
+			t.Fatalf("inner release %d: woken=%v err=%v", i, woken, err)
+		}
+		if m.Owner() != a {
+			t.Fatal("ownership dropped before recursion unwound")
+		}
+	}
+	if _, err := m.Release(a); err != nil {
+		t.Fatalf("final release: %v", err)
+	}
+	if m.Owner() != nil {
+		t.Fatal("mutex still owned after balanced releases")
+	}
+}
+
+func TestMutexReleaseByNonOwner(t *testing.T) {
+	m := NewMutex("m", nil)
+	m.TryWait(tw("a"))
+	if _, err := m.Release(tw("b")); err != ErrNotOwner {
+		t.Fatalf("Release by non-owner: err = %v, want ErrNotOwner", err)
+	}
+	if _, err := NewMutex("n", nil).Release(tw("a")); err != ErrNotOwner {
+		t.Fatalf("Release of free mutex: err = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestMutexInitialOwner(t *testing.T) {
+	a := tw("a")
+	m := NewMutex("m", a)
+	if m.Owner() != a || m.Recursion() != 1 {
+		t.Fatalf("initial owner not installed: %v/%d", m.Owner(), m.Recursion())
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	m := NewMutex("m", nil)
+	ws := waiters(4)
+	m.TryWait(ws[0])
+	for _, w := range ws[1:] {
+		m.Enqueue(w)
+	}
+	for i := 0; i < 3; i++ {
+		woken, err := m.Release(m.Owner())
+		if err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+		if len(woken) != 1 || woken[0] != ws[i+1] {
+			t.Fatalf("handoff %d went to %v, want %v", i, woken, ws[i+1])
+		}
+	}
+}
+
+// Property: under any interleaving of acquire/release attempts by k
+// threads, the mutex never reports an owner that did not acquire it, and
+// recursion stays non-negative.
+func TestMutexOwnershipInvariant(t *testing.T) {
+	f := func(script []uint8) bool {
+		m := NewMutex("m", nil)
+		ws := waiters(4)
+		holding := make(map[Waiter]int)
+		for _, op := range script {
+			w := ws[int(op)%len(ws)]
+			if op&0x80 == 0 {
+				if m.TryWait(w) {
+					holding[w]++
+					if m.Owner() != w {
+						return false
+					}
+				}
+			} else {
+				woken, err := m.Release(w)
+				if holding[w] == 0 {
+					if err != ErrNotOwner {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				holding[w]--
+				if len(woken) != 0 {
+					return false // nothing enqueued in this property
+				}
+			}
+			if m.Recursion() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

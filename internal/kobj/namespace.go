@@ -1,0 +1,107 @@
+package kobj
+
+import "sort"
+
+// Namespace is a named-object directory. The Windows object manager keeps
+// one per session; in the cross-VM scenario each VM has its own namespace
+// while file-backed objects additionally register in the hypervisor-shared
+// directory (see internal/osmodel for the resolution rules).
+type Namespace struct {
+	name    string
+	objects map[string]Object
+}
+
+// NewNamespace creates an empty namespace.
+func NewNamespace(name string) *Namespace {
+	return &Namespace{name: name, objects: make(map[string]Object)}
+}
+
+// Name returns the namespace label.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Create registers obj under its name. If an object with the same name and
+// type already exists, it is returned with created=false (CreateEvent/
+// CreateMutex open-existing semantics). A name collision across types
+// fails with ErrNameConflict.
+func (ns *Namespace) Create(obj Object) (Object, bool, error) {
+	if existing, ok := ns.objects[obj.Name()]; ok {
+		if existing.Type() != obj.Type() {
+			return nil, false, ErrNameConflict
+		}
+		return existing, false, nil
+	}
+	ns.objects[obj.Name()] = obj
+	return obj, true, nil
+}
+
+// Open looks up an existing object by name and type.
+func (ns *Namespace) Open(name string, typ Type) (Object, error) {
+	obj, ok := ns.objects[name]
+	if !ok || obj.Type() != typ {
+		return nil, ErrNotFound
+	}
+	return obj, nil
+}
+
+// Remove deletes the named object.
+func (ns *Namespace) Remove(name string) { delete(ns.objects, name) }
+
+// Len reports the number of registered objects.
+func (ns *Namespace) Len() int { return len(ns.objects) }
+
+// Names returns the sorted object names (diagnostics, detector tooling).
+func (ns *Namespace) Names() []string {
+	out := make([]string, 0, len(ns.objects))
+	for n := range ns.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handle is a process-local reference to a kernel object. Handle values
+// are meaningful only within one process's handle table: the same value in
+// two processes usually names different objects (paper Fig. 4).
+type Handle int
+
+// InvalidHandle is the zero, never-allocated handle value.
+const InvalidHandle Handle = 0
+
+// HandleTable is a process's handle table. Entries map handles to kernel
+// objects; user code never touches objects directly.
+type HandleTable struct {
+	next    Handle
+	entries map[Handle]Object
+}
+
+// NewHandleTable creates an empty handle table. Handles start at 4 and
+// step by 4, like Windows.
+func NewHandleTable() *HandleTable {
+	return &HandleTable{next: 4, entries: make(map[Handle]Object)}
+}
+
+// Insert allocates a handle for obj.
+func (ht *HandleTable) Insert(obj Object) Handle {
+	h := ht.next
+	ht.next += 4
+	ht.entries[h] = obj
+	return h
+}
+
+// Get resolves a handle.
+func (ht *HandleTable) Get(h Handle) (Object, bool) {
+	obj, ok := ht.entries[h]
+	return obj, ok
+}
+
+// Close releases a handle. It reports whether the handle existed.
+func (ht *HandleTable) Close(h Handle) bool {
+	if _, ok := ht.entries[h]; !ok {
+		return false
+	}
+	delete(ht.entries, h)
+	return true
+}
+
+// Len reports the number of open handles.
+func (ht *HandleTable) Len() int { return len(ht.entries) }

@@ -1,0 +1,124 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNamespaceCreateOpen(t *testing.T) {
+	ns := NewNamespace("host")
+	e := NewEvent("trojan_event", AutoReset, false)
+	obj, created, err := ns.Create(e)
+	if err != nil || !created || obj != Object(e) {
+		t.Fatalf("Create: obj=%v created=%v err=%v", obj, created, err)
+	}
+	// Creating again opens the existing object.
+	e2 := NewEvent("trojan_event", AutoReset, false)
+	obj, created, err = ns.Create(e2)
+	if err != nil || created {
+		t.Fatalf("second Create: created=%v err=%v", created, err)
+	}
+	if obj != Object(e) {
+		t.Fatal("second Create returned a different object")
+	}
+	got, err := ns.Open("trojan_event", TypeEvent)
+	if err != nil || got != Object(e) {
+		t.Fatalf("Open: %v, %v", got, err)
+	}
+}
+
+func TestNamespaceTypeConflict(t *testing.T) {
+	ns := NewNamespace("host")
+	if _, _, err := ns.Create(NewEvent("x", AutoReset, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ns.Create(NewMutex("x", nil)); err != ErrNameConflict {
+		t.Fatalf("cross-type create err = %v, want ErrNameConflict", err)
+	}
+	if _, err := ns.Open("x", TypeMutex); err != ErrNotFound {
+		t.Fatalf("cross-type open err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestNamespaceRemove(t *testing.T) {
+	ns := NewNamespace("host")
+	ns.Create(NewEvent("x", AutoReset, false))
+	ns.Remove("x")
+	if _, err := ns.Open("x", TypeEvent); err != ErrNotFound {
+		t.Fatal("object survived Remove")
+	}
+	if ns.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ns.Len())
+	}
+}
+
+func TestNamespaceNamesSorted(t *testing.T) {
+	ns := NewNamespace("host")
+	for _, n := range []string{"zz", "aa", "mm"} {
+		ns.Create(NewEvent(n, AutoReset, false))
+	}
+	names := ns.Names()
+	want := []string{"aa", "mm", "zz"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestHandleTableBasics(t *testing.T) {
+	ht := NewHandleTable()
+	e := NewEvent("e", AutoReset, false)
+	h := ht.Insert(e)
+	if h == InvalidHandle {
+		t.Fatal("allocated the invalid handle")
+	}
+	got, ok := ht.Get(h)
+	if !ok || got != Object(e) {
+		t.Fatal("Get failed")
+	}
+	if !ht.Close(h) {
+		t.Fatal("Close failed")
+	}
+	if ht.Close(h) {
+		t.Fatal("double Close succeeded")
+	}
+	if _, ok := ht.Get(h); ok {
+		t.Fatal("Get after Close succeeded")
+	}
+}
+
+// Property: handle values are unique per table and two tables can assign
+// the same value to different objects (paper Fig. 4: handles with the same
+// value usually point to different kernel objects in different processes).
+func TestHandleUniqueness(t *testing.T) {
+	f := func(n uint8) bool {
+		ht := NewHandleTable()
+		seen := make(map[Handle]bool)
+		for i := 0; i < int(n%64)+1; i++ {
+			h := ht.Insert(NewEvent("e", AutoReset, false))
+			if seen[h] {
+				return false
+			}
+			seen[h] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	htA, htB := NewHandleTable(), NewHandleTable()
+	eA := NewEvent("a", AutoReset, false)
+	mB := NewMutex("b", nil)
+	hA := htA.Insert(eA)
+	hB := htB.Insert(mB)
+	if hA != hB {
+		t.Fatalf("first handles differ: %v vs %v", hA, hB)
+	}
+	oA, _ := htA.Get(hA)
+	oB, _ := htB.Get(hB)
+	if oA == oB {
+		t.Fatal("same handle value resolved to the same object across tables")
+	}
+}

@@ -1,0 +1,75 @@
+package kobj
+
+// Semaphore is the counting resource object. The paper's Semaphore channel
+// (§IV.E) depends on two of its properties: P blocks when the count is
+// exhausted (which is why the naive Table II attack stalls), and V can
+// pre-provision resources ahead of consumption (the Table III fix).
+type Semaphore struct {
+	name  string
+	count int
+	max   int
+	q     waitQueue
+}
+
+// NewSemaphore creates a semaphore with the given initial count and
+// maximum. A non-positive max means unbounded.
+func NewSemaphore(name string, initial, max int) *Semaphore {
+	if initial < 0 {
+		initial = 0
+	}
+	return &Semaphore{name: name, count: initial, max: max}
+}
+
+// Name returns the object name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Type returns TypeSemaphore.
+func (s *Semaphore) Type() Type { return TypeSemaphore }
+
+// Count returns the current resource count.
+func (s *Semaphore) Count() int { return s.count }
+
+// Max returns the configured maximum (0 = unbounded).
+func (s *Semaphore) Max() int { return s.max }
+
+// TryWait performs a non-blocking P: it consumes one resource if available.
+func (s *Semaphore) TryWait(Waiter) bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Enqueue registers w as blocked in P.
+func (s *Semaphore) Enqueue(w Waiter) { s.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (s *Semaphore) CancelWait(w Waiter) bool { return s.q.remove(w) }
+
+// WaiterCount reports the number of threads blocked in P.
+func (s *Semaphore) WaiterCount() int { return s.q.len() }
+
+// Release performs V(n): queued waiters are handed resources directly
+// (count unchanged for each), any surplus increments the count. It fails
+// with ErrSemOverflow if the surplus would exceed the maximum, leaving the
+// state unchanged (Windows ReleaseSemaphore semantics).
+func (s *Semaphore) Release(n int) ([]Waiter, error) {
+	if n <= 0 {
+		return nil, ErrBadRelease
+	}
+	handoffs := n
+	if q := s.q.len(); handoffs > q {
+		handoffs = q
+	}
+	surplus := n - handoffs
+	if s.max > 0 && s.count+surplus > s.max {
+		return nil, ErrSemOverflow
+	}
+	woken := make([]Waiter, 0, handoffs)
+	for i := 0; i < handoffs; i++ {
+		woken = append(woken, s.q.pop())
+	}
+	s.count += surplus
+	return woken, nil
+}

@@ -1,0 +1,117 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSemaphoreCountdown(t *testing.T) {
+	s := NewSemaphore("s", 2, 10)
+	a := tw("a")
+	if !s.TryWait(a) || !s.TryWait(a) {
+		t.Fatal("P failed with resources available")
+	}
+	if s.TryWait(a) {
+		t.Fatal("P succeeded with count 0")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count = %d, want 0", s.Count())
+	}
+}
+
+func TestSemaphoreDirectHandoff(t *testing.T) {
+	s := NewSemaphore("s", 0, 10)
+	ws := waiters(2)
+	s.Enqueue(ws[0])
+	s.Enqueue(ws[1])
+	woken, err := s.Release(1)
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if len(woken) != 1 || woken[0] != ws[0] {
+		t.Fatalf("woken = %v, want [w0] (FIFO)", woken)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count = %d after handoff, want 0", s.Count())
+	}
+	woken, err = s.Release(3)
+	if err != nil {
+		t.Fatalf("Release(3): %v", err)
+	}
+	if len(woken) != 1 || woken[0] != ws[1] {
+		t.Fatalf("woken = %v, want [w1]", woken)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2 surplus", s.Count())
+	}
+}
+
+func TestSemaphoreOverflow(t *testing.T) {
+	s := NewSemaphore("s", 4, 5)
+	if _, err := s.Release(2); err != ErrSemOverflow {
+		t.Fatalf("overflow release err = %v, want ErrSemOverflow", err)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("failed release changed count to %d", s.Count())
+	}
+	if _, err := s.Release(1); err != nil {
+		t.Fatalf("legal release failed: %v", err)
+	}
+}
+
+func TestSemaphoreBadRelease(t *testing.T) {
+	s := NewSemaphore("s", 0, 5)
+	if _, err := s.Release(0); err != ErrBadRelease {
+		t.Fatalf("Release(0) err = %v, want ErrBadRelease", err)
+	}
+	if _, err := s.Release(-3); err != ErrBadRelease {
+		t.Fatalf("Release(-3) err = %v, want ErrBadRelease", err)
+	}
+}
+
+func TestSemaphoreUnbounded(t *testing.T) {
+	s := NewSemaphore("s", 0, 0)
+	if _, err := s.Release(1 << 20); err != nil {
+		t.Fatalf("unbounded release failed: %v", err)
+	}
+	if s.Count() != 1<<20 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestSemaphoreNegativeInitialClamped(t *testing.T) {
+	s := NewSemaphore("s", -5, 10)
+	if s.Count() != 0 {
+		t.Fatalf("count = %d, want 0", s.Count())
+	}
+}
+
+// Property: count never goes negative, never exceeds max, and the total of
+// granted P's equals initial + successfully released V's - count.
+func TestSemaphoreConservation(t *testing.T) {
+	f := func(initial uint8, script []uint8) bool {
+		init := int(initial % 8)
+		const max = 64
+		s := NewSemaphore("s", init, max)
+		grantedP, grantedV := 0, 0
+		for _, op := range script {
+			if op%2 == 0 {
+				if s.TryWait(tw("w")) {
+					grantedP++
+				}
+			} else {
+				n := int(op%3) + 1
+				if _, err := s.Release(n); err == nil {
+					grantedV += n
+				}
+			}
+			if s.Count() < 0 || s.Count() > max {
+				return false
+			}
+		}
+		return s.Count() == init+grantedV-grantedP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

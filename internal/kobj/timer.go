@@ -1,0 +1,84 @@
+package kobj
+
+// Timer is the WaitableTimer kernel object. kobj models only its signal
+// state machine; the OS layer owns actual time and calls Fire when the due
+// instant arrives. SetTimer cancels any pending signal (programming a
+// waitable timer resets it to non-signalled), and the OS layer must
+// invalidate previously scheduled fires using the returned generation.
+type Timer struct {
+	name       string
+	mode       ResetMode
+	signalled  bool
+	generation uint64
+	q          waitQueue
+}
+
+// NewTimer creates a timer in the non-signalled state.
+func NewTimer(name string, mode ResetMode) *Timer {
+	return &Timer{name: name, mode: mode}
+}
+
+// Name returns the object name.
+func (t *Timer) Name() string { return t.name }
+
+// Type returns TypeTimer.
+func (t *Timer) Type() Type { return TypeTimer }
+
+// Signalled reports the current signal state.
+func (t *Timer) Signalled() bool { return t.signalled }
+
+// Generation returns the current programming generation. A Fire with a
+// stale generation must be ignored by the caller.
+func (t *Timer) Generation() uint64 { return t.generation }
+
+// Arm prepares the timer for a new due time: the signal clears and the
+// generation advances. The OS layer schedules Fire(gen) at the due instant.
+func (t *Timer) Arm() (gen uint64) {
+	t.signalled = false
+	t.generation++
+	return t.generation
+}
+
+// Cancel invalidates any outstanding programming.
+func (t *Timer) Cancel() {
+	t.signalled = false
+	t.generation++
+}
+
+// Fire signals the timer if gen is still current. Auto-reset timers
+// (synchronization timers) release one waiter; manual-reset timers release
+// all and latch. The returned waiters must be woken by the caller.
+func (t *Timer) Fire(gen uint64) []Waiter {
+	if gen != t.generation {
+		return nil
+	}
+	if t.mode == AutoReset {
+		if w := t.q.pop(); w != nil {
+			return []Waiter{w}
+		}
+		t.signalled = true
+		return nil
+	}
+	t.signalled = true
+	return t.q.drain()
+}
+
+// TryWait consumes the signal if present (auto-reset semantics).
+func (t *Timer) TryWait(Waiter) bool {
+	if !t.signalled {
+		return false
+	}
+	if t.mode == AutoReset {
+		t.signalled = false
+	}
+	return true
+}
+
+// Enqueue registers w as blocked on the timer.
+func (t *Timer) Enqueue(w Waiter) { t.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (t *Timer) CancelWait(w Waiter) bool { return t.q.remove(w) }
+
+// WaiterCount reports the number of blocked waiters.
+func (t *Timer) WaiterCount() int { return t.q.len() }

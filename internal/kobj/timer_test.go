@@ -1,0 +1,91 @@
+package kobj
+
+import "testing"
+
+func TestTimerFireWakesWaiter(t *testing.T) {
+	tm := NewTimer("t", AutoReset)
+	gen := tm.Arm()
+	w := tw("w")
+	if tm.TryWait(w) {
+		t.Fatal("unsignalled timer satisfied wait")
+	}
+	tm.Enqueue(w)
+	woken := tm.Fire(gen)
+	if len(woken) != 1 || woken[0] != w {
+		t.Fatalf("Fire woke %v, want [w]", woken)
+	}
+	if tm.Signalled() {
+		t.Fatal("auto-reset timer latched after handoff")
+	}
+}
+
+func TestTimerStaleGenerationIgnored(t *testing.T) {
+	tm := NewTimer("t", AutoReset)
+	gen1 := tm.Arm()
+	gen2 := tm.Arm() // reprogram: first fire must be ignored
+	tm.Enqueue(tw("w"))
+	if woken := tm.Fire(gen1); len(woken) != 0 {
+		t.Fatalf("stale fire woke %v", woken)
+	}
+	if woken := tm.Fire(gen2); len(woken) != 1 {
+		t.Fatalf("current fire woke %d, want 1", len(woken))
+	}
+}
+
+func TestTimerCancelInvalidates(t *testing.T) {
+	tm := NewTimer("t", ManualReset)
+	gen := tm.Arm()
+	tm.Cancel()
+	if woken := tm.Fire(gen); len(woken) != 0 {
+		t.Fatal("fire after cancel had effect")
+	}
+	if tm.Signalled() {
+		t.Fatal("cancelled timer signalled")
+	}
+}
+
+func TestTimerLatchWithoutWaiters(t *testing.T) {
+	tm := NewTimer("t", AutoReset)
+	gen := tm.Arm()
+	tm.Fire(gen)
+	if !tm.Signalled() {
+		t.Fatal("fire with empty queue should latch")
+	}
+	if !tm.TryWait(tw("w")) {
+		t.Fatal("latched timer rejected wait")
+	}
+	if tm.Signalled() {
+		t.Fatal("auto-reset latch not consumed")
+	}
+}
+
+func TestManualTimerReleasesAll(t *testing.T) {
+	tm := NewTimer("t", ManualReset)
+	gen := tm.Arm()
+	ws := waiters(3)
+	for _, w := range ws {
+		tm.Enqueue(w)
+	}
+	woken := tm.Fire(gen)
+	if len(woken) != 3 {
+		t.Fatalf("woke %d, want 3", len(woken))
+	}
+	if !tm.Signalled() {
+		t.Fatal("manual timer must latch")
+	}
+	if !tm.TryWait(tw("late")) {
+		t.Fatal("latched manual timer rejected late wait")
+	}
+}
+
+func TestTimerArmClearsSignal(t *testing.T) {
+	tm := NewTimer("t", AutoReset)
+	tm.Fire(tm.Arm())
+	if !tm.Signalled() {
+		t.Fatal("setup: timer should be latched")
+	}
+	tm.Arm()
+	if tm.Signalled() {
+		t.Fatal("Arm must clear the signal")
+	}
+}

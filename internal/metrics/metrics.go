@@ -1,0 +1,180 @@
+// Package metrics computes the paper's evaluation quantities: bit error
+// rate (BER), transmission rate (TR, in kb/s with k=1000), confusion
+// matrices for multi-bit symbols, and latency-series statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+// BER returns the bit error count and rate between sent and received.
+// Length mismatches count as errors against the longer sequence.
+func BER(sent, received codec.Bits) (errors int, rate float64) {
+	errors = codec.Hamming(sent, received)
+	n := len(sent)
+	if len(received) > n {
+		n = len(received)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return errors, float64(errors) / float64(n)
+}
+
+// TRKbps converts a bit count over an elapsed virtual duration into the
+// paper's kb/s (1 kb = 1000 bits).
+func TRKbps(bits int, elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bits) / elapsed.Seconds() / 1000
+}
+
+// SER returns the symbol error count and rate.
+func SER(sent, received []int) (errors int, rate float64) {
+	n := len(sent)
+	if len(received) < n {
+		n = len(received)
+	}
+	for i := 0; i < n; i++ {
+		if sent[i] != received[i] {
+			errors++
+		}
+	}
+	if d := len(sent) - n; d > 0 {
+		errors += d
+	}
+	if d := len(received) - n; d > 0 {
+		errors += d
+	}
+	total := len(sent)
+	if len(received) > total {
+		total = len(received)
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return errors, float64(errors) / float64(total)
+}
+
+// Confusion is an M×M symbol confusion matrix: Counts[sent][decoded].
+type Confusion struct {
+	M      int
+	Counts [][]int
+}
+
+// NewConfusion builds an M-symbol confusion matrix.
+func NewConfusion(m int) *Confusion {
+	c := &Confusion{M: m, Counts: make([][]int, m)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, m)
+	}
+	return c
+}
+
+// Add records one (sent, decoded) observation; out-of-range symbols are
+// clamped.
+func (c *Confusion) Add(sent, decoded int) {
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= c.M {
+			return c.M - 1
+		}
+		return v
+	}
+	c.Counts[clamp(sent)][clamp(decoded)]++
+}
+
+// Accuracy returns the fraction of on-diagonal observations.
+func (c *Confusion) Accuracy() float64 {
+	total, hit := 0, 0
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				hit += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// String renders the matrix.
+func (c *Confusion) String() string {
+	s := "sent\\dec"
+	for j := 0; j < c.M; j++ {
+		s += fmt.Sprintf("%8d", j)
+	}
+	s += "\n"
+	for i := range c.Counts {
+		s += fmt.Sprintf("%8d", i)
+		for _, n := range c.Counts[i] {
+			s += fmt.Sprintf("%8d", n)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Summary holds order statistics of a latency series.
+type Summary struct {
+	N             int
+	Mean, Std     float64 // microseconds
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes statistics over a latency series.
+func Summarize(lat []sim.Duration) Summary {
+	if len(lat) == 0 {
+		return Summary{}
+	}
+	us := make([]float64, len(lat))
+	var sum float64
+	for i, d := range lat {
+		us[i] = d.Micros()
+		sum += us[i]
+	}
+	sort.Float64s(us)
+	mean := sum / float64(len(us))
+	var varsum float64
+	for _, v := range us {
+		varsum += (v - mean) * (v - mean)
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(us)-1))
+		return us[idx]
+	}
+	return Summary{
+		N:    len(us),
+		Mean: mean,
+		Std:  math.Sqrt(varsum / float64(len(us))),
+		Min:  us[0],
+		Max:  us[len(us)-1],
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+	}
+}
+
+// MeanOf averages a subset of a latency series selected by indices.
+func MeanOf(lat []sim.Duration, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range idx {
+		sum += lat[i].Micros()
+	}
+	return sum / float64(len(idx))
+}

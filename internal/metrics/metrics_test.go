@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+func TestBERIdentity(t *testing.T) {
+	f := func(data []byte) bool {
+		b := codec.FromBytes(data)
+		e, r := BER(b, b)
+		return e == 0 && r == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBERComplement(t *testing.T) {
+	b := codec.MustParseBits("101010")
+	inv := make(codec.Bits, len(b))
+	for i := range b {
+		inv[i] = 1 - b[i]
+	}
+	e, r := BER(b, inv)
+	if e != len(b) || r != 1 {
+		t.Fatalf("errors=%d rate=%g, want all wrong", e, r)
+	}
+}
+
+func TestBERLengthMismatch(t *testing.T) {
+	e, r := BER(codec.MustParseBits("1111"), codec.MustParseBits("11"))
+	if e != 2 || r != 0.5 {
+		t.Fatalf("errors=%d rate=%g, want 2/0.5", e, r)
+	}
+	if e, r = BER(nil, nil); e != 0 || r != 0 {
+		t.Fatal("empty BER not zero")
+	}
+}
+
+func TestTRKbps(t *testing.T) {
+	// 1000 bits in 76.3 ms ≈ 13.1 kb/s — the paper's headline Event rate.
+	got := TRKbps(1000, sim.Duration(76.3*float64(sim.Millisecond)))
+	if math.Abs(got-13.106) > 0.01 {
+		t.Fatalf("TR = %g kb/s", got)
+	}
+	if TRKbps(100, 0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}
+
+func TestSER(t *testing.T) {
+	e, r := SER([]int{0, 1, 2, 3}, []int{0, 1, 3, 3})
+	if e != 1 || r != 0.25 {
+		t.Fatalf("SER = %d/%g", e, r)
+	}
+	e, _ = SER([]int{1, 2}, []int{1})
+	if e != 1 {
+		t.Fatalf("missing symbol errors = %d, want 1", e)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion(4)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	c.Add(2, 3)
+	c.Add(3, 3)
+	if acc := c.Accuracy(); math.Abs(acc-0.75) > 1e-9 {
+		t.Fatalf("accuracy = %g, want 0.75", acc)
+	}
+	c.Add(-1, 99) // clamped
+	if c.Counts[0][3] != 1 {
+		t.Fatal("clamping failed")
+	}
+	if c.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	lat := []sim.Duration{
+		10 * sim.Microsecond, 20 * sim.Microsecond, 30 * sim.Microsecond,
+		40 * sim.Microsecond, 50 * sim.Microsecond,
+	}
+	s := Summarize(lat)
+	if s.N != 5 || s.Mean != 30 || s.Min != 10 || s.Max != 50 || s.P50 != 30 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(200)) > 1e-9 {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	lat := []sim.Duration{10 * sim.Microsecond, 20 * sim.Microsecond, 60 * sim.Microsecond}
+	if m := MeanOf(lat, []int{0, 2}); m != 35 {
+		t.Fatalf("MeanOf = %g, want 35", m)
+	}
+	if m := MeanOf(lat, nil); m != 0 {
+		t.Fatal("empty index mean not 0")
+	}
+}
+
+// Property: BER is symmetric and bounded by 1 for equal-length inputs.
+func TestBERSymmetricBounded(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := codec.FromBytes(a[:n])
+		y := codec.FromBytes(b[:n])
+		e1, r1 := BER(x, y)
+		e2, r2 := BER(y, x)
+		return e1 == e2 && r1 == r2 && r1 >= 0 && r1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package osmodel assembles the simulated machine: it binds the pure
+// kernel-object (internal/kobj) and VFS (internal/vfs) state machines to
+// the discrete-event kernel (internal/sim), charges every syscall with the
+// calibrated costs from internal/timing, and enforces the isolation-domain
+// visibility rules that decide which MES channels survive the sandbox and
+// VM scenarios.
+package osmodel
+
+import (
+	"fmt"
+
+	"mes/internal/kobj"
+	"mes/internal/vfs"
+)
+
+// DomainKind classifies an isolation domain.
+type DomainKind int
+
+// Isolation domain kinds.
+const (
+	HostDomain    DomainKind = iota // ordinary host process
+	SandboxDomain                   // Firejail / Sandboxie
+	VMDomain                        // guest of a virtual machine
+)
+
+func (k DomainKind) String() string {
+	switch k {
+	case HostDomain:
+		return "host"
+	case SandboxDomain:
+		return "sandbox"
+	case VMDomain:
+		return "vm"
+	default:
+		return fmt.Sprintf("DomainKind(%d)", int(k))
+	}
+}
+
+// Hypervisor identifies the virtualization technology of a VM domain. The
+// paper's Table VI finding hinges on this: Hyper-V (type 1) shares
+// file-backed kernel objects between guests, VMware Workstation (type 2)
+// shares nothing, and KVM guests can share a read-only host mount for
+// flock.
+type Hypervisor int
+
+// Supported hypervisor models.
+const (
+	NoHypervisor Hypervisor = iota
+	HyperV                  // type 1: file-backed objects shared
+	VMwareT2                // type 2: kernel objects fully isolated
+	KVM                     // Linux: shared read-only mount for flock
+)
+
+func (h Hypervisor) String() string {
+	switch h {
+	case NoHypervisor:
+		return "none"
+	case HyperV:
+		return "hyper-v"
+	case VMwareT2:
+		return "vmware-t2"
+	case KVM:
+		return "kvm"
+	default:
+		return fmt.Sprintf("Hypervisor(%d)", int(h))
+	}
+}
+
+// Domain is an isolation domain: the namespace scope a process lives in.
+type Domain struct {
+	name string
+	kind DomainKind
+	hv   Hypervisor
+
+	// ns is the session-local object namespace (VM guests get their own;
+	// host and sandbox processes share the host namespace).
+	ns *kobj.Namespace
+	// fs is the filesystem view. VMware guests get a private FS; host,
+	// sandbox, Hyper-V and KVM guests see the (relevant part of the) host
+	// FS.
+	fs *vfs.FS
+}
+
+// Name returns the domain label.
+func (d *Domain) Name() string { return d.name }
+
+// Kind returns the domain kind.
+func (d *Domain) Kind() DomainKind { return d.kind }
+
+// Hypervisor returns the VM technology (NoHypervisor for non-VM domains).
+func (d *Domain) Hypervisor() Hypervisor { return d.hv }
+
+// sharesHostFiles reports whether file-backed resources resolve in the
+// host scope.
+func (d *Domain) sharesHostFiles() bool {
+	switch d.kind {
+	case HostDomain, SandboxDomain:
+		return true
+	case VMDomain:
+		return d.hv == HyperV || d.hv == KVM
+	default:
+		return false
+	}
+}
+
+// sharesHostObjects reports whether identity-only kernel objects resolve
+// in the host namespace. Only true inside one OS instance: host processes
+// and sandboxed processes. VM guests never share identity-only objects —
+// "the other objects created do not correspond to real resources ... they
+// are isolated between VMs" (paper §V.C.3).
+func (d *Domain) sharesHostObjects() bool {
+	return d.kind == HostDomain || d.kind == SandboxDomain
+}

@@ -1,0 +1,468 @@
+package osmodel
+
+import (
+	"errors"
+	"testing"
+
+	"mes/internal/kobj"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+func newNoiselessSystem(t *testing.T, os timing.OSKind, iso timing.Isolation) *System {
+	t.Helper()
+	return NewSystem(Config{Profile: timing.Noiseless(os, iso), Seed: 1})
+}
+
+func TestEventSignalBetweenProcesses(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	var waited sim.Duration
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		h, err := p.CreateEvent("trojan_event", kobj.AutoReset, false)
+		if err != nil {
+			t.Errorf("CreateEvent: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		if res, err := p.WaitForSingleObject(h, Infinite); err != nil || res != WaitObject0 {
+			t.Errorf("wait: res=%d err=%v", res, err)
+		}
+		waited = p.Timestamp().Sub(start)
+	})
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		p.Sleep(100 * sim.Microsecond)
+		h, err := p.OpenEvent("trojan_event")
+		if err != nil {
+			t.Errorf("OpenEvent: %v", err)
+			return
+		}
+		if err := p.SetEvent(h); err != nil {
+			t.Errorf("SetEvent: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if waited < 100*sim.Microsecond || waited > 130*sim.Microsecond {
+		t.Fatalf("spy waited %v, want ≈ trojan's 100µs sleep + overheads", waited)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		h, _ := p.CreateEvent("e", kobj.AutoReset, false)
+		res, err := p.WaitForSingleObject(h, 50*sim.Microsecond)
+		if err != nil || res != WaitTimeout {
+			t.Errorf("res=%d err=%v, want timeout", res, err)
+		}
+		// Zero timeout polls.
+		res, err = p.WaitForSingleObject(h, 0)
+		if err != nil || res != WaitTimeout {
+			t.Errorf("poll res=%d err=%v, want timeout", res, err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMutexHandoffAcrossProcesses(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	var blockedFor sim.Duration
+	s.Spawn("holder", s.Host(), func(p *Proc) {
+		h, _ := p.CreateMutex("m", false)
+		if res, _ := p.WaitForSingleObject(h, Infinite); res != WaitObject0 {
+			t.Error("holder failed to acquire free mutex")
+		}
+		p.Sleep(200 * sim.Microsecond)
+		if err := p.ReleaseMutex(h); err != nil {
+			t.Errorf("release: %v", err)
+		}
+	})
+	s.Spawn("waiter", s.Host(), func(p *Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		h, err := p.OpenMutex("m")
+		if err != nil {
+			t.Errorf("OpenMutex: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		if res, _ := p.WaitForSingleObject(h, Infinite); res != WaitObject0 {
+			t.Error("waiter wait failed")
+		}
+		blockedFor = p.Timestamp().Sub(start)
+		if err := p.ReleaseMutex(h); err != nil {
+			t.Errorf("waiter release: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if blockedFor < 150*sim.Microsecond {
+		t.Fatalf("waiter blocked %v, want ≈ remaining hold", blockedFor)
+	}
+}
+
+func TestSemaphoreBlockingP(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	order := []string{}
+	s.Spawn("consumer", s.Host(), func(p *Proc) {
+		h, _ := p.CreateSemaphore("s", 0, 16)
+		p.WaitForSingleObject(h, Infinite)
+		order = append(order, "consumed")
+	})
+	s.Spawn("producer", s.Host(), func(p *Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		h, _ := p.OpenSemaphore("s")
+		order = append(order, "produced")
+		if err := p.ReleaseSemaphore(h, 1); err != nil {
+			t.Errorf("V: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "produced" || order[1] != "consumed" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWaitableTimerFires(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	var waited sim.Duration
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		h, _ := p.CreateWaitableTimer("t", kobj.AutoReset)
+		p.SetWaitableTimer(h, 80*sim.Microsecond)
+		start := p.Timestamp()
+		if res, _ := p.WaitForSingleObject(h, Infinite); res != WaitObject0 {
+			t.Error("timer wait failed")
+		}
+		waited = p.Timestamp().Sub(start)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if waited < 70*sim.Microsecond || waited > 100*sim.Microsecond {
+		t.Fatalf("waited %v, want ≈ 80µs", waited)
+	}
+}
+
+func TestTimerReprogramCancelsOldFire(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	var waited sim.Duration
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		h, _ := p.CreateWaitableTimer("t", kobj.AutoReset)
+		p.SetWaitableTimer(h, 30*sim.Microsecond)
+		p.SetWaitableTimer(h, 200*sim.Microsecond) // reprogram
+		start := p.Timestamp()
+		p.WaitForSingleObject(h, Infinite)
+		waited = p.Timestamp().Sub(start)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if waited < 150*sim.Microsecond {
+		t.Fatalf("stale fire woke the waiter after %v", waited)
+	}
+}
+
+func TestFlockBlocksAcrossProcesses(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var spyWait sim.Duration
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		if _, err := p.CreateHostFile("/share/file.txt", 16, true, true); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		fd, err := p.OpenFile("/share/file.txt", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := p.Flock(fd, vfs.LockEx, false); err != nil {
+			t.Errorf("flock: %v", err)
+		}
+		p.Sleep(160 * sim.Microsecond)
+		p.Flock(fd, vfs.LockNone, false)
+	})
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		fd, err := p.OpenFile("/share/file.txt", false)
+		if err != nil {
+			t.Errorf("spy open: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		p.Flock(fd, vfs.LockEx, false)
+		p.Flock(fd, vfs.LockNone, false)
+		spyWait = p.Timestamp().Sub(start)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if spyWait < 120*sim.Microsecond {
+		t.Fatalf("spy lock latency %v, want ≈ remaining hold", spyWait)
+	}
+}
+
+func TestFlockNonblocking(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		p.CreateHostFile("/f", 0, true, true)
+		fd1, _ := p.OpenFile("/f", false)
+		fd2, _ := p.OpenFile("/f", false)
+		if err := p.Flock(fd1, vfs.LockEx, false); err != nil {
+			t.Errorf("first lock: %v", err)
+		}
+		if err := p.Flock(fd2, vfs.LockEx, true); !errors.Is(err, vfs.ErrWouldBlock) {
+			t.Errorf("LOCK_NB err = %v, want ErrWouldBlock", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestReadOnlyFileRejectsWrite(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		p.CreateHostFile("/ro", 0, true, true)
+		if _, err := p.OpenFile("/ro", true); !errors.Is(err, vfs.ErrReadOnly) {
+			t.Errorf("err = %v, want ErrReadOnly", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSandboxSharesHostNamespaceWithPenalty(t *testing.T) {
+	run := func(iso timing.Isolation, trojanDomain func(*System) *Domain) sim.Time {
+		s := NewSystem(Config{Profile: timing.Noiseless(timing.Windows, iso), Seed: 1})
+		var done sim.Time
+		s.Spawn("spy", s.Host(), func(p *Proc) {
+			h, _ := p.CreateEvent("e", kobj.AutoReset, false)
+			p.WaitForSingleObject(h, Infinite)
+			done = p.Now()
+		})
+		s.Spawn("trojan", trojanDomain(s), func(p *Proc) {
+			p.Sleep(100 * sim.Microsecond)
+			h, err := p.OpenEvent("e")
+			if err != nil {
+				t.Fatalf("sandboxed open: %v", err)
+			}
+			p.SetEvent(h)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return done
+	}
+	local := run(timing.Local, func(s *System) *Domain { return s.Host() })
+	sandboxed := run(timing.Sandbox, func(s *System) *Domain { return s.AddSandbox("jail") })
+	if sandboxed <= local {
+		t.Fatalf("sandbox transfer (%v) not slower than local (%v)", sandboxed, local)
+	}
+}
+
+func TestCrossVMVisibility(t *testing.T) {
+	// Identity-only objects (Event) must not resolve across VMs, on any
+	// hypervisor. File-backed objects resolve on Hyper-V but not VMware.
+	for _, tc := range []struct {
+		hv       Hypervisor
+		fileSeen bool
+	}{
+		{HyperV, true},
+		{VMwareT2, false},
+	} {
+		s := newNoiselessSystem(t, timing.Windows, timing.VM)
+		vm1 := s.AddVM("vm1", tc.hv)
+		vm2 := s.AddVM("vm2", tc.hv)
+		var eventErr, fileErr error
+		s.Spawn("creator", vm1, func(p *Proc) {
+			if _, err := p.CreateEvent("evt", kobj.AutoReset, false); err != nil {
+				t.Errorf("create event: %v", err)
+			}
+			if _, err := p.CreateLockableFile("shared.txt", "/host/shared.txt", true); err != nil {
+				t.Errorf("create file object: %v", err)
+			}
+		})
+		s.Spawn("opener", vm2, func(p *Proc) {
+			p.Sleep(10 * sim.Microsecond)
+			_, eventErr = p.OpenEvent("evt")
+			_, fileErr = p.OpenLockableFile("shared.txt")
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !errors.Is(eventErr, kobj.ErrNotFound) {
+			t.Errorf("%v: cross-VM OpenEvent err = %v, want ErrNotFound", tc.hv, eventErr)
+		}
+		if tc.fileSeen && fileErr != nil {
+			t.Errorf("%v: cross-VM file object open failed: %v", tc.hv, fileErr)
+		}
+		if !tc.fileSeen && !errors.Is(fileErr, kobj.ErrNotFound) {
+			t.Errorf("%v: cross-VM file object err = %v, want ErrNotFound", tc.hv, fileErr)
+		}
+	}
+}
+
+func TestKVMSharesHostFS(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.VM)
+	vm1 := s.AddVM("vm1", KVM)
+	vm2 := s.AddVM("vm2", KVM)
+	if _, err := s.HostFS().Create("/export/f", 0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	var in1, in2 *vfs.Inode
+	s.Spawn("a", vm1, func(p *Proc) {
+		fd, err := p.OpenFile("/export/f", false)
+		if err != nil {
+			t.Errorf("vm1 open: %v", err)
+			return
+		}
+		f, _ := p.FDs().Get(fd)
+		in1 = f.Inode()
+	})
+	s.Spawn("b", vm2, func(p *Proc) {
+		fd, err := p.OpenFile("/export/f", false)
+		if err != nil {
+			t.Errorf("vm2 open: %v", err)
+			return
+		}
+		f, _ := p.FDs().Get(fd)
+		in2 = f.Inode()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if in1 == nil || in1 != in2 {
+		t.Fatal("KVM guests must share the host i-node")
+	}
+
+	// VMware guests must NOT share.
+	s2 := newNoiselessSystem(t, timing.Linux, timing.VM)
+	w1 := s2.AddVM("w1", VMwareT2)
+	var err1 error
+	s2.Spawn("a", w1, func(p *Proc) {
+		_, err1 = p.OpenFile("/export/f", false)
+	})
+	s2.HostFS().Create("/export/f", 0, true, true)
+	if err := s2.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(err1, vfs.ErrNotExist) {
+		t.Fatalf("VMware guest saw host file: err = %v", err1)
+	}
+}
+
+func TestRendezvousBarrier(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	r := NewRendezvous(s)
+	var order []string
+	s.Spawn("follower", s.Host(), func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * sim.Microsecond)
+			r.ArriveFollow(p)
+			order = append(order, "follower")
+		}
+	})
+	s.Spawn("leader", s.Host(), func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100 * sim.Microsecond)
+			r.ArriveLead(p)
+			order = append(order, "leader")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", r.Rounds())
+	}
+	// The leader exits each barrier first regardless of arrival order.
+	for i := 0; i < 6; i += 2 {
+		if order[i] != "leader" || order[i+1] != "follower" {
+			t.Fatalf("order = %v, want leader before follower each round", order)
+		}
+	}
+}
+
+func TestRendezvousLeaderArrivingLateStillLeads(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	r := NewRendezvous(s)
+	var order []string
+	s.Spawn("follower", s.Host(), func(p *Proc) {
+		r.ArriveFollow(p) // arrives first, parks
+		order = append(order, "follower")
+	})
+	s.Spawn("leader", s.Host(), func(p *Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		r.ArriveLead(p) // arrives second, continues immediately
+		order = append(order, "leader")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if order[0] != "leader" {
+		t.Fatalf("order = %v, want leader first", order)
+	}
+}
+
+func TestDeadlockSurfacesFromRun(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	s.Spawn("stuck", s.Host(), func(p *Proc) {
+		h, _ := p.CreateEvent("never", kobj.AutoReset, false)
+		p.WaitForSingleObject(h, Infinite)
+	})
+	err := s.Run()
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+}
+
+func TestHandleTypeMismatch(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Windows, timing.Local)
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		h, _ := p.CreateEvent("e", kobj.AutoReset, false)
+		if err := p.ReleaseMutex(h); !errors.Is(err, ErrWrongType) {
+			t.Errorf("ReleaseMutex on event handle: %v, want ErrWrongType", err)
+		}
+		if err := p.SetEvent(kobj.Handle(9999)); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("SetEvent on bogus handle: %v, want ErrBadHandle", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() sim.Time {
+		s := NewSystem(Config{Profile: timing.ProfileFor(timing.Windows, timing.Local), Seed: 42})
+		s.Spawn("spy", s.Host(), func(p *Proc) {
+			h, _ := p.CreateEvent("e", kobj.AutoReset, false)
+			for i := 0; i < 50; i++ {
+				p.WaitForSingleObject(h, Infinite)
+			}
+		})
+		s.Spawn("trojan", s.Host(), func(p *Proc) {
+			p.Sleep(10 * sim.Microsecond)
+			h, _ := p.OpenEvent("e")
+			for i := 0; i < 50; i++ {
+				p.Sleep(15 * sim.Microsecond)
+				p.SetEvent(h)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+package osmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"mes/internal/kobj"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// Wait results, mirroring WaitForSingleObject return values.
+const (
+	WaitObject0 = 0   // the object was signalled/acquired
+	WaitTimeout = 258 // the wait interval elapsed (WAIT_TIMEOUT)
+)
+
+// Infinite requests an unbounded wait.
+const Infinite sim.Duration = -1
+
+// Errors returned by the syscall layer.
+var (
+	ErrBadHandle = errors.New("osmodel: invalid handle")
+	ErrBadFd     = errors.New("osmodel: bad file descriptor")
+	ErrWrongType = errors.New("osmodel: handle refers to an object of another type")
+)
+
+// Proc is a simulated OS process: a simulation process plus its
+// process-level tables (handle table, fd table) and isolation domain.
+// All methods must be called from within the process body.
+type Proc struct {
+	sys  *System
+	dom  *Domain
+	name string
+	sp   *sim.Proc
+	rng  *sim.RNG
+
+	handles *kobj.HandleTable
+	fds     *vfs.FDTable
+
+	blocked    bool
+	blockStart sim.Time
+
+	// POSIX-style signal state (see signal.go).
+	pendingSignals map[int]int
+	sigWaiting     int
+}
+
+// WaiterName implements kobj.Waiter and vfs.Waiter.
+func (p *Proc) WaiterName() string { return p.name }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Domain returns the process's isolation domain.
+func (p *Proc) Domain() *Domain { return p.dom }
+
+// System returns the owning machine.
+func (p *Proc) System() *System { return p.sys }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// Rand returns the process's private random stream.
+func (p *Proc) Rand() *sim.RNG { return p.rng }
+
+// Handles exposes the process handle table (tests, diagnostics).
+func (p *Proc) Handles() *kobj.HandleTable { return p.handles }
+
+// FDs exposes the process descriptor table.
+func (p *Proc) FDs() *vfs.FDTable { return p.fds }
+
+// Sleep suspends the process; the timing model adds wake-up latency, the
+// platform sleep floor and constraint-state outliers.
+func (p *Proc) Sleep(d sim.Duration) { p.sp.Sleep(d) }
+
+// Compute burns CPU for roughly d (plus model jitter).
+func (p *Proc) Compute(d sim.Duration) { p.sp.Exec(d) }
+
+// Timestamp reads the high-resolution clock (a priced operation) and
+// returns the instant after the read.
+func (p *Proc) Timestamp() sim.Time {
+	p.exec(timing.OpTimestamp)
+	return p.Now()
+}
+
+// Judge charges the cost of the per-bit decision branch.
+func (p *Proc) Judge() { p.exec(timing.OpJudge) }
+
+// ChargeOp charges the cost of one priced operation without any semantic
+// effect. The channel layer uses it for protocol-shaped overhead the
+// object model does not execute literally (e.g. the Semaphore channel's
+// 6-instruction P-P-S-sleep-V-V bit, paper §V.C).
+func (p *Proc) ChargeOp(op timing.Op) { p.exec(op) }
+
+// exec charges a priced operation.
+func (p *Proc) exec(op timing.Op) {
+	if d := p.sys.prof.Cost(p.rng, op); d > 0 {
+		p.sp.Advance(d)
+	}
+}
+
+// crossObj charges a crossing penalty if obj lives in another domain.
+func (p *Proc) crossObj(obj kobj.Object) {
+	if p.sys.crossingFor(p.dom, obj) {
+		if d := p.sys.prof.Cross(p.rng); d > 0 {
+			p.sp.Advance(d)
+		}
+	}
+}
+
+// crossInode charges a crossing penalty if in lives in another domain.
+func (p *Proc) crossInode(in *vfs.Inode) {
+	if p.sys.inodeCrossing(p.dom, in) {
+		if d := p.sys.prof.Cross(p.rng); d > 0 {
+			p.sp.Advance(d)
+		}
+	}
+}
+
+// park blocks the process until woken, tracking the blocked interval for
+// the wake-path hazard model. It returns the wake value.
+func (p *Proc) park() int {
+	p.blocked = true
+	p.blockStart = p.Now()
+	v := p.sp.Park()
+	p.blocked = false
+	return v
+}
+
+// blockedFor reports how long the process has been blocked (0 if it is
+// not).
+func (p *Proc) blockedFor() sim.Duration {
+	if !p.blocked {
+		return 0
+	}
+	return p.sys.k.Now().Sub(p.blockStart)
+}
+
+// object resolves a handle to a kernel object of the wanted type.
+func (p *Proc) object(h kobj.Handle, typ kobj.Type) (kobj.Object, error) {
+	obj, ok := p.handles.Get(h)
+	if !ok {
+		return nil, ErrBadHandle
+	}
+	if obj.Type() != typ {
+		return nil, fmt.Errorf("%w: have %v, want %v", ErrWrongType, obj.Type(), typ)
+	}
+	return obj, nil
+}
+
+// CloseHandle releases a handle table entry.
+func (p *Proc) CloseHandle(h kobj.Handle) error {
+	p.exec(timing.OpClose)
+	if !p.handles.Close(h) {
+		return ErrBadHandle
+	}
+	return nil
+}
+
+// WaitForSingleObject waits until the object behind h is signalled (or
+// acquirable), or until timeout elapses (Infinite = wait forever). This is
+// the measurement primitive of every Windows-side covert channel: the Spy
+// times how long this call blocks.
+func (p *Proc) WaitForSingleObject(h kobj.Handle, timeout sim.Duration) (int, error) {
+	obj, ok := p.handles.Get(h)
+	if !ok {
+		return 0, ErrBadHandle
+	}
+	switch obj.Type() {
+	case kobj.TypeSemaphore:
+		p.exec(timing.OpSemP)
+	case kobj.TypeMutex:
+		p.exec(timing.OpMutexAcquire)
+	case kobj.TypeFile:
+		p.exec(timing.OpLock)
+	default:
+		p.exec(timing.OpWaitRegister)
+	}
+	p.crossObj(obj)
+	if obj.TryWait(p) {
+		return WaitObject0, nil
+	}
+	if timeout == 0 {
+		return WaitTimeout, nil
+	}
+	obj.Enqueue(p)
+	if timeout > 0 {
+		p.sys.k.After(timeout, func() {
+			if p.blocked && obj.CancelWait(p) {
+				p.sp.Wake(0, WaitTimeout)
+			}
+		})
+	}
+	return p.park(), nil
+}

@@ -1,0 +1,114 @@
+package osmodel
+
+import (
+	"testing"
+
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+func TestSignalWakesWaiter(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var waited sim.Duration
+	spy := s.Spawn("spy", s.Host(), func(p *Proc) {
+		start := p.Timestamp()
+		if res := p.SigWait(10); res != WaitObject0 {
+			t.Errorf("SigWait = %d", res)
+		}
+		waited = p.Timestamp().Sub(start)
+	})
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		p.Sleep(120 * sim.Microsecond)
+		if err := p.Kill(spy, 10); err != nil {
+			t.Errorf("Kill: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if waited < 120*sim.Microsecond || waited > 150*sim.Microsecond {
+		t.Fatalf("waited %v, want ≈120µs + delivery", waited)
+	}
+}
+
+func TestSignalPendingSetConsumed(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var target *Proc
+	target = s.Spawn("late-waiter", s.Host(), func(p *Proc) {
+		p.Sleep(200 * sim.Microsecond) // signal arrives while not waiting
+		start := p.Now()
+		p.SigWait(10)
+		if gap := p.Now().Sub(start); gap > 10*sim.Microsecond {
+			t.Errorf("pending signal should satisfy SigWait immediately; took %v", gap)
+		}
+	})
+	s.Spawn("sender", s.Host(), func(p *Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		p.Kill(target, 10)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSignalNumbersIndependent(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var order []int
+	var target *Proc
+	target = s.Spawn("waiter", s.Host(), func(p *Proc) {
+		p.SigWait(12)
+		order = append(order, 12)
+	})
+	s.Spawn("sender", s.Host(), func(p *Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		p.Kill(target, 10) // different signal: must not wake the sigwait(12)
+		p.Sleep(50 * sim.Microsecond)
+		p.Kill(target, 12)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 1 || order[0] != 12 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestKillNilTarget(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		if err := p.Kill(nil, 10); err != ErrNoProcess {
+			t.Errorf("Kill(nil) = %v, want ErrNoProcess", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCrossDomainKillPaysCrossing(t *testing.T) {
+	elapsed := func(sameDomain bool) sim.Duration {
+		s := NewSystem(Config{Profile: timing.Noiseless(timing.Linux, timing.Sandbox), Seed: 1})
+		dom := s.Host()
+		if !sameDomain {
+			dom = s.AddSandbox("jail")
+		}
+		var woke sim.Time
+		spy := s.Spawn("spy", s.Host(), func(p *Proc) {
+			p.SigWait(10)
+			woke = p.Now()
+		})
+		s.Spawn("trojan", dom, func(p *Proc) {
+			p.Sleep(100 * sim.Microsecond)
+			p.Kill(spy, 10)
+		})
+		if err := s.Run(); err != nil {
+			panic(err)
+		}
+		return woke.Sub(0)
+	}
+	same := elapsed(true)
+	crossed := elapsed(false)
+	if crossed <= same {
+		t.Fatalf("cross-domain kill (%v) should be slower than local (%v)", crossed, same)
+	}
+}

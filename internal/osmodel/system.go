@@ -1,0 +1,235 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"mes/internal/kobj"
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Profile is the timing personality (see internal/timing). Required.
+	Profile timing.Profile
+	// Seed drives all stochastic components. Runs with equal seeds replay
+	// identically.
+	Seed uint64
+	// Trace optionally records kernel events.
+	Trace *sim.Trace
+	// Horizon optionally bounds the simulation (0 = unbounded).
+	Horizon sim.Time
+}
+
+// System is one simulated physical machine: a simulation kernel, a host
+// object namespace and filesystem, and a set of isolation domains.
+type System struct {
+	k    *sim.Kernel
+	prof timing.Profile
+	rng  *sim.RNG
+
+	hostDomain *Domain
+	domains    map[string]*Domain
+	objHome    map[kobj.Object]*Domain
+	inodeHome  map[*vfs.Inode]*Domain
+
+	procs []*Proc
+}
+
+// NewSystem builds a machine with a host domain.
+func NewSystem(cfg Config) *System {
+	opts := []sim.Option{sim.WithSeed(cfg.Seed)}
+	prof := cfg.Profile
+	opts = append(opts, sim.WithHooks(prof.Hooks()))
+	if cfg.Trace != nil {
+		opts = append(opts, sim.WithTrace(cfg.Trace))
+	}
+	if cfg.Horizon > 0 {
+		opts = append(opts, sim.WithHorizon(cfg.Horizon))
+	}
+	k := sim.NewKernel(opts...)
+	s := &System{
+		k:         k,
+		prof:      prof,
+		rng:       k.Rand().Split(),
+		domains:   make(map[string]*Domain),
+		objHome:   make(map[kobj.Object]*Domain),
+		inodeHome: make(map[*vfs.Inode]*Domain),
+	}
+	s.hostDomain = &Domain{
+		name: "host",
+		kind: HostDomain,
+		ns:   kobj.NewNamespace("host"),
+		fs:   vfs.NewFS(),
+	}
+	s.domains["host"] = s.hostDomain
+	return s
+}
+
+// Kernel exposes the simulation kernel (experiment drivers need Run/Now).
+func (s *System) Kernel() *sim.Kernel { return s.k }
+
+// Profile returns the machine's timing personality.
+func (s *System) Profile() *timing.Profile { return &s.prof }
+
+// Host returns the host domain.
+func (s *System) Host() *Domain { return s.hostDomain }
+
+// HostFS returns the host filesystem.
+func (s *System) HostFS() *vfs.FS { return s.hostDomain.fs }
+
+// Run executes the simulation to completion.
+func (s *System) Run() error { return s.k.Run() }
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.k.Now() }
+
+// AddSandbox creates a sandbox domain. Sandboxed processes resolve names
+// in the host scope (that is what the channel exploits) but every
+// signaling op pays the sandbox crossing penalty.
+func (s *System) AddSandbox(name string) *Domain {
+	d := &Domain{
+		name: name,
+		kind: SandboxDomain,
+		ns:   s.hostDomain.ns,
+		fs:   s.hostDomain.fs,
+	}
+	s.domains[name] = d
+	return d
+}
+
+// AddVM creates a VM guest domain under the given hypervisor. Guests get a
+// session-local object namespace. VMware guests additionally get a fully
+// private filesystem; Hyper-V and KVM guests see the host FS (the shared
+// read-only file the channels use).
+func (s *System) AddVM(name string, hv Hypervisor) *Domain {
+	d := &Domain{
+		name: name,
+		kind: VMDomain,
+		hv:   hv,
+		ns:   kobj.NewNamespace(name),
+		fs:   s.hostDomain.fs,
+	}
+	if hv == VMwareT2 {
+		d.fs = vfs.NewFS()
+	}
+	s.domains[name] = d
+	return d
+}
+
+// Domain looks up a domain by name.
+func (s *System) Domain(name string) (*Domain, bool) {
+	d, ok := s.domains[name]
+	return d, ok
+}
+
+// Spawn starts a process in domain d.
+func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
+	p := &Proc{
+		sys:            s,
+		dom:            d,
+		name:           name,
+		rng:            s.rng.Split(),
+		handles:        kobj.NewHandleTable(),
+		fds:            vfs.NewFDTable(),
+		pendingSignals: make(map[int]int),
+		sigWaiting:     -1,
+	}
+	p.sp = s.k.Spawn(name, func(*sim.Proc) { body(p) })
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// objectNamespace returns the namespace in which a process from domain d
+// creates or opens an object, given whether the object is file-backed.
+// File-backed objects on file-sharing hypervisors resolve in the host
+// scope; identity-only objects resolve per session.
+func (s *System) objectNamespace(d *Domain, fileBacked bool) *kobj.Namespace {
+	if d.sharesHostObjects() {
+		return s.hostDomain.ns
+	}
+	if fileBacked && d.sharesHostFiles() {
+		return s.hostDomain.ns
+	}
+	return d.ns
+}
+
+// registerObject records the home domain of a newly created object. For
+// objects registered in the host scope by a non-host process (file-backed
+// objects from VMs, anything from sandboxes) the home is the host: both
+// endpoints then pay the crossing penalty, matching the paper's slower
+// cross-VM channel.
+func (s *System) registerObject(obj kobj.Object, ns *kobj.Namespace, creator *Domain) {
+	home := creator
+	if ns == s.hostDomain.ns && creator.kind != HostDomain {
+		home = s.hostDomain
+	}
+	s.objHome[obj] = home
+}
+
+// crossingFor reports whether an op by a process in domain d on obj
+// crosses an isolation boundary.
+func (s *System) crossingFor(d *Domain, obj kobj.Object) bool {
+	home, ok := s.objHome[obj]
+	if !ok {
+		return false
+	}
+	return home != d
+}
+
+// registerInode records the home domain of a created file.
+func (s *System) registerInode(in *vfs.Inode, creator *Domain) {
+	home := creator
+	if creator.fs == s.hostDomain.fs && creator.kind != HostDomain {
+		home = s.hostDomain
+	}
+	s.inodeHome[in] = home
+}
+
+// inodeCrossing reports whether d's access to in crosses a boundary.
+func (s *System) inodeCrossing(d *Domain, in *vfs.Inode) bool {
+	home, ok := s.inodeHome[in]
+	if !ok {
+		return false
+	}
+	return home != d
+}
+
+// CreateSharedFile creates a host file outside any process context — the
+// attack's "selected critical resources" preparatory work (paper Table I).
+// Its home domain is the host, so non-host accessors pay crossing costs.
+func (s *System) CreateSharedFile(path string, size int64, readOnly, mandatory bool) (*vfs.Inode, error) {
+	in, err := s.hostDomain.fs.Create(path, size, readOnly, mandatory)
+	if err != nil {
+		return nil, err
+	}
+	s.registerInode(in, s.hostDomain)
+	return in, nil
+}
+
+// wake delivers wake-ups to the waiters returned by a kobj/vfs operation
+// performed by caller. Each waiter pays scheduler delivery cost and a
+// crossing penalty when the signal traverses an isolation boundary.
+func (s *System) wake(caller *Proc, waiters []kobj.Waiter, result int) {
+	for _, w := range waiters {
+		p, ok := w.(*Proc)
+		if !ok {
+			panic(fmt.Sprintf("osmodel: foreign waiter %T", w))
+		}
+		delay := s.prof.Cost(p.rng, timing.OpWakeDeliver)
+		if caller != nil && caller.dom != p.dom {
+			delay += s.prof.Cross(p.rng)
+		}
+		p.sp.Wake(delay, result)
+	}
+}
+
+// wakeVFS adapts vfs waiter lists.
+func (s *System) wakeVFS(caller *Proc, waiters []vfs.Waiter, result int) {
+	conv := make([]kobj.Waiter, len(waiters))
+	for i, w := range waiters {
+		conv[i] = w.(*Proc)
+	}
+	s.wake(caller, conv, result)
+}

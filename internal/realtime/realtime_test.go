@@ -1,0 +1,121 @@
+package realtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mes/internal/codec"
+)
+
+func TestFairLockFIFO(t *testing.T) {
+	l := NewFairLock()
+	l.Lock()
+	const n = 8
+	order := make([]int, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ready <- struct{}{}
+			// Tickets are taken inside Lock; stagger goroutine starts so
+			// ticket order is deterministic.
+			l.Lock()
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			l.Unlock()
+		}(i)
+		<-ready
+		time.Sleep(2 * time.Millisecond) // let the goroutine take its ticket
+	}
+	l.Unlock()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTokenSemaphore(t *testing.T) {
+	s := newTokenSemaphore()
+	s.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		s.Lock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second P succeeded while held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("P not granted after V")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Mechanism: Event}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := Run(Config{Mechanism: Mechanism(99), Payload: codec.MustParseBits("1")}); err == nil {
+		t.Fatal("bogus mechanism accepted")
+	}
+}
+
+// The wall-clock tests below depend on host scheduling; they use generous
+// guard bands and are skipped in -short runs (the Go runtime scheduler is
+// far noisier than the paper's native testbed).
+
+func TestEventChannelWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	payload := codec.FromString("rt")
+	res, err := Run(Config{Mechanism: Event, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.15 {
+		t.Fatalf("BER %.2f%% too high even for wall clock", res.BER*100)
+	}
+	if res.BER == 0 && res.ReceivedBits.Text() != "rt" {
+		t.Fatalf("decoded %q", res.ReceivedBits.Text())
+	}
+}
+
+func TestMutexChannelWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	payload := codec.MustParseBits("1011001110001011")
+	res, err := Run(Config{Mechanism: Mutex, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.2 {
+		t.Fatalf("BER %.2f%%", res.BER*100)
+	}
+}
+
+func TestSemaphoreChannelWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	payload := codec.MustParseBits("0110110001")
+	res, err := Run(Config{Mechanism: Semaphore, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.2 {
+		t.Fatalf("BER %.2f%%", res.BER*100)
+	}
+}

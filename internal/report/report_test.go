@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table IV", "Mechanism", "TR(kb/s)", "BER(%)")
+	tb.AddRow("Event", 13.105, 0.554)
+	tb.AddRow("flock", 7.182, 0.615)
+	out := tb.String()
+	if !strings.Contains(out, "Table IV") || !strings.Contains(out, "13.105") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header wrong: %q", csv)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	s := Series{Name: "ber", X: []float64{1, 2, 3}, Y: []float64{0.5, 1.0, 0.25}}
+	out := Plot("BER vs tw0", "tw0", "BER", 40, 8, s)
+	if !strings.Contains(out, "BER vs tw0") || !strings.Contains(out, "*") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	if Plot("empty", "x", "y", 40, 8) == "" {
+		t.Fatal("empty plot should render a placeholder")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}
+	out := Plot("flat", "x", "y", 20, 5, s)
+	if out == "" {
+		t.Fatal("degenerate ranges must not crash")
+	}
+}

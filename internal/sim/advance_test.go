@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdvanceExact(t *testing.T) {
+	k := NewKernel(WithHooks(fixedLatency{latency: 99 * Microsecond}))
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(7 * Microsecond) // raw: hooks must not apply
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != Time(7*Microsecond) {
+		t.Fatalf("Advance landed at %v, want exactly 7µs", at)
+	}
+}
+
+func TestAdvanceZeroAndNegative(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(0)
+		p.Advance(-5)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 0 {
+		t.Fatalf("non-positive Advance moved time to %v", at)
+	}
+}
+
+func TestPublicTracef(t *testing.T) {
+	tr := NewTrace(0)
+	k := NewKernel(WithTrace(tr))
+	k.Spawn("p", func(p *Proc) {
+		k.Tracef(p, "syscall", "flock %s", "/f")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := tr.Filter("syscall")
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "/f") {
+		t.Fatalf("trace = %v", got)
+	}
+}
+
+func TestTracefWithoutTraceIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		k.Tracef(p, "syscall", "x") // must not panic
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{T: Time(5 * Microsecond), PID: 2, Proc: "spy", Event: "sleep", Detail: "10µs"}
+	s := e.String()
+	if !strings.Contains(s, "spy") || !strings.Contains(s, "sleep") {
+		t.Fatalf("Entry.String = %q", s)
+	}
+	e.Detail = ""
+	if s := e.String(); strings.Contains(s, ":") {
+		t.Fatalf("detail-less entry should omit colon: %q", s)
+	}
+}

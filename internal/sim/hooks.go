@@ -1,0 +1,31 @@
+package sim
+
+// Hooks is the timing/noise model the kernel consults when processes
+// consume time. Implementations live in internal/timing; the kernel only
+// defines the seam. All methods return *extra* duration to add on top of
+// the nominal amount, and must be non-negative.
+type Hooks interface {
+	// SleepLatency is extra delay on top of a requested sleep. It models
+	// scheduler wake-up cost (e.g. the paper's 58µs Linux floor).
+	SleepLatency(r *RNG, requested Duration) Duration
+	// ExecJitter is extra delay on top of a nominal CPU burst.
+	ExecJitter(r *RNG, cost Duration) Duration
+	// ConstraintHazard is extra delay accumulated while a process spends d
+	// inside a constraint state (holding or waiting on a lock/object). It
+	// models preemption and interrupt outliers, the error source behind the
+	// paper's BER curves (Fig. 9a, Fig. 10).
+	ConstraintHazard(r *RNG, d Duration) Duration
+}
+
+// NopHooks is a noiseless timing model: sleeps are exact, execution is
+// exact, no outliers. Useful for unit tests of protocol logic.
+type NopHooks struct{}
+
+// SleepLatency returns 0.
+func (NopHooks) SleepLatency(*RNG, Duration) Duration { return 0 }
+
+// ExecJitter returns 0.
+func (NopHooks) ExecJitter(*RNG, Duration) Duration { return 0 }
+
+// ConstraintHazard returns 0.
+func (NopHooks) ConstraintHazard(*RNG, Duration) Duration { return 0 }

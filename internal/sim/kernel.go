@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// event is a scheduled action on the virtual timeline. Ties on time are
+// broken by sequence number, so scheduling order is total and deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DeadlockError reports that the simulation can make no further progress
+// while processes are still blocked. Procs lists their names.
+type DeadlockError struct {
+	At    Time
+	Procs []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v, blocked: %v", e.At, e.Procs)
+}
+
+// ErrStopped is returned by Run when Stop was called.
+var ErrStopped = errors.New("sim: stopped")
+
+// Kernel is the discrete-event simulator. Create one with NewKernel, spawn
+// processes, then call Run. Kernel is not safe for concurrent use; all
+// interaction happens either before Run or from within process bodies.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	hooks   Hooks
+	trace   *Trace
+	procs   []*Proc
+	spawned int
+	live    int // procs not yet finished
+	yielded chan struct{}
+	running *Proc
+	stopped bool
+	horizon Time // 0 = unlimited
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the root RNG seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(k *Kernel) { k.rng = NewRNG(seed) }
+}
+
+// WithHooks installs a timing/noise model. The default is NopHooks.
+func WithHooks(h Hooks) Option {
+	return func(k *Kernel) { k.hooks = h }
+}
+
+// WithTrace attaches an event trace recorder.
+func WithTrace(t *Trace) Option {
+	return func(k *Kernel) { k.trace = t }
+}
+
+// WithHorizon stops the simulation when the clock would pass t.
+func WithHorizon(t Time) Option {
+	return func(k *Kernel) { k.horizon = t }
+}
+
+// NewKernel builds an empty simulator.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		rng:     NewRNG(1),
+		hooks:   NopHooks{},
+		yielded: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's root RNG. Subsystems should usually Split it.
+func (k *Kernel) Rand() *RNG { return k.rng }
+
+// Hooks returns the installed timing model.
+func (k *Kernel) Hooks() Hooks { return k.hooks }
+
+// Trace returns the attached trace recorder, or nil.
+func (k *Kernel) Trace() *Trace { return k.trace }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Stop aborts the run after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Spawn creates a process named name running fn and schedules it to start
+// now. The process body runs on its own goroutine but only while the kernel
+// has handed it the (single) execution token.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at absolute time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs) + 1,
+		name:   name,
+		body:   fn,
+		resume: make(chan struct{}),
+		state:  ProcCreated,
+	}
+	k.procs = append(k.procs, p)
+	k.spawned++
+	k.live++
+	k.At(t, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands the execution token to p and waits until p parks or exits.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.state == ProcDone {
+		return
+	}
+	k.running = p
+	p.state = ProcRunning
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-k.yielded
+	k.running = nil
+}
+
+// Run processes events until none remain, all processes have finished, the
+// horizon is reached, or Stop is called. It returns a *DeadlockError if the
+// queue drains while processes are still blocked.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		if k.spawned > 0 && k.live == 0 {
+			// All processes finished; only detached events (e.g. dangling
+			// timers) remain. Process-less simulations drain the queue.
+			return nil
+		}
+		e := heap.Pop(&k.events).(*event)
+		if k.horizon > 0 && e.at > k.horizon {
+			k.now = k.horizon
+			return nil
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		e.fn()
+	}
+	if k.live > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if p.state == ProcParked || p.state == ProcSleeping {
+				blocked = append(blocked, p.name)
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: k.now, Procs: blocked}
+	}
+	return nil
+}
+
+// Step runs a single event. It reports whether an event was processed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 || k.stopped {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	if e.at > k.now {
+		k.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// Live reports the number of processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Tracef records an event against p in the attached trace (no-op without
+// one). Higher layers use it to log syscall-level activity — the
+// observability surface a defender would monitor.
+func (k *Kernel) Tracef(p *Proc, ev, format string, args ...interface{}) {
+	k.tracef(p, ev, format, args...)
+}
+
+func (k *Kernel) tracef(p *Proc, ev, format string, args ...interface{}) {
+	if k.trace == nil {
+		return
+	}
+	name, id := "", 0
+	if p != nil {
+		name, id = p.name, p.id
+	}
+	k.trace.add(Entry{T: k.now, PID: id, Proc: name, Event: ev, Detail: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,147 @@
+package sim
+
+import "fmt"
+
+// ProcState enumerates the lifecycle of a simulated process.
+type ProcState int
+
+// Process lifecycle states.
+const (
+	ProcCreated ProcState = iota
+	ProcRunning
+	ProcSleeping // blocked with a scheduled wake event
+	ProcParked   // blocked awaiting an external Wake
+	ProcDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcCreated:
+		return "created"
+	case ProcRunning:
+		return "running"
+	case ProcSleeping:
+		return "sleeping"
+	case ProcParked:
+		return "parked"
+	case ProcDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Proc is a simulated process. Its body runs on a dedicated goroutine, but
+// the kernel guarantees at most one body goroutine executes at a time, so
+// bodies may use plain Go code without synchronization. All methods below
+// must be called from within the owning body.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	body    func(*Proc)
+	resume  chan struct{}
+	state   ProcState
+	started bool
+
+	// wakeValue carries a result from Wake to the Park caller.
+	wakeValue int
+}
+
+// run is the goroutine entry point.
+func (p *Proc) run() {
+	p.body(p)
+	p.state = ProcDone
+	p.k.live--
+	p.k.tracef(p, "exit", "")
+	p.k.yielded <- struct{}{}
+}
+
+// yield parks the goroutine and returns the token to the kernel. The caller
+// must have arranged for a future dispatch (event or external Wake).
+func (p *Proc) yield(s ProcState) {
+	p.state = s
+	p.k.yielded <- struct{}{}
+	<-p.resume
+	p.state = ProcRunning
+}
+
+// ID returns the process's kernel-assigned id (1-based).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep blocks the process for d plus the timing model's wake-up latency.
+// This models an OS sleep: §V.C of the paper notes the Linux scheduler
+// needs ~58µs to wake a sleeping process, which the hooks encode.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	total := d + p.k.hooks.SleepLatency(p.k.rng, d)
+	p.k.tracef(p, "sleep", "%v (effective %v)", d, total)
+	p.k.After(total, func() { p.k.dispatch(p) })
+	p.yield(ProcSleeping)
+}
+
+// Advance moves the process exactly d forward in virtual time with no
+// model noise. Callers that have already drawn jittered costs (the OS
+// model's priced syscalls) use this to avoid double-counting noise.
+func (p *Proc) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.k.After(d, func() { p.k.dispatch(p) })
+	p.yield(ProcSleeping)
+}
+
+// Exec consumes CPU for cost plus model jitter, advancing virtual time.
+func (p *Proc) Exec(cost Duration) {
+	if cost < 0 {
+		cost = 0
+	}
+	total := cost + p.k.hooks.ExecJitter(p.k.rng, cost)
+	p.k.After(total, func() { p.k.dispatch(p) })
+	p.yield(ProcSleeping)
+}
+
+// Park blocks until another process (or a kernel event) calls Wake. It
+// returns the value passed to Wake.
+func (p *Proc) Park() int {
+	p.k.tracef(p, "park", "")
+	p.yield(ProcParked)
+	return p.wakeValue
+}
+
+// Wake schedules p to resume after delay, delivering value to its Park.
+// Waking a process that is not parked is a programming error and panics:
+// lost wakeups would silently corrupt channel timing measurements.
+func (p *Proc) Wake(delay Duration, value int) {
+	if p.state == ProcDone {
+		panic(fmt.Sprintf("sim: Wake of finished process %q", p.name))
+	}
+	p.k.After(delay, func() {
+		if p.state != ProcParked {
+			panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", p.name, p.state))
+		}
+		p.wakeValue = value
+		p.k.dispatch(p)
+	})
+}
+
+// Yield cedes the token, rescheduling the process at the current instant
+// behind any already-queued events.
+func (p *Proc) Yield() {
+	p.k.After(0, func() { p.k.dispatch(p) })
+	p.yield(ProcSleeping)
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random source (splitmix64 core).
+// It is deliberately independent of math/rand so that simulation replay
+// is stable across Go releases, and so independent subsystems can own
+// decorrelated child streams via Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child stream. The parent advances once, so
+// successive Splits yield decorrelated children.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// NormFloat64 returns a standard normal deviate (Box–Muller, one branch).
+func (r *RNG) NormFloat64() float64 {
+	// Draw until u1 is usable to avoid log(0).
+	var u1 float64
+	for {
+		u1 = r.Float64()
+		if u1 > 1e-300 {
+			break
+		}
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	var u float64
+	for {
+		u = r.Float64()
+		if u > 1e-300 {
+			break
+		}
+	}
+	return -math.Log(u)
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Poisson returns a Poisson deviate with the given mean (Knuth's method for
+// small means, normal approximation above 64 to stay O(1)).
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one recorded trace line.
+type Entry struct {
+	T      Time
+	PID    int
+	Proc   string
+	Event  string
+	Detail string
+}
+
+// String renders the entry in a compact single-line form.
+func (e Entry) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%12v  %s(%d)  %s", e.T, e.Proc, e.PID, e.Event)
+	}
+	return fmt.Sprintf("%12v  %s(%d)  %s: %s", e.T, e.Proc, e.PID, e.Event, e.Detail)
+}
+
+// Trace records kernel events for debugging and for rendering the paper's
+// proof-of-concept figures. A zero-capacity trace keeps everything.
+type Trace struct {
+	cap     int
+	entries []Entry
+	dropped int
+}
+
+// NewTrace returns a recorder keeping at most capacity entries
+// (0 = unbounded).
+func NewTrace(capacity int) *Trace {
+	return &Trace{cap: capacity}
+}
+
+func (t *Trace) add(e Entry) {
+	if t.cap > 0 && len(t.entries) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.entries = append(t.entries, e)
+}
+
+// Entries returns the recorded entries in order.
+func (t *Trace) Entries() []Entry { return t.entries }
+
+// Dropped reports how many entries were discarded due to the capacity cap.
+func (t *Trace) Dropped() int { return t.dropped }
+
+// Len reports the number of retained entries.
+func (t *Trace) Len() int { return len(t.entries) }
+
+// Filter returns the entries whose Event matches any of the given names.
+func (t *Trace) Filter(events ...string) []Entry {
+	want := make(map[string]bool, len(events))
+	for _, e := range events {
+		want[e] = true
+	}
+	var out []Entry
+	for _, e := range t.entries {
+		if want[e.Event] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole trace, one entry per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, "... %d entries dropped\n", t.dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mes/internal/sim"
+)
+
+func TestProfileForCoversMatrix(t *testing.T) {
+	for _, os := range []OSKind{Windows, Linux} {
+		for _, iso := range []Isolation{Local, Sandbox, VM} {
+			p := ProfileFor(os, iso)
+			if p.OS != os || p.Iso != iso {
+				t.Errorf("ProfileFor(%v,%v) = %v/%v", os, iso, p.OS, p.Iso)
+			}
+			if p.Name == "" {
+				t.Errorf("ProfileFor(%v,%v) has empty name", os, iso)
+			}
+		}
+	}
+}
+
+func TestCostNonNegative(t *testing.T) {
+	f := func(seed uint64, opRaw uint8) bool {
+		p := ProfileFor(Windows, Local)
+		r := sim.NewRNG(seed)
+		op := Op(int(opRaw) % int(numOps))
+		for i := 0; i < 32; i++ {
+			if p.Cost(r, op) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinuxSleepFloor(t *testing.T) {
+	p := Noiseless(Linux, Local)
+	r := sim.NewRNG(1)
+	extra := p.SleepExtra(r, sim.Micro(10))
+	if got := sim.Micro(10) + extra; got != sim.Micro(58) {
+		t.Fatalf("effective sleep = %v, want 58µs floor", got)
+	}
+	extra = p.SleepExtra(r, sim.Micro(100))
+	if extra != 0 {
+		t.Fatalf("sleep above floor paid %v extra in noiseless profile", extra)
+	}
+}
+
+func TestWindowsSleepOvershoot(t *testing.T) {
+	p := ProfileFor(Windows, Local)
+	r := sim.NewRNG(2)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.SleepExtra(r, sim.Micro(100)).Micros()
+	}
+	mean := sum / n
+	if math.Abs(mean-24) > 1.0 {
+		t.Fatalf("mean overshoot = %.2fµs, want ~24µs", mean)
+	}
+}
+
+func TestHazardRateScalesWithExposure(t *testing.T) {
+	p := ProfileFor(Windows, Local)
+	r := sim.NewRNG(3)
+	count := func(exposure sim.Duration) int {
+		n := 0
+		for i := 0; i < 200000; i++ {
+			if p.Hazard(r, exposure) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	short := count(sim.Micro(20))
+	long := count(sim.Micro(200))
+	if long < short*5 {
+		t.Fatalf("hazard occurrences: exposure 20µs → %d, 200µs → %d; want ~10× growth", short, long)
+	}
+}
+
+func TestHazardZeroExposure(t *testing.T) {
+	p := ProfileFor(Linux, Local)
+	r := sim.NewRNG(4)
+	for i := 0; i < 100; i++ {
+		if p.Hazard(r, 0) != 0 {
+			t.Fatal("hazard on zero exposure")
+		}
+	}
+}
+
+func TestMissGrowsPastKnee(t *testing.T) {
+	p := ProfileFor(Linux, Local)
+	r := sim.NewRNG(5)
+	freq := func(hold sim.Duration) float64 {
+		n := 0
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			if p.Miss(r, hold) {
+				n++
+			}
+		}
+		return float64(n) / trials
+	}
+	atPlateau := freq(sim.Micro(160))
+	atTail := freq(sim.Micro(320))
+	if atPlateau > 0.01 {
+		t.Fatalf("miss probability at 160µs = %.4f, want < 1%%", atPlateau)
+	}
+	if atTail < 2*atPlateau {
+		t.Fatalf("miss at 320µs (%.4f) should clearly exceed plateau (%.4f)", atTail, atPlateau)
+	}
+}
+
+func TestIsolationPenaltiesOrdered(t *testing.T) {
+	r := sim.NewRNG(6)
+	local := ProfileFor(Windows, Local)
+	sandbox := ProfileFor(Windows, Sandbox)
+	vm := ProfileFor(Windows, VM)
+	if local.Cross(r) != 0 {
+		t.Fatal("local profile charges crossing cost")
+	}
+	var sb, v float64
+	for i := 0; i < 10000; i++ {
+		sb += sandbox.Cross(r).Micros()
+		v += vm.Cross(r).Micros()
+	}
+	if !(v > sb && sb > 0) {
+		t.Fatalf("crossing cost ordering violated: sandbox=%.1f vm=%.1f", sb, v)
+	}
+	if vm.HazardScale <= sandbox.HazardScale || sandbox.HazardScale <= local.HazardScale {
+		t.Fatal("hazard scale should grow with isolation distance")
+	}
+}
+
+func TestNoiselessIsDeterministic(t *testing.T) {
+	p := Noiseless(Windows, Local)
+	r := sim.NewRNG(7)
+	c1 := p.Cost(r, OpLock)
+	c2 := p.Cost(r, OpLock)
+	if c1 != c2 || c1 != p.OpCost[OpLock] {
+		t.Fatalf("noiseless cost varies: %v vs %v (base %v)", c1, c2, p.OpCost[OpLock])
+	}
+	if p.Hazard(r, sim.Micro(1000)) != 0 {
+		t.Fatal("noiseless profile produced hazard")
+	}
+	if p.Miss(r, sim.Micro(1000)) {
+		t.Fatal("noiseless profile produced miss")
+	}
+}
+
+func TestHooksAdapter(t *testing.T) {
+	p := ProfileFor(Linux, Local)
+	h := p.Hooks()
+	r := sim.NewRNG(8)
+	if extra := h.SleepLatency(r, sim.Micro(10)); extra < sim.Micro(40) {
+		t.Fatalf("adapter sleep latency %v, want ≥ floor gap", extra)
+	}
+	if j := h.ExecJitter(r, sim.Micro(5)); j < 0 {
+		t.Fatalf("negative exec jitter %v", j)
+	}
+}
+
+func TestOpStringTotal(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "op?" || op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}

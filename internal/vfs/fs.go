@@ -1,0 +1,181 @@
+package vfs
+
+import "sort"
+
+// File is an open file description — a system open-file-table entry
+// (Fig. 5's middle table). Every open() creates a fresh entry even for the
+// same path, and flock locks belong to this entry, not to the fd or the
+// process: exactly the sharing structure the channel requires.
+type File struct {
+	id     uint64
+	inode  *Inode
+	offset int64
+	write  bool
+	refs   int // descriptors referring to this entry (dup/fork)
+	held   LockKind
+	closed bool
+}
+
+// ID returns the file-table entry id.
+func (f *File) ID() uint64 { return f.id }
+
+// Inode returns the underlying i-node.
+func (f *File) Inode() *Inode { return f.inode }
+
+// Held returns the flock kind currently held through this entry.
+func (f *File) Held() LockKind { return f.held }
+
+// Writable reports whether the entry was opened for writing.
+func (f *File) Writable() bool { return f.write }
+
+// WaiterName implements a diagnostic label.
+func (f *File) WaiterName() string { return f.inode.path }
+
+// FS is the system-wide VFS state: the i-node table and the open-file
+// table.
+type FS struct {
+	nextIno  uint64
+	nextFile uint64
+	inodes   map[string]*Inode
+	files    map[uint64]*File
+}
+
+// NewFS creates an empty filesystem.
+func NewFS() *FS {
+	return &FS{
+		inodes: make(map[string]*Inode),
+		files:  make(map[uint64]*File),
+	}
+}
+
+// Create makes a new file. readOnly files reject writable opens —
+// the paper sets the shared file read-only so the channel cannot be
+// trivialised into direct data writes; mandatory enables mandatory
+// locking.
+func (fs *FS) Create(path string, size int64, readOnly, mandatory bool) (*Inode, error) {
+	if _, ok := fs.inodes[path]; ok {
+		return nil, ErrExist
+	}
+	fs.nextIno++
+	in := &Inode{
+		ino:       fs.nextIno,
+		path:      path,
+		size:      size,
+		readOnly:  readOnly,
+		mandatory: mandatory,
+		fair:      true,
+		shared:    make(map[*File]bool),
+	}
+	fs.inodes[path] = in
+	return in, nil
+}
+
+// Lookup resolves a path to its i-node.
+func (fs *FS) Lookup(path string) (*Inode, error) {
+	in, ok := fs.inodes[path]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	return in, nil
+}
+
+// Open creates a new open file description for path. Opening a read-only
+// file for writing fails with ErrReadOnly.
+func (fs *FS) Open(path string, write bool) (*File, error) {
+	in, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if write && in.readOnly {
+		return nil, ErrReadOnly
+	}
+	fs.nextFile++
+	f := &File{id: fs.nextFile, inode: in, write: write, refs: 1}
+	fs.files[f.id] = f
+	in.links++
+	return f, nil
+}
+
+// Dup adds a descriptor reference to the open file description (dup/fork
+// share the entry, hence also the flock lock).
+func (fs *FS) Dup(f *File) *File {
+	f.refs++
+	return f
+}
+
+// Close drops one descriptor reference. When the last reference goes, the
+// entry leaves the file table and any flock held through it is released;
+// the returned waiters must be woken.
+func (fs *FS) Close(f *File) ([]Waiter, error) {
+	if f.closed {
+		return nil, ErrClosed
+	}
+	f.refs--
+	if f.refs > 0 {
+		return nil, nil
+	}
+	f.closed = true
+	delete(fs.files, f.id)
+	f.inode.links--
+	f.inode.CancelFlock(f)
+	if f.held != LockNone {
+		return f.inode.Unlock(f), nil
+	}
+	return nil, nil
+}
+
+// OpenFiles reports the size of the system open-file table.
+func (fs *FS) OpenFiles() int { return len(fs.files) }
+
+// Inodes reports the number of i-nodes.
+func (fs *FS) Inodes() int { return len(fs.inodes) }
+
+// Paths returns all file paths in sorted order.
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.inodes))
+	for p := range fs.inodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FDTable is a per-process file-descriptor table (Fig. 5's left column):
+// fd numbers mapping to open-file-table entries.
+type FDTable struct {
+	next int
+	fds  map[int]*File
+}
+
+// NewFDTable creates an empty descriptor table. Like a fresh process, fd
+// numbering starts at 3 (0-2 being the standard streams).
+func NewFDTable() *FDTable {
+	return &FDTable{next: 3, fds: make(map[int]*File)}
+}
+
+// Install assigns the lowest free descriptor to f.
+func (t *FDTable) Install(f *File) int {
+	fd := t.next
+	t.next++
+	t.fds[fd] = f
+	return fd
+}
+
+// Get resolves a descriptor.
+func (t *FDTable) Get(fd int) (*File, bool) {
+	f, ok := t.fds[fd]
+	return f, ok
+}
+
+// Remove drops the descriptor without touching the file table (the caller
+// pairs it with FS.Close).
+func (t *FDTable) Remove(fd int) (*File, bool) {
+	f, ok := t.fds[fd]
+	if ok {
+		delete(t.fds, fd)
+	}
+	return f, ok
+}
+
+// Len reports the number of open descriptors.
+func (t *FDTable) Len() int { return len(t.fds) }

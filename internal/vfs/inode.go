@@ -1,0 +1,225 @@
+// Package vfs models the Linux kernel's three-level file structure from
+// the paper's Fig. 5 — per-process file-descriptor tables, the system-wide
+// open-file table, and the i-node table — together with flock-style
+// advisory locks on i-nodes. The flock covert channel works precisely
+// because two descriptors in different processes resolve to the same
+// i-node: an exclusive lock placed through one blocks lock requests placed
+// through the other.
+//
+// Like internal/kobj, this package is pure state machines: blocking is
+// returned to the caller as waiter lists, and internal/osmodel does the
+// parking and waking on the simulation kernel.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Waiter is an opaque reference to a blocked process, supplied by the OS
+// layer.
+type Waiter interface {
+	WaiterName() string
+}
+
+// LockKind is the flock lock type.
+type LockKind int
+
+// flock lock kinds.
+const (
+	LockNone LockKind = iota // no lock held
+	LockSh                   // LOCK_SH: shared
+	LockEx                   // LOCK_EX: exclusive
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case LockNone:
+		return "UN"
+	case LockSh:
+		return "SH"
+	case LockEx:
+		return "EX"
+	default:
+		return fmt.Sprintf("LockKind(%d)", int(k))
+	}
+}
+
+// Errors returned by VFS operations.
+var (
+	ErrNotExist   = errors.New("vfs: no such file")
+	ErrExist      = errors.New("vfs: file exists")
+	ErrReadOnly   = errors.New("vfs: permission denied (read-only file)")
+	ErrWouldBlock = errors.New("vfs: resource temporarily unavailable") // EWOULDBLOCK
+	ErrClosed     = errors.New("vfs: file already closed")
+)
+
+// Inode is an i-node table entry: the system-level structure that stores
+// real file information and — the part the channel abuses — the file
+// locks (Fig. 5: "the locking information is added to the i-node table
+// entry").
+type Inode struct {
+	ino      uint64
+	path     string
+	size     int64
+	readOnly bool
+	// mandatory marks the file as using mandatory locking, the paper's
+	// refinement over Lampson's read-write interlock leak: the processes
+	// need no write permission at all.
+	mandatory bool
+
+	links int // open file-table entries referring to this inode
+
+	fair      bool // fair (FIFO) lock competition; channels require this
+	exclusive *File
+	shared    map[*File]bool
+	queue     []lockWaiter
+}
+
+type lockWaiter struct {
+	file *File
+	kind LockKind
+	w    Waiter
+}
+
+// Ino returns the i-node number.
+func (in *Inode) Ino() uint64 { return in.ino }
+
+// Path returns the canonical path the inode was created under.
+func (in *Inode) Path() string { return in.path }
+
+// Size returns the file size in bytes.
+func (in *Inode) Size() int64 { return in.size }
+
+// ReadOnly reports whether the file rejects writable opens.
+func (in *Inode) ReadOnly() bool { return in.readOnly }
+
+// Mandatory reports whether mandatory locking is enabled.
+func (in *Inode) Mandatory() bool { return in.mandatory }
+
+// Links reports how many open file descriptions refer to this inode.
+func (in *Inode) Links() int { return in.links }
+
+// SetFair switches between fair (FIFO, default) and unfair lock
+// competition. The paper (§V.B) observes MES channels only work under fair
+// competition; the unfair mode exists to reproduce that failure.
+func (in *Inode) SetFair(fair bool) { in.fair = fair }
+
+// Fair reports the current competition mode.
+func (in *Inode) Fair() bool { return in.fair }
+
+// HeldLocks reports the current holder counts (exclusive, shared).
+func (in *Inode) HeldLocks() (exclusive int, shared int) {
+	if in.exclusive != nil {
+		exclusive = 1
+	}
+	return exclusive, len(in.shared)
+}
+
+// QueueLen reports the number of blocked lock requests.
+func (in *Inode) QueueLen() int { return len(in.queue) }
+
+// compatible reports whether f may take kind right now, ignoring the queue.
+func (in *Inode) compatible(f *File, kind LockKind) bool {
+	if in.exclusive != nil && in.exclusive != f {
+		return false
+	}
+	if kind == LockEx {
+		for holder := range in.shared {
+			if holder != f {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (in *Inode) install(f *File, kind LockKind) {
+	delete(in.shared, f)
+	if in.exclusive == f {
+		in.exclusive = nil
+	}
+	switch kind {
+	case LockEx:
+		in.exclusive = f
+	case LockSh:
+		in.shared[f] = true
+	}
+	f.held = kind
+}
+
+// TryFlock attempts a non-blocking flock(f, kind). In fair mode a request
+// joins behind queued waiters; in unfair mode it may jump the queue.
+// LockNone is not valid here — use Unlock.
+func (in *Inode) TryFlock(f *File, kind LockKind) bool {
+	if kind == LockNone {
+		return false
+	}
+	if f.held == kind {
+		return true // re-asserting the held kind is a no-op
+	}
+	if in.fair && len(in.queue) > 0 {
+		return false
+	}
+	if !in.compatible(f, kind) {
+		return false
+	}
+	in.install(f, kind)
+	return true
+}
+
+// EnqueueFlock registers a blocking flock request.
+func (in *Inode) EnqueueFlock(f *File, kind LockKind, w Waiter) {
+	in.queue = append(in.queue, lockWaiter{file: f, kind: kind, w: w})
+}
+
+// CancelFlock removes a queued request for f, reporting whether one existed.
+func (in *Inode) CancelFlock(f *File) bool {
+	for i, lw := range in.queue {
+		if lw.file == f {
+			in.queue = append(in.queue[:i], in.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Unlock releases f's lock (LOCK_UN) and promotes queued compatible
+// requests, returning the waiters to wake. In fair mode the lock is handed
+// to queued requests directly (FIFO); in unfair mode the head waiter is
+// merely woken to re-contend ("barging"), so a fast current process can
+// re-acquire ahead of it — the starvation failure mode the paper describes
+// in §V.B.
+func (in *Inode) Unlock(f *File) []Waiter {
+	if in.exclusive == f {
+		in.exclusive = nil
+	}
+	delete(in.shared, f)
+	f.held = LockNone
+	return in.promote()
+}
+
+func (in *Inode) promote() []Waiter {
+	if !in.fair {
+		if len(in.queue) == 0 {
+			return nil
+		}
+		head := in.queue[0]
+		in.queue = in.queue[1:]
+		return []Waiter{head.w}
+	}
+	var woken []Waiter
+	for len(in.queue) > 0 {
+		head := in.queue[0]
+		if !in.compatible(head.file, head.kind) {
+			break
+		}
+		in.install(head.file, head.kind)
+		woken = append(woken, head.w)
+		in.queue = in.queue[1:]
+		if head.kind == LockEx {
+			break
+		}
+	}
+	return woken
+}

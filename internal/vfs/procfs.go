@@ -1,0 +1,66 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockRecord describes one held flock in /proc/locks format.
+type LockRecord struct {
+	Seq   int
+	Kind  LockKind
+	Ino   uint64
+	Path  string
+	Owner string
+}
+
+// Locks returns all currently held flocks, ordered by i-node then holder.
+// This is the information surface the /proc/locks baseline covert channel
+// (Gao et al., §VII.B) reads: lock counts are world-visible.
+func (fs *FS) Locks() []LockRecord {
+	var recs []LockRecord
+	paths := fs.Paths()
+	for _, p := range paths {
+		in := fs.inodes[p]
+		if in.exclusive != nil {
+			recs = append(recs, LockRecord{
+				Kind: LockEx, Ino: in.ino, Path: in.path,
+				Owner: fmt.Sprintf("ofd%d", in.exclusive.id),
+			})
+		}
+		holders := make([]*File, 0, len(in.shared))
+		for f := range in.shared {
+			holders = append(holders, f)
+		}
+		sort.Slice(holders, func(i, j int) bool { return holders[i].id < holders[j].id })
+		for _, f := range holders {
+			recs = append(recs, LockRecord{
+				Kind: LockSh, Ino: in.ino, Path: in.path,
+				Owner: fmt.Sprintf("ofd%d", f.id),
+			})
+		}
+	}
+	for i := range recs {
+		recs[i].Seq = i + 1
+	}
+	return recs
+}
+
+// LockCount reports the number of held flocks (the scalar the baseline
+// channel modulates).
+func (fs *FS) LockCount() int { return len(fs.Locks()) }
+
+// ProcLocks renders the /proc/locks pseudo-file.
+func (fs *FS) ProcLocks() string {
+	var b strings.Builder
+	for _, r := range fs.Locks() {
+		access := "READ "
+		if r.Kind == LockEx {
+			access = "WRITE"
+		}
+		fmt.Fprintf(&b, "%d: FLOCK  ADVISORY  %s %s 00:00:%d 0 EOF\n",
+			r.Seq, access, r.Owner, r.Ino)
+	}
+	return b.String()
+}

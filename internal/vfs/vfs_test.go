@@ -1,0 +1,325 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type tw string
+
+func (t tw) WaiterName() string { return string(t) }
+
+func mkfile(t *testing.T, fs *FS, path string) (*File, *File) {
+	t.Helper()
+	if _, err := fs.Create(path, 64, true, true); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a, err := fs.Open(path, false)
+	if err != nil {
+		t.Fatalf("Open a: %v", err)
+	}
+	b, err := fs.Open(path, false)
+	if err != nil {
+		t.Fatalf("Open b: %v", err)
+	}
+	return a, b
+}
+
+func TestSameInodeSharedAcrossOpens(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/share/file.txt")
+	if a.Inode() != b.Inode() {
+		t.Fatal("two opens of one path must share the i-node (Fig. 5)")
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("each open must create an independent file-table entry")
+	}
+	if fs.OpenFiles() != 2 {
+		t.Fatalf("open-file table has %d entries, want 2", fs.OpenFiles())
+	}
+	if a.Inode().Links() != 2 {
+		t.Fatalf("inode links = %d, want 2", a.Inode().Links())
+	}
+}
+
+func TestReadOnlyRejectsWritableOpen(t *testing.T) {
+	fs := NewFS()
+	fs.Create("/secret.txt", 10, true, true)
+	if _, err := fs.Open("/secret.txt", true); err != ErrReadOnly {
+		t.Fatalf("writable open of read-only file: err = %v, want ErrReadOnly", err)
+	}
+	if _, err := fs.Open("/secret.txt", false); err != nil {
+		t.Fatalf("read-only open failed: %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := NewFS()
+	if _, err := fs.Open("/nope", false); err != ErrNotExist {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := NewFS()
+	fs.Create("/f", 0, false, false)
+	if _, err := fs.Create("/f", 0, false, false); err != ErrExist {
+		t.Fatalf("err = %v, want ErrExist", err)
+	}
+}
+
+func TestFlockExclusiveBlocksOtherEntry(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	in := a.Inode()
+	if !in.TryFlock(a, LockEx) {
+		t.Fatal("first LOCK_EX failed")
+	}
+	if in.TryFlock(b, LockEx) {
+		t.Fatal("second LOCK_EX through other entry granted")
+	}
+	if in.TryFlock(b, LockSh) {
+		t.Fatal("LOCK_SH granted while LOCK_EX held")
+	}
+	in.EnqueueFlock(b, LockEx, tw("spy"))
+	woken := in.Unlock(a)
+	if len(woken) != 1 || woken[0] != Waiter(tw("spy")) {
+		t.Fatalf("unlock woke %v, want [spy]", woken)
+	}
+	if b.Held() != LockEx {
+		t.Fatal("queued request not installed on promote")
+	}
+}
+
+func TestFlockReassertHeldKindIsNoop(t *testing.T) {
+	fs := NewFS()
+	a, _ := mkfile(t, fs, "/f")
+	in := a.Inode()
+	in.TryFlock(a, LockEx)
+	if !in.TryFlock(a, LockEx) {
+		t.Fatal("re-asserting held kind should succeed")
+	}
+}
+
+func TestFlockConversion(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	in := a.Inode()
+	in.TryFlock(a, LockSh)
+	in.TryFlock(b, LockSh)
+	// a cannot upgrade while b shares.
+	if in.TryFlock(a, LockEx) {
+		t.Fatal("upgrade granted over another shared holder")
+	}
+	in.Unlock(b)
+	if !in.TryFlock(a, LockEx) {
+		t.Fatal("upgrade failed as sole holder")
+	}
+	if !in.TryFlock(a, LockSh) {
+		t.Fatal("downgrade failed")
+	}
+	ex, sh := in.HeldLocks()
+	if ex != 0 || sh != 1 {
+		t.Fatalf("after downgrade: ex=%d sh=%d", ex, sh)
+	}
+}
+
+func TestFairQueueBlocksJumpers(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	c, err := fs.Open("/f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := a.Inode()
+	in.TryFlock(a, LockSh)
+	in.EnqueueFlock(b, LockEx, tw("b"))
+	// c's shared request is compatible with a's, but fair mode queues it
+	// behind b.
+	if in.TryFlock(c, LockSh) {
+		t.Fatal("fair mode allowed queue jump")
+	}
+	in.SetFair(false)
+	if !in.TryFlock(c, LockSh) {
+		t.Fatal("unfair mode should allow the jump")
+	}
+}
+
+func TestCloseReleasesLock(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	in := a.Inode()
+	in.TryFlock(a, LockEx)
+	in.EnqueueFlock(b, LockEx, tw("spy"))
+	woken, err := fs.Close(a)
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(woken) != 1 {
+		t.Fatalf("close woke %d, want 1 (lock released on last close)", len(woken))
+	}
+	if fs.OpenFiles() != 1 {
+		t.Fatalf("open files = %d, want 1", fs.OpenFiles())
+	}
+	if in.Links() != 1 {
+		t.Fatalf("links = %d, want 1", in.Links())
+	}
+}
+
+func TestDupSharesEntry(t *testing.T) {
+	fs := NewFS()
+	a, _ := mkfile(t, fs, "/f")
+	in := a.Inode()
+	dup := fs.Dup(a)
+	in.TryFlock(a, LockEx)
+	// Closing one descriptor must not release: entry still referenced.
+	if woken, err := fs.Close(dup); err != nil || len(woken) != 0 {
+		t.Fatalf("first close: woken=%v err=%v", woken, err)
+	}
+	ex, _ := in.HeldLocks()
+	if ex != 1 {
+		t.Fatal("lock dropped while entry still referenced")
+	}
+	if _, err := fs.Close(a); err != nil {
+		t.Fatal(err)
+	}
+	ex, _ = in.HeldLocks()
+	if ex != 0 {
+		t.Fatal("lock survived last close")
+	}
+}
+
+func TestDoubleClose(t *testing.T) {
+	fs := NewFS()
+	a, _ := mkfile(t, fs, "/f")
+	if _, err := fs.Close(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Close(a); err != ErrClosed {
+		t.Fatalf("double close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	tbl := NewFDTable()
+	fdA := tbl.Install(a)
+	fdB := tbl.Install(b)
+	if fdA == fdB {
+		t.Fatal("duplicate fd numbers")
+	}
+	if fdA < 3 {
+		t.Fatalf("fd %d collides with std streams", fdA)
+	}
+	got, ok := tbl.Get(fdA)
+	if !ok || got != a {
+		t.Fatal("Get failed")
+	}
+	if f, ok := tbl.Remove(fdA); !ok || f != a {
+		t.Fatal("Remove failed")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestProcLocksView(t *testing.T) {
+	fs := NewFS()
+	a, b := mkfile(t, fs, "/f")
+	fs.Create("/g", 0, false, false)
+	g, _ := fs.Open("/g", false)
+	a.Inode().TryFlock(a, LockEx)
+	g.Inode().TryFlock(g, LockSh)
+	_ = b
+	if got := fs.LockCount(); got != 2 {
+		t.Fatalf("LockCount = %d, want 2", got)
+	}
+	text := fs.ProcLocks()
+	if !strings.Contains(text, "WRITE") || !strings.Contains(text, "READ") {
+		t.Fatalf("ProcLocks rendering missing kinds:\n%s", text)
+	}
+	recs := fs.Locks()
+	if recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatal("lock records not sequentially numbered")
+	}
+}
+
+// Property: any script of flock/unlock operations through two entries
+// preserves: never two exclusive holders; exclusive and foreign shared
+// never coexist; queue length never negative.
+func TestFlockInvariant(t *testing.T) {
+	f := func(script []uint8) bool {
+		fs := NewFS()
+		fs.Create("/f", 0, true, true)
+		entries := make([]*File, 3)
+		for i := range entries {
+			e, err := fs.Open("/f", false)
+			if err != nil {
+				return false
+			}
+			entries[i] = e
+		}
+		in := entries[0].Inode()
+		for _, op := range script {
+			e := entries[int(op)%len(entries)]
+			switch (op >> 2) % 3 {
+			case 0:
+				in.TryFlock(e, LockEx)
+			case 1:
+				in.TryFlock(e, LockSh)
+			case 2:
+				in.Unlock(e)
+			}
+			ex, sh := in.HeldLocks()
+			if ex > 1 {
+				return false
+			}
+			if ex == 1 && sh > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in fair mode, grant order equals enqueue order for exclusive
+// requests.
+func TestFlockFIFOProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%6) + 2
+		fs := NewFS()
+		fs.Create("/f", 0, true, true)
+		holder, _ := fs.Open("/f", false)
+		in := holder.Inode()
+		in.TryFlock(holder, LockEx)
+		files := make([]*File, count)
+		for i := range files {
+			files[i], _ = fs.Open("/f", false)
+			in.EnqueueFlock(files[i], LockEx, files[i])
+		}
+		var order []*File
+		for _, w := range in.Unlock(holder) {
+			order = append(order, w.(*File))
+		}
+		for len(order) < count {
+			last := order[len(order)-1]
+			for _, w := range in.Unlock(last) {
+				order = append(order, w.(*File))
+			}
+		}
+		for i := range order {
+			if order[i] != files[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

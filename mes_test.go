@@ -1,0 +1,72 @@
+package mes_test
+
+import (
+	"testing"
+
+	"mes"
+)
+
+func TestFacadeSendRoundTrip(t *testing.T) {
+	res, err := mes.Send(mes.Config{
+		Mechanism: mes.Event,
+		Scenario:  mes.Local(),
+		Payload:   mes.TextBits("facade"),
+		Seed:      1,
+		Noiseless: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ReceivedBits.Text(); got != "facade" {
+		t.Fatalf("decoded %q", got)
+	}
+}
+
+func TestFacadeMechanisms(t *testing.T) {
+	ms := mes.Mechanisms()
+	if len(ms) != 6 {
+		t.Fatalf("mechanisms = %d", len(ms))
+	}
+	if ms[0] != mes.Flock || ms[4] != mes.Event {
+		t.Fatalf("order changed: %v", ms)
+	}
+}
+
+func TestFacadeFeasibility(t *testing.T) {
+	if err := mes.Feasible(mes.Event, mes.CrossVM()); err == nil {
+		t.Fatal("Event should be infeasible cross-VM")
+	}
+	if err := mes.Feasible(mes.FileLockEX, mes.CrossVM()); err != nil {
+		t.Fatalf("FileLockEX cross-VM: %v", err)
+	}
+	if err := mes.Feasible(mes.Mutex, mes.CrossSandbox()); err != nil {
+		t.Fatalf("sandbox: %v", err)
+	}
+}
+
+func TestFacadeParseBits(t *testing.T) {
+	b, err := mes.ParseBits("1010")
+	if err != nil || b.String() != "1010" {
+		t.Fatalf("ParseBits: %v %v", b, err)
+	}
+	if _, err := mes.ParseBits("12"); err == nil {
+		t.Fatal("bad bits accepted")
+	}
+}
+
+func TestFacadeAllScenarios(t *testing.T) {
+	for _, scn := range []mes.Scenario{mes.Local(), mes.CrossSandbox(), mes.CrossVM()} {
+		res, err := mes.Send(mes.Config{
+			Mechanism: mes.Flock,
+			Scenario:  scn,
+			Payload:   mes.TextBits("x"),
+			Seed:      2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scn, err)
+		}
+		if res.BER > 0.2 {
+			t.Fatalf("%v: BER %.3f", scn, res.BER)
+		}
+	}
+}
