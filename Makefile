@@ -1,0 +1,25 @@
+# Tier-1 verification plus the CI gate. Experiment tests run in Quick mode
+# internally (small payloads), and `ci` adds -short to skip the one full
+# registry sweep, keeping the race-instrumented suite to a few minutes.
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One pass over every benchmark, including BenchmarkSweepParallel's
+# workers=1 vs workers=N speedup comparison.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

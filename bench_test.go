@@ -6,6 +6,8 @@
 package mes_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mes/internal/codec"
@@ -224,6 +226,40 @@ func BenchmarkBaselines(b *testing.B) {
 		if _, err := experiments.Baselines(opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepParallel measures the batch runner on the Fig. 9 sweep (42
+// independent transmissions): one sub-benchmark per worker-pool size, so
+// the ns/op ratio between workers=1 and workers=GOMAXPROCS is the
+// wall-clock speedup (target ≥3× on a 4-core runner). Every pool size
+// produces bit-identical sweep results; the sub-benchmarks verify that
+// against the sequential rendering as they go.
+func BenchmarkSweepParallel(b *testing.B) {
+	opt := experiments.Options{Bits: 2000, Seed: 1, Workers: 1}
+	pts, err := experiments.Fig9(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sequential := experiments.RenderFig9(pts)
+
+	counts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > counts[len(counts)-1] {
+		counts = append(counts, max)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := experiments.Options{Bits: 2000, Seed: 1, Workers: w}
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig9(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out := experiments.RenderFig9(pts); out != sequential {
+					b.Fatal("parallel sweep diverged from the sequential rendering")
+				}
+			}
+		})
 	}
 }
 

@@ -6,24 +6,33 @@
 //	mesbench -exp table4
 //	mesbench -exp fig9a -bits 40000 -seed 7
 //	mesbench -all -quick
+//	mesbench -all -workers 8
+//
+// Experiment parameter grids fan out across a worker pool (internal/runner);
+// -workers bounds the pool and defaults to GOMAXPROCS. Output is
+// bit-identical for any worker count. Interrupting (Ctrl-C) cancels the
+// sweep in flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"mes/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment name (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiments")
-		bits  = flag.Int("bits", 0, "payload bits per measured point (default 20000)")
-		seed  = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
-		quick = flag.Bool("quick", false, "reduced payload for a fast pass")
+		exp     = flag.String("exp", "", "experiment name (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		bits    = flag.Int("bits", 0, "payload bits per measured point (default 20000)")
+		seed    = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
+		quick   = flag.Bool("quick", false, "reduced payload for a fast pass")
+		workers = flag.Int("workers", 0, "parallel trials per experiment sweep (0 = GOMAXPROCS; any value yields identical output)")
 	)
 	flag.Parse()
 
@@ -33,7 +42,9 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{Bits: *bits, Seed: *seed, Quick: *quick}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt := experiments.Options{Bits: *bits, Seed: *seed, Quick: *quick, Workers: *workers, Ctx: ctx}
 	switch {
 	case *all:
 		for _, e := range experiments.Registry() {
@@ -41,6 +52,9 @@ func main() {
 			out, err := e.Run(opt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+				if ctx.Err() != nil {
+					os.Exit(1)
+				}
 				continue
 			}
 			fmt.Println(out)

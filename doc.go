@@ -14,6 +14,15 @@
 //     channels survive VM isolation);
 //   - an experiment harness regenerating every table and figure of the
 //     paper's evaluation (see internal/experiments and cmd/mesbench);
+//   - a deterministic batch runner (internal/runner) that the harness uses
+//     to fan each experiment's parameter grid across a GOMAXPROCS-bounded
+//     worker pool: every cell of a sweep owns an independent simulation
+//     kernel, trial configs (payload, seed, parameters) are frozen before
+//     fan-out, and per-trial seeds are derived from grid indices, so
+//     results are bit-identical for any worker count (cmd/mesbench's
+//     -workers flag, experiments.Options.Workers). A memoizing cache keyed
+//     by config fingerprint lets registry entries that share a computation
+//     (fig9a/fig9b, table2/table3) run it once;
 //   - a wall-clock backend (internal/realtime) that runs the same protocol
 //     shapes on real goroutines and Go sync primitives.
 //

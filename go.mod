@@ -1,0 +1,3 @@
+module mes
+
+go 1.24

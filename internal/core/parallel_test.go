@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"mes/internal/sim"
+)
+
+// TestRunParallelMakespanExcludesSetup is the regression test for the
+// unanchored-makespan bug: Makespan used to be measured from simulated t=0,
+// silently including the Trojans' 200µs setup sleep, because the earliest
+// anchor was declared but never assigned. It must now span only the window
+// from the first Spy measurement to the last.
+func TestRunParallelMakespanExcludesSetup(t *testing.T) {
+	res, err := RunParallel(Event, Local(), 2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("Makespan = %v, want > 0", res.Makespan)
+	}
+	if res.Makespan >= res.Elapsed {
+		t.Fatalf("Makespan %v not anchored: should be strictly less than total virtual elapsed %v",
+			res.Makespan, res.Elapsed)
+	}
+	if gap := res.Elapsed - res.Makespan; gap < 200*sim.Microsecond {
+		t.Errorf("Makespan excludes only %v of the run; the 200µs Trojan setup delay should be outside it", gap)
+	}
+	if res.AggregateKbps <= 0 || res.PerPairKbps <= 0 {
+		t.Errorf("rates not derived from the anchored makespan: %+v", res)
+	}
+}

@@ -16,32 +16,51 @@ type FairnessResult struct {
 	UnfairErr  string
 }
 
-// Fairness runs the flock channel in both competition modes.
+// Fairness runs the flock channel in both competition modes. The grid is
+// the two modes; the unfair trial is expected to die, so its failure is a
+// data point rather than a sweep error.
 func Fairness(opt Options) (*FairnessResult, error) {
 	payload := opt.payload(opt.sweepBits())
-	fair, err := core.Run(core.Config{
-		Mechanism: core.Flock,
-		Scenario:  core.Local(),
-		Payload:   payload,
-		Seed:      opt.seed(),
+	type outcome struct {
+		berPct, tr float64
+		dead       bool
+		errMsg     string
+	}
+	modes := []core.Config{
+		{
+			Mechanism: core.Flock,
+			Scenario:  core.Local(),
+			Payload:   payload,
+			Seed:      opt.seed(),
+		},
+		{
+			Mechanism:           core.Flock,
+			Scenario:            core.Local(),
+			Payload:             payload,
+			Seed:                opt.seed(),
+			UnfairCompetition:   true,
+			DisableInterBitSync: true,
+		},
+	}
+	outs, err := runAll(opt, modes, func(cfg core.Config) (outcome, error) {
+		r, err := core.Run(cfg)
+		if err != nil {
+			if cfg.UnfairCompetition {
+				return outcome{dead: true, errMsg: err.Error()}, nil
+			}
+			return outcome{}, err
+		}
+		return outcome{berPct: r.BER * 100, tr: r.TRKbps}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &FairnessResult{FairBERPct: fair.BER * 100, FairTR: fair.TRKbps}
-	_, err = core.Run(core.Config{
-		Mechanism:           core.Flock,
-		Scenario:            core.Local(),
-		Payload:             payload,
-		Seed:                opt.seed(),
-		UnfairCompetition:   true,
-		DisableInterBitSync: true,
-	})
-	if err != nil {
-		res.UnfairDead = true
-		res.UnfairErr = err.Error()
-	}
-	return res, nil
+	return &FairnessResult{
+		FairBERPct: outs[0].berPct,
+		FairTR:     outs[0].tr,
+		UnfairDead: outs[1].dead,
+		UnfairErr:  outs[1].errMsg,
+	}, nil
 }
 
 // Render prints the fairness comparison.
@@ -66,33 +85,47 @@ type InterSyncResult struct {
 }
 
 // InterSync compares the flock channel with and without the per-bit
-// rendezvous.
+// rendezvous: a two-variant grid where the open-loop variant is allowed to
+// collapse outright.
 func InterSync(opt Options) (*InterSyncResult, error) {
 	payload := opt.payload(opt.sweepBits())
-	with, err := core.Run(core.Config{
-		Mechanism: core.Flock,
-		Scenario:  core.Local(),
-		Payload:   payload,
-		Seed:      opt.seed(),
+	type outcome struct {
+		berPct    float64
+		collapsed bool
+	}
+	variants := []core.Config{
+		{
+			Mechanism: core.Flock,
+			Scenario:  core.Local(),
+			Payload:   payload,
+			Seed:      opt.seed(),
+		},
+		{
+			Mechanism:           core.Flock,
+			Scenario:            core.Local(),
+			Payload:             payload,
+			Seed:                opt.seed(),
+			DisableInterBitSync: true,
+		},
+	}
+	outs, err := runAll(opt, variants, func(cfg core.Config) (outcome, error) {
+		r, err := core.Run(cfg)
+		if err != nil {
+			if cfg.DisableInterBitSync {
+				return outcome{berPct: 50, collapsed: true}, nil
+			}
+			return outcome{}, err
+		}
+		return outcome{berPct: r.BER * 100}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &InterSyncResult{WithBERPct: with.BER * 100}
-	without, err := core.Run(core.Config{
-		Mechanism:           core.Flock,
-		Scenario:            core.Local(),
-		Payload:             payload,
-		Seed:                opt.seed(),
-		DisableInterBitSync: true,
-	})
-	if err != nil {
-		res.Collapsed = true
-		res.WithoutBERPct = 50
-		return res, nil
-	}
-	res.WithoutBERPct = without.BER * 100
-	return res, nil
+	return &InterSyncResult{
+		WithBERPct:    outs[0].berPct,
+		WithoutBERPct: outs[1].berPct,
+		Collapsed:     outs[1].collapsed,
+	}, nil
 }
 
 // Render prints the comparison.
@@ -120,35 +153,61 @@ type InterferenceRow struct {
 	FlockBER     float64 // %
 }
 
-// Interference sweeps the number of background processes.
+// Interference sweeps the number of background processes. The grid is the
+// full cross product (interferer count × channel), 15 independent cells,
+// each returning one BER.
 func Interference(opt Options) ([]InterferenceRow, error) {
 	bits := opt.sweepBits()
 	if bits > 4000 {
 		bits = 4000
 	}
 	payload := opt.payload(bits)
-	var rows []InterferenceRow
-	for _, n := range []int{0, 2, 4, 8, 16} {
-		pc, err := baseline.RunPageCache(payload, n, opt.seed())
-		if err != nil {
-			return nil, err
+	counts := []int{0, 2, 4, 8, 16}
+	const cellsPerCount = 3 // page-cache, Event, flock
+	type cell struct {
+		n    int
+		kind int // 0 page-cache, 1 Event, 2 flock
+	}
+	var grid []cell
+	for _, n := range counts {
+		for kind := 0; kind < cellsPerCount; kind++ {
+			grid = append(grid, cell{n: n, kind: kind})
 		}
-		// The MES channels' closed resources are untouched by unrelated
-		// workload: their BER is the substrate noise floor regardless of n.
-		ev, err := core.Run(core.Config{Mechanism: core.Event, Scenario: core.Local(), Payload: payload, Seed: opt.seed() + uint64(n)})
-		if err != nil {
-			return nil, err
+	}
+	bers, err := runAll(opt, grid, func(c cell) (float64, error) {
+		switch c.kind {
+		case 0:
+			pc, err := baseline.RunPageCache(payload, c.n, opt.seed())
+			if err != nil {
+				return 0, err
+			}
+			return pc.BER * 100, nil
+		default:
+			// The MES channels' closed resources are untouched by unrelated
+			// workload: their BER is the substrate noise floor regardless
+			// of n (the per-count seed only varies the noise draw).
+			mech := core.Event
+			if c.kind == 2 {
+				mech = core.Flock
+			}
+			r, err := core.Run(core.Config{Mechanism: mech, Scenario: core.Local(), Payload: payload, Seed: opt.seed() + uint64(c.n)})
+			if err != nil {
+				return 0, err
+			}
+			return r.BER * 100, nil
 		}
-		fl, err := core.Run(core.Config{Mechanism: core.Flock, Scenario: core.Local(), Payload: payload, Seed: opt.seed() + uint64(n)})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, InterferenceRow{
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]InterferenceRow, len(counts))
+	for i, n := range counts {
+		rows[i] = InterferenceRow{
 			Interferers:  n,
-			PageCacheBER: pc.BER * 100,
-			EventBER:     ev.BER * 100,
-			FlockBER:     fl.BER * 100,
-		})
+			PageCacheBER: bers[i*cellsPerCount],
+			EventBER:     bers[i*cellsPerCount+1],
+			FlockBER:     bers[i*cellsPerCount+2],
+		}
 	}
 	return rows, nil
 }
@@ -172,58 +231,61 @@ type BaselineRow struct {
 }
 
 // Baselines runs the related-work channels at their cited operating
-// points.
+// points: a four-trial grid, one self-contained thunk per channel.
 func Baselines(opt Options) ([]BaselineRow, error) {
 	bits := opt.sweepBits()
 	if bits > 3000 {
 		bits = 3000
 	}
 	payload := opt.payload(bits)
-	var rows []BaselineRow
-
-	pc, err := baseline.RunPageCache(payload, 0, opt.seed())
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, BaselineRow{
-		Channel:  "page cache (Gruss et al.)",
-		Measured: format3(pc.TRKbps) + " kb/s",
-		Cited:    "≈56.32 kb/s avg, 77.52 peak",
-		BERPct:   pc.BER * 100,
-	})
-
-	for _, locks := range []int{8, 32} {
-		pl, err := baseline.RunProcLocks(payload, baseline.ProcLocksConfig{Locks: locks, Seed: opt.seed()})
-		if err != nil {
-			return nil, err
-		}
-		cited := "5.15 kb/s"
-		if locks == 32 {
-			cited = "22.186 kb/s"
-		}
-		rows = append(rows, BaselineRow{
-			Channel:  "/proc/locks, " + itoa(locks) + " locks (Gao et al.)",
-			Measured: format3(pl.TRKbps) + " kb/s",
-			Cited:    cited + ", BER<2%",
-			BERPct:   pl.BER * 100,
-		})
-	}
-
 	memBits := 64
 	if opt.Quick {
 		memBits = 24
 	}
-	mi, err := baseline.RunMeminfo(opt.payload(memBits), baseline.MeminfoConfig{Seed: opt.seed()})
-	if err != nil {
-		return nil, err
+
+	procLocks := func(locks int, cited string) func() (BaselineRow, error) {
+		return func() (BaselineRow, error) {
+			pl, err := baseline.RunProcLocks(payload, baseline.ProcLocksConfig{Locks: locks, Seed: opt.seed()})
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Channel:  "/proc/locks, " + itoa(locks) + " locks (Gao et al.)",
+				Measured: format3(pl.TRKbps) + " kb/s",
+				Cited:    cited + ", BER<2%",
+				BERPct:   pl.BER * 100,
+			}, nil
+		}
 	}
-	rows = append(rows, BaselineRow{
-		Channel:  "/proc/meminfo (Gao et al.)",
-		Measured: format3(mi.TRbps) + " b/s",
-		Cited:    "13.6 b/s, BER≈0.5%",
-		BERPct:   mi.BER * 100,
-	})
-	return rows, nil
+	grid := []func() (BaselineRow, error){
+		func() (BaselineRow, error) {
+			pc, err := baseline.RunPageCache(payload, 0, opt.seed())
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Channel:  "page cache (Gruss et al.)",
+				Measured: format3(pc.TRKbps) + " kb/s",
+				Cited:    "≈56.32 kb/s avg, 77.52 peak",
+				BERPct:   pc.BER * 100,
+			}, nil
+		},
+		procLocks(8, "5.15 kb/s"),
+		procLocks(32, "22.186 kb/s"),
+		func() (BaselineRow, error) {
+			mi, err := baseline.RunMeminfo(opt.payload(memBits), baseline.MeminfoConfig{Seed: opt.seed()})
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Channel:  "/proc/meminfo (Gao et al.)",
+				Measured: format3(mi.TRbps) + " b/s",
+				Cited:    "13.6 b/s, BER≈0.5%",
+				BERPct:   mi.BER * 100,
+			}, nil
+		},
+	}
+	return runThunks(opt, grid)
 }
 
 // RenderBaselines prints the comparison.

@@ -17,28 +17,32 @@ type AggregateRow struct {
 }
 
 // Aggregate measures real N-pair runs for small N and projects the
-// paper's idealized large-N points from the measured per-pair rate.
+// paper's idealized large-N points from the measured per-pair rate. The
+// grid is one trial per pair count; each trial simulates all its pairs on
+// one shared host, so the pairs-within-a-trial stay on one kernel while
+// the trials fan out.
 func Aggregate(opt Options) ([]AggregateRow, error) {
 	bitsPerPair := 400
 	if opt.Quick {
 		bitsPerPair = 120
 	}
 	measured := []int{1, 4, 16, 64}
-	var rows []AggregateRow
-	var lastPerPair float64
-	for _, n := range measured {
+	rows, err := runAll(opt, measured, func(n int) (AggregateRow, error) {
 		res, err := core.RunParallel(core.Event, core.Local(), n, bitsPerPair, opt.seed())
 		if err != nil {
-			return nil, err
+			return AggregateRow{}, err
 		}
-		lastPerPair = res.PerPairKbps
-		rows = append(rows, AggregateRow{
+		return AggregateRow{
 			Pairs:         n,
 			AggregateKbps: res.AggregateKbps,
 			PerPairKbps:   res.PerPairKbps,
 			WorstBERPct:   res.WorstBER * 100,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	lastPerPair := rows[len(rows)-1].PerPairKbps
 	// The paper's projection: the process limit on the testbed was 6833
 	// concurrent processes (≈3416 pairs); "ideally we can achieve
 	// transfer rates of tens of Mbps".

@@ -3,6 +3,7 @@ package experiments
 import (
 	"mes/internal/detect"
 	"mes/internal/osmodel"
+	"mes/internal/runner"
 	"mes/internal/sim"
 	"mes/internal/timing"
 	"mes/internal/vfs"
@@ -10,12 +11,15 @@ import (
 
 // benignScores simulates ordinary lock users — several workers taking
 // exclusive locks on a few files with ragged exponential think times —
-// and returns the detector's scores for them.
-func benignScores(seed uint64) ([]detect.Score, error) {
+// and returns the detector's scores for them. Its simulation seed is
+// derived from the experiment seed with runner.TrialSeed so the benign
+// workload's noise stream stays independent of the covert run it is
+// compared against, whichever order the two trials complete in.
+func benignScores(opt Options) ([]detect.Score, error) {
 	tr := sim.NewTrace(0)
 	sys := osmodel.NewSystem(osmodel.Config{
 		Profile: timing.ProfileFor(timing.Linux, timing.Local),
-		Seed:    seed,
+		Seed:    runner.TrialSeed(opt.seed(), 1),
 		Trace:   tr,
 	})
 	paths := []string{"/var/db.lock", "/var/spool.lock", "/var/cron.lock"}

@@ -17,25 +17,40 @@ type SignalChannelResult struct {
 	EventTR, EventBER   float64
 }
 
-// SignalChannel measures the signal-based cooperation channel.
+// SignalChannel measures the signal-based cooperation channel. The grid is
+// the two channels under comparison: the future-work signal channel and the
+// Event reference.
 func SignalChannel(opt Options) (*SignalChannelResult, error) {
 	payload := opt.payload(opt.sweepBits())
-	sig, err := core.RunSignalChannel(payload, core.Params{}, opt.seed())
-	if err != nil {
-		return nil, err
+	type rate struct{ tr, berPct float64 }
+	grid := []func() (rate, error){
+		func() (rate, error) {
+			sig, err := core.RunSignalChannel(payload, core.Params{}, opt.seed())
+			if err != nil {
+				return rate{}, err
+			}
+			return rate{tr: sig.TRKbps, berPct: sig.BER * 100}, nil
+		},
+		func() (rate, error) {
+			ev, err := core.Run(core.Config{
+				Mechanism: core.Event,
+				Scenario:  core.Local(),
+				Payload:   payload,
+				Seed:      opt.seed(),
+			})
+			if err != nil {
+				return rate{}, err
+			}
+			return rate{tr: ev.TRKbps, berPct: ev.BER * 100}, nil
+		},
 	}
-	ev, err := core.Run(core.Config{
-		Mechanism: core.Event,
-		Scenario:  core.Local(),
-		Payload:   payload,
-		Seed:      opt.seed(),
-	})
+	rates, err := runThunks(opt, grid)
 	if err != nil {
 		return nil, err
 	}
 	return &SignalChannelResult{
-		SignalTR: sig.TRKbps, SignalBER: sig.BER * 100,
-		EventTR: ev.TRKbps, EventBER: ev.BER * 100,
+		SignalTR: rates[0].tr, SignalBER: rates[0].berPct,
+		EventTR: rates[1].tr, EventBER: rates[1].berPct,
 	}, nil
 }
 
@@ -60,29 +75,36 @@ type DetectorResult struct {
 type Score = detect.Score
 
 // Detector runs the flock channel under tracing, plus a benign workload,
-// and scores both.
+// and scores both. The two traced workloads are independent simulations,
+// so they form a two-trial grid.
 func Detector(opt Options) (*DetectorResult, error) {
-	tr := sim.NewTrace(0)
 	bits := opt.sweepBits()
 	if bits > 3000 {
 		bits = 3000
 	}
-	if _, err := core.Run(core.Config{
-		Mechanism: core.Flock,
-		Scenario:  core.Local(),
-		Payload:   codec.Random(sim.NewRNG(opt.seed()), bits),
-		Seed:      opt.seed(),
-		Trace:     tr,
-	}); err != nil {
-		return nil, err
+	grid := []func() ([]detect.Score, error){
+		func() ([]detect.Score, error) {
+			tr := sim.NewTrace(0)
+			if _, err := core.Run(core.Config{
+				Mechanism: core.Flock,
+				Scenario:  core.Local(),
+				Payload:   codec.Random(sim.NewRNG(opt.seed()), bits),
+				Seed:      opt.seed(),
+				Trace:     tr,
+			}); err != nil {
+				return nil, err
+			}
+			return detect.Analyze(tr.Entries()), nil
+		},
+		func() ([]detect.Score, error) { return benignScores(opt) },
 	}
-	covert := detect.Analyze(tr.Entries())
-	if len(covert) == 0 {
-		return nil, fmt.Errorf("experiments: covert trace produced no scores")
-	}
-	benign, err := benignScores(opt.seed())
+	scores, err := runThunks(opt, grid)
 	if err != nil {
 		return nil, err
+	}
+	covert, benign := scores[0], scores[1]
+	if len(covert) == 0 {
+		return nil, fmt.Errorf("experiments: covert trace produced no scores")
 	}
 	res := &DetectorResult{CovertTop: covert[0], Flagged: covert[0].Suspicion >= detect.Threshold}
 	if len(benign) > 0 {

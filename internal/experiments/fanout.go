@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"context"
+
+	"mes/internal/runner"
+)
+
+// runAll fans a parameter grid through the shared worker pool: every
+// generator in this package declares its sweep as a slice of trial configs
+// and maps run over it here. Results come back in grid order, so rendered
+// output is byte-identical for any Options.Workers value; the first
+// (lowest-index) trial error aborts the sweep, and Options.Ctx cancels it.
+//
+// Trials must be self-contained — payloads, seeds and parameters are frozen
+// into the trial config before fan-out (per-trial seeds come from
+// runner.TrialSeed where a grid needs independent noise streams), never
+// drawn from shared state inside run.
+func runAll[T, R any](o Options, trials []T, run func(T) (R, error)) ([]R, error) {
+	return runner.Map(o.ctx(), trials,
+		func(_ context.Context, t T) (R, error) { return run(t) },
+		runner.Workers(o.Workers))
+}
+
+// runThunks fans a grid of self-contained trial thunks: the form used by
+// generators whose cells differ in shape (Baselines' four channels,
+// Detector's covert-vs-benign pair) rather than in parameters.
+func runThunks[R any](o Options, grid []func() (R, error)) ([]R, error) {
+	return runAll(o, grid, func(run func() (R, error)) (R, error) { return run() })
+}

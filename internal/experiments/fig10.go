@@ -19,14 +19,18 @@ type Fig10Point struct {
 // Fig10TT1s is the paper's sweep axis (µs).
 var Fig10TT1s = []float64{110, 140, 170, 200, 230, 260, 290, 320}
 
-// Fig10 sweeps the flock channel's tt1 (paper Fig. 10: BER is a "concave"
-// curve — high below 160µs for resolution reasons, low in [160,220], and
-// rising past ~220µs as blocking makes the Spy read short times).
-func Fig10(opt Options) ([]Fig10Point, error) {
+// fig10Trial is one cell of the tt1 sweep.
+type fig10Trial struct {
+	tt1 float64
+	cfg core.Config
+}
+
+// fig10Grid freezes the sweep before fan-out.
+func fig10Grid(opt Options) []fig10Trial {
 	payload := opt.payload(opt.sweepBits())
-	var out []Fig10Point
+	trials := make([]fig10Trial, 0, len(Fig10TT1s))
 	for _, tt1 := range Fig10TT1s {
-		res, err := core.Run(core.Config{
+		trials = append(trials, fig10Trial{tt1: tt1, cfg: core.Config{
 			Mechanism: core.Flock,
 			Scenario:  core.Local(),
 			Payload:   payload,
@@ -35,13 +39,22 @@ func Fig10(opt Options) ([]Fig10Point, error) {
 				TT0: sim.Micro(60),
 			},
 			Seed: opt.seed(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig10 tt1=%g: %w", tt1, err)
-		}
-		out = append(out, Fig10Point{TT1us: tt1, BERPct: res.BER * 100, TRKbps: res.TRKbps})
+		}})
 	}
-	return out, nil
+	return trials
+}
+
+// Fig10 sweeps the flock channel's tt1 (paper Fig. 10: BER is a "concave"
+// curve — high below 160µs for resolution reasons, low in [160,220], and
+// rising past ~220µs as blocking makes the Spy read short times).
+func Fig10(opt Options) ([]Fig10Point, error) {
+	return runAll(opt, fig10Grid(opt), func(t fig10Trial) (Fig10Point, error) {
+		res, err := core.Run(t.cfg)
+		if err != nil {
+			return Fig10Point{}, fmt.Errorf("fig10 tt1=%g: %w", t.tt1, err)
+		}
+		return Fig10Point{TT1us: t.tt1, BERPct: res.BER * 100, TRKbps: res.TRKbps}, nil
+	})
 }
 
 // RenderFig10 draws the figure and table.

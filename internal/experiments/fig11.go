@@ -36,16 +36,19 @@ func Fig11(opt Options) (*Fig11Result, error) {
 	par := core.DefaultParams(core.Event, 0)
 	par.TI = sim.Micro(50) // levels 15, 65, 115, 165µs (paper §VI)
 	par.BitsPerSymbol = 2
-	res, err := core.Run(core.Config{
+	// A one-cell grid: fig11 is a single transmission, but routing it
+	// through runAll gives it the same cancellation semantics as the sweeps.
+	runs, err := runAll(opt, []core.Config{{
 		Mechanism: core.Event,
 		Scenario:  core.Local(),
 		Payload:   bits,
 		Params:    par,
 		Seed:      opt.seed(),
-	})
+	}}, core.Run)
 	if err != nil {
 		return nil, fmt.Errorf("fig11: %w", err)
 	}
+	res := runs[0]
 	sent := res.SentSyms[len(res.SentSyms)-len(res.DecodedSyms):]
 	errs := 0
 	for i := range sent {

@@ -21,46 +21,47 @@ type Fig8Result struct {
 // fig8Sequence is the paper's PoC bit sequence.
 var fig8Sequence = codec.MustParseBits("11010010001100101001")
 
-// Fig8 reproduces the proof of concept.
+// Fig8 reproduces the proof of concept. Its grid is the two panels:
+// (b) synchronization — '1' waits 2s, '0' waits 1s before SetEvent — and
+// (c) mutual exclusion — '1' holds the lock 3s, '0' sleeps 1s.
 func Fig8(opt Options) (*Fig8Result, error) {
-	res := &Fig8Result{Bits: fig8Sequence}
-
-	// (b) synchronization: '1' waits 2s, '0' waits 1s before SetEvent.
-	syncRun, err := core.Run(core.Config{
-		Mechanism: core.Event,
-		Scenario:  core.Local(),
-		Payload:   fig8Sequence,
-		Params: core.Params{
-			TW0: 1 * sim.Second,
-			TI:  1 * sim.Second,
+	panels := []core.Config{
+		{
+			Mechanism: core.Event,
+			Scenario:  core.Local(),
+			Payload:   fig8Sequence,
+			Params: core.Params{
+				TW0: 1 * sim.Second,
+				TI:  1 * sim.Second,
+			},
+			SyncLen:   2,
+			Seed:      opt.seed(),
+			Noiseless: true, // feasibility PoC: the paper demonstrates levels, not error rates
 		},
-		SyncLen:   2,
-		Seed:      opt.seed(),
-		Noiseless: true, // feasibility PoC: the paper demonstrates levels, not error rates
+		{
+			Mechanism: core.Flock,
+			Scenario:  core.Local(),
+			Payload:   fig8Sequence,
+			Params: core.Params{
+				TT1: 3 * sim.Second,
+				TT0: 1 * sim.Second,
+			},
+			SyncLen:   2,
+			Seed:      opt.seed() + 1,
+			Noiseless: true,
+		},
+	}
+	lats, err := runAll(opt, panels, func(cfg core.Config) ([]sim.Duration, error) {
+		run, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %v: %w", cfg.Mechanism, err)
+		}
+		return payloadLatencies(run), nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("fig8 sync: %w", err)
+		return nil, err
 	}
-	res.SyncLat = payloadLatencies(syncRun)
-
-	// (c) mutual exclusion: '1' holds the lock 3s, '0' sleeps 1s.
-	mutexRun, err := core.Run(core.Config{
-		Mechanism: core.Flock,
-		Scenario:  core.Local(),
-		Payload:   fig8Sequence,
-		Params: core.Params{
-			TT1: 3 * sim.Second,
-			TT0: 1 * sim.Second,
-		},
-		SyncLen:   2,
-		Seed:      opt.seed() + 1,
-		Noiseless: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig8 mutex: %w", err)
-	}
-	res.MutexLat = payloadLatencies(mutexRun)
-	return res, nil
+	return &Fig8Result{Bits: fig8Sequence, SyncLat: lats[0], MutexLat: lats[1]}, nil
 }
 
 // payloadLatencies strips warm-up and preamble from a result's series.

@@ -22,14 +22,20 @@ var (
 	Fig9TIs  = []float64{30, 50, 70, 90, 110, 130}
 )
 
-// Fig9 sweeps the Event channel's timing parameters (paper Fig. 9(a) BER
-// and Fig. 9(b) TR).
-func Fig9(opt Options) ([]Fig9Point, error) {
+// fig9Trial is one cell of the 42-cell grid.
+type fig9Trial struct {
+	tw0, ti float64
+	cfg     core.Config
+}
+
+// fig9Grid freezes the full sweep — payload, seed and timing parameters per
+// cell — before fan-out, in the paper's row-major (ti, tw0) order.
+func fig9Grid(opt Options) []fig9Trial {
 	payload := opt.payload(opt.sweepBits())
-	var out []Fig9Point
+	trials := make([]fig9Trial, 0, len(Fig9TIs)*len(Fig9TW0s))
 	for _, ti := range Fig9TIs {
 		for _, tw0 := range Fig9TW0s {
-			res, err := core.Run(core.Config{
+			trials = append(trials, fig9Trial{tw0: tw0, ti: ti, cfg: core.Config{
 				Mechanism: core.Event,
 				Scenario:  core.Local(),
 				Payload:   payload,
@@ -38,19 +44,27 @@ func Fig9(opt Options) ([]Fig9Point, error) {
 					TI:  sim.Micro(ti),
 				},
 				Seed: opt.seed(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 tw0=%g ti=%g: %w", tw0, ti, err)
-			}
-			out = append(out, Fig9Point{
-				TW0us:  tw0,
-				TIus:   ti,
-				BERPct: res.BER * 100,
-				TRKbps: res.TRKbps,
-			})
+			}})
 		}
 	}
-	return out, nil
+	return trials
+}
+
+// Fig9 sweeps the Event channel's timing parameters (paper Fig. 9(a) BER
+// and Fig. 9(b) TR).
+func Fig9(opt Options) ([]Fig9Point, error) {
+	return runAll(opt, fig9Grid(opt), func(t fig9Trial) (Fig9Point, error) {
+		res, err := core.Run(t.cfg)
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("fig9 tw0=%g ti=%g: %w", t.tw0, t.ti, err)
+		}
+		return Fig9Point{
+			TW0us:  t.tw0,
+			TIus:   t.ti,
+			BERPct: res.BER * 100,
+			TRKbps: res.TRKbps,
+		}, nil
+	})
 }
 
 // RenderFig9 draws both panels and the underlying table.

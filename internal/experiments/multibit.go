@@ -19,34 +19,42 @@ type MultiBitRow struct {
 	BERPct        float64
 }
 
+// multiBitTrial is one symbol width of the §VI grid.
+type multiBitTrial struct {
+	bps int
+	cfg core.Config
+}
+
 // MultiBit measures the Event channel at symbol widths 1..3.
 func MultiBit(opt Options) ([]MultiBitRow, error) {
 	payload := opt.payload(opt.bits())
-	var rows []MultiBitRow
+	var trials []multiBitTrial
 	for bps := 1; bps <= 3; bps++ {
 		par := core.DefaultParams(core.Event, 0)
 		if bps > 1 {
 			par.TI = sim.Micro(50) // the paper's §VI level spacing
 		}
 		par.BitsPerSymbol = bps
-		res, err := core.Run(core.Config{
+		trials = append(trials, multiBitTrial{bps: bps, cfg: core.Config{
 			Mechanism: core.Event,
 			Scenario:  core.Local(),
 			Payload:   payload,
 			Params:    par,
 			Seed:      opt.seed(),
-		})
+		}})
+	}
+	return runAll(opt, trials, func(t multiBitTrial) (MultiBitRow, error) {
+		res, err := core.Run(t.cfg)
 		if err != nil {
-			return nil, fmt.Errorf("multibit bps=%d: %w", bps, err)
+			return MultiBitRow{}, fmt.Errorf("multibit bps=%d: %w", t.bps, err)
 		}
-		rows = append(rows, MultiBitRow{
-			BitsPerSymbol: bps,
-			Levels:        par.M(),
+		return MultiBitRow{
+			BitsPerSymbol: t.bps,
+			Levels:        t.cfg.Params.M(),
 			TRKbps:        res.TRKbps,
 			BERPct:        res.BER * 100,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderMultiBit prints the §VI comparison.

@@ -1,10 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§V–§VI) plus the ablations DESIGN.md calls out. Each
-// generator returns typed rows and can render itself via internal/report;
-// cmd/mesbench drives them by name through the Registry.
+// generator declares its parameter grid as a slice of trial configs and
+// fans out through internal/runner's worker pool; generators return typed
+// rows and can render themselves via internal/report. cmd/mesbench drives
+// them by name through the Registry, which memoizes sweeps shared by
+// several registry entries (fig9a/fig9b, table2/table3).
 package experiments
 
 import (
+	"context"
+
 	"mes/internal/codec"
 	"mes/internal/sim"
 )
@@ -18,6 +23,14 @@ type Options struct {
 	Seed uint64
 	// Quick reduces Bits for smoke tests and CI.
 	Quick bool
+	// Workers bounds how many grid cells run concurrently (default
+	// runtime.GOMAXPROCS(0)). Every experiment's output is bit-identical
+	// for any value; this only trades wall-clock for cores.
+	Workers int
+	// Ctx cancels a sweep mid-flight (default context.Background()).
+	// Cancellation stops dispatching further grid cells and the experiment
+	// returns the context's error.
+	Ctx context.Context
 }
 
 func (o Options) bits() int {
@@ -43,6 +56,13 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o Options) payload(n int) codec.Bits {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"mes/internal/runner"
 )
 
 // format3 formats a float with three decimals (render helpers).
@@ -18,39 +20,53 @@ type Experiment struct {
 	Run   func(Options) (string, error)
 }
 
+// sweeps memoizes generator results across registry invocations, so the
+// entries that are two views of one computation — fig9a/fig9b render the
+// same 42-cell Event sweep, table2/table3 the same SemTables replay — run
+// it once. Keys are the generator name plus the options that change its
+// output; Workers is deliberately excluded because results are
+// worker-count-independent.
+var sweeps = runner.NewCache()
+
+// cached routes a generator through the sweep cache.
+func cached[T any](name string, o Options, gen func(Options) (T, error)) (T, error) {
+	key := name + "-" + runner.Fingerprint(o.bits(), o.seed(), o.Quick)
+	return runner.Do(sweeps, key, func() (T, error) { return gen(o) })
+}
+
 // Registry lists every reproduction artifact by name, in a stable order.
 func Registry() []Experiment {
 	exps := []Experiment{
 		{"fig8", "Fig. 8 proof of concept", func(o Options) (string, error) {
-			r, err := Fig8(o)
+			r, err := cached("fig8", o, Fig8)
 			if err != nil {
 				return "", err
 			}
 			return r.Render() + fmt.Sprintf("distinguishable: %v\n", r.Distinguishable()), nil
 		}},
 		{"fig9a", "Fig. 9(a) Event BER sweep", func(o Options) (string, error) {
-			pts, err := Fig9(o)
+			pts, err := cached("fig9", o, Fig9)
 			if err != nil {
 				return "", err
 			}
 			return RenderFig9(pts), nil
 		}},
 		{"fig9b", "Fig. 9(b) Event TR sweep", func(o Options) (string, error) {
-			pts, err := Fig9(o)
+			pts, err := cached("fig9", o, Fig9)
 			if err != nil {
 				return "", err
 			}
 			return RenderFig9(pts), nil
 		}},
 		{"fig10", "Fig. 10 flock BER/TR sweep", func(o Options) (string, error) {
-			pts, err := Fig10(o)
+			pts, err := cached("fig10", o, Fig10)
 			if err != nil {
 				return "", err
 			}
 			return RenderFig10(pts), nil
 		}},
 		{"fig11", "Fig. 11 2-bit symbol transmission", func(o Options) (string, error) {
-			r, err := Fig11(o)
+			r, err := cached("fig11", o, Fig11)
 			if err != nil {
 				return "", err
 			}
@@ -59,21 +75,21 @@ func Registry() []Experiment {
 		{"table2", "Table II naive semaphore", runSemTables},
 		{"table3", "Table III provisioned semaphore", runSemTables},
 		{"table4", "Table IV local performance", func(o Options) (string, error) {
-			rows, err := Table4(o)
+			rows, err := cached("table4", o, Table4)
 			if err != nil {
 				return "", err
 			}
 			return RenderTable("Table IV: local scenario", rows), nil
 		}},
 		{"table5", "Table V cross-sandbox performance", func(o Options) (string, error) {
-			rows, err := Table5(o)
+			rows, err := cached("table5", o, Table5)
 			if err != nil {
 				return "", err
 			}
 			return RenderTable("Table V: cross-sandbox scenario", rows), nil
 		}},
 		{"table6", "Table VI cross-VM performance", func(o Options) (string, error) {
-			rows, err := Table6(o)
+			rows, err := cached("table6", o, Table6)
 			if err != nil {
 				return "", err
 			}
@@ -85,56 +101,56 @@ func Registry() []Experiment {
 			return out, nil
 		}},
 		{"multibit", "§VI multi-bit symbol study", func(o Options) (string, error) {
-			rows, err := MultiBit(o)
+			rows, err := cached("multibit", o, MultiBit)
 			if err != nil {
 				return "", err
 			}
 			return RenderMultiBit(rows), nil
 		}},
 		{"aggregate", "§V.C.1 multi-pair scaling", func(o Options) (string, error) {
-			rows, err := Aggregate(o)
+			rows, err := cached("aggregate", o, Aggregate)
 			if err != nil {
 				return "", err
 			}
 			return RenderAggregate(rows), nil
 		}},
 		{"fairness", "§V.B fair vs unfair competition", func(o Options) (string, error) {
-			r, err := Fairness(o)
+			r, err := cached("fairness", o, Fairness)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
 		{"intersync", "§V.B inter-bit synchronization ablation", func(o Options) (string, error) {
-			r, err := InterSync(o)
+			r, err := cached("intersync", o, InterSync)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
 		{"interference", "closed vs open resources ablation", func(o Options) (string, error) {
-			rows, err := Interference(o)
+			rows, err := cached("interference", o, Interference)
 			if err != nil {
 				return "", err
 			}
 			return RenderInterference(rows), nil
 		}},
 		{"baselines", "§VII related-work channels", func(o Options) (string, error) {
-			rows, err := Baselines(o)
+			rows, err := cached("baselines", o, Baselines)
 			if err != nil {
 				return "", err
 			}
 			return RenderBaselines(rows), nil
 		}},
 		{"signal", "§IV.A future work: signal-based channel", func(o Options) (string, error) {
-			r, err := SignalChannel(o)
+			r, err := cached("signal", o, SignalChannel)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
 		{"detector", "defense extension: trace-based channel detector", func(o Options) (string, error) {
-			r, err := Detector(o)
+			r, err := cached("detector", o, Detector)
 			if err != nil {
 				return "", err
 			}
@@ -145,8 +161,10 @@ func Registry() []Experiment {
 	return exps
 }
 
+// runSemTables backs both table2 and table3: one cached SemTables replay
+// renders both ledgers.
 func runSemTables(o Options) (string, error) {
-	r, err := SemTables(o)
+	r, err := cached("semtables", o, SemTables)
 	if err != nil {
 		return "", err
 	}

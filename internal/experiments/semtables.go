@@ -30,14 +30,25 @@ type SemTablesResult struct {
 }
 
 // SemTables replays both ledgers and confirms the naive stall on the
-// simulated OS.
+// simulated OS. The grid is the two provisioning policies: Table II's
+// naive 0-resource pool and Table III's one-resource-per-zero pool.
 func SemTables(opt Options) (*SemTablesResult, error) {
 	res := &SemTablesResult{Key: semKey, ProvisionCount: core.MinSemResources(semKey)}
-	res.Naive, res.NaiveStalls = core.SemLedger(semKey, 0)
-	var provStalls int
-	res.Provisioned, provStalls = core.SemLedger(semKey, res.ProvisionCount)
-	if provStalls != 0 {
-		return nil, fmt.Errorf("provisioned ledger stalled %d times", provStalls)
+	type ledger struct {
+		rows   []core.SemLedgerRow
+		stalls int
+	}
+	ledgers, err := runAll(opt, []int{0, res.ProvisionCount}, func(initial int) (ledger, error) {
+		rows, stalls := core.SemLedger(semKey, initial)
+		return ledger{rows: rows, stalls: stalls}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Naive, res.NaiveStalls = ledgers[0].rows, ledgers[0].stalls
+	res.Provisioned = ledgers[1].rows
+	if ledgers[1].stalls != 0 {
+		return nil, fmt.Errorf("provisioned ledger stalled %d times", ledgers[1].stalls)
 	}
 
 	stalled, err := naiveSemaphoreStalls(semKey, opt.seed())

@@ -49,14 +49,17 @@ func PaperValues(iso timing.Isolation, m core.Mechanism) (berPct, trKbps float64
 	return v[0], v[1], ok
 }
 
-// scenarioTable runs all feasible mechanisms in one scenario.
+// scenarioTable runs all feasible mechanisms in one scenario: the grid is
+// one trial per mechanism, each an independent transmission.
 func scenarioTable(opt Options, scn core.Scenario) ([]TableRow, error) {
 	payload := opt.payload(opt.bits())
-	var rows []TableRow
+	var mechs []core.Mechanism
 	for _, m := range core.Mechanisms() {
-		if core.Feasible(m, scn) != nil {
-			continue
+		if core.Feasible(m, scn) == nil {
+			mechs = append(mechs, m)
 		}
+	}
+	return runAll(opt, mechs, func(m core.Mechanism) (TableRow, error) {
 		res, err := core.Run(core.Config{
 			Mechanism: m,
 			Scenario:  scn,
@@ -64,19 +67,18 @@ func scenarioTable(opt Options, scn core.Scenario) ([]TableRow, error) {
 			Seed:      opt.seed(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%v/%v: %w", m, scn, err)
+			return TableRow{}, fmt.Errorf("%v/%v: %w", m, scn, err)
 		}
 		paper := paperTable[scn.Isolation][m]
-		rows = append(rows, TableRow{
+		return TableRow{
 			Mechanism: m,
 			Timeset:   res.Params.String(),
 			BERPct:    res.BER * 100,
 			TRKbps:    res.TRKbps,
 			PaperBER:  paper[0],
 			PaperTR:   paper[1],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table4 reproduces the local-scenario performance table.

@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// Cache memoizes expensive sweep results by config fingerprint, so registry
+// aliases that share an underlying computation (fig9a/fig9b both render the
+// Fig. 9 sweep; table2/table3 both replay SemTables) compute it once.
+//
+// Concurrent callers of the same key block until the first caller's compute
+// finishes (singleflight), then share its value. Failed computes are not
+// cached: concurrent waiters observe the error, later callers retry.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	computes int
+	hook     func(key string)
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// SetComputeHook installs fn to be called once per cache miss with the
+// missed key, before the compute runs. Pass nil to remove it. Tests use it
+// to count how often an underlying sweep really executes.
+func (c *Cache) SetComputeHook(fn func(key string)) {
+	c.mu.Lock()
+	c.hook = fn
+	c.mu.Unlock()
+}
+
+// Computes reports how many cache misses have started a computation.
+func (c *Cache) Computes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computes
+}
+
+// Len reports how many results the cache currently holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry and zeroes the compute counter.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*cacheEntry{}
+	c.computes = 0
+	c.mu.Unlock()
+}
+
+// Do returns the cached value for key, running compute at most once per key
+// across all concurrent callers. (A free function because Go methods cannot
+// introduce type parameters.)
+func Do[T any](c *Cache, key string, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			var zero T
+			return zero, e.err
+		}
+		return e.val.(T), nil
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.computes++
+	hook := c.hook
+	c.mu.Unlock()
+
+	if hook != nil {
+		hook(key)
+	}
+	v, err := compute()
+	e.val, e.err = v, err
+	if err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return v, err
+}
+
+// Fingerprint hashes a sequence of config values into a stable cache key.
+// Values are rendered with %#v, so two configs collide only when every
+// field renders identically. Callers should pass *effective* values
+// (defaults resolved), so that e.g. an explicit Bits: 20000 and the zero
+// value that defaults to it share an entry.
+func Fingerprint(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,138 @@
+// Package runner is the batch execution layer for experiment sweeps: a
+// bounded worker pool that fans a slice of trial configurations out across
+// GOMAXPROCS cores while keeping every run bit-reproducible.
+//
+// The paper's evaluation is a pile of parameter grids — Fig. 9 alone is a
+// 42-cell sweep of the Event channel, and Tables IV–VI rerun all six
+// mechanisms per scenario. Each cell owns an independent sim.Kernel, so
+// the cells are embarrassingly parallel; what must NOT parallelize is the
+// randomness. Map therefore requires callers to freeze everything a trial
+// depends on (payload, seed, parameters) into its config before fan-out,
+// and TrialSeed derives per-trial seeds from the trial's index rather than
+// from shared RNG state consumed in completion order. Results then depend
+// only on (configs, fn) — never on worker count or scheduling.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// options collects Map's tuning knobs.
+type options struct {
+	workers int
+}
+
+// Option configures Map.
+type Option func(*options)
+
+// Workers bounds the number of trials in flight at once. n <= 0 selects
+// runtime.GOMAXPROCS(0). The result of Map is identical for every value.
+func Workers(n int) Option { return func(o *options) { o.workers = n } }
+
+// Map runs fn over every element of configs on a bounded worker pool and
+// returns the results in input order (results[i] corresponds to
+// configs[i]), regardless of which worker ran each trial or in what order
+// they completed.
+//
+// Error semantics are deterministic: every trial dispatched before the
+// first failure runs to completion, no trial after it is started, and the
+// error returned is the one with the lowest input index among those that
+// failed — with one worker this degenerates to sequential fail-fast.
+//
+// Cancelling ctx stops dispatch; fn receives a context that is cancelled
+// both by the caller and by the first failure, so cooperative trials can
+// bail early. If the caller's ctx is cancelled before every trial was
+// dispatched, Map reports context.Cause(ctx).
+func Map[C, R any](ctx context.Context, configs []C, fn func(context.Context, C) (R, error), opts ...Option) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	results := make([]R, len(configs))
+	if len(configs) == 0 {
+		return results, context.Cause(ctx)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, len(configs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := fn(ctx, configs[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // stop dispatching trials past the failure
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	dispatched := 0
+dispatch:
+	for i := range configs {
+		// Checked before the send: when a worker is ready AND the context
+		// is done, select would pick at random, leaking extra dispatches
+		// past a cancellation.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case next <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if dispatched < len(configs) {
+		// No trial failed, so the only way dispatch stopped early is the
+		// caller's own cancellation.
+		return nil, context.Cause(ctx)
+	}
+	return results, nil
+}
+
+// TrialSeed derives the RNG seed for one trial of a batch from the batch's
+// base seed and the trial's grid index. It is a splitmix64 step: avalanched
+// so neighbouring trials get statistically independent streams, pure so the
+// seed depends only on (base, trial) — never on how many trials ran before
+// it on this worker — and never zero (several components treat seed 0 as
+// "use the default").
+func TrialSeed(base uint64, trial int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(trial+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}

@@ -1,0 +1,292 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trialWorkerCounts are the pool sizes every behavioural property is
+// checked under: results and errors must not depend on any of them.
+var trialWorkerCounts = []int{1, 2, 3, 8, 0 /* GOMAXPROCS default */}
+
+func TestMapOrdersResults(t *testing.T) {
+	configs := make([]int, 37)
+	for i := range configs {
+		configs[i] = i
+	}
+	for _, w := range trialWorkerCounts {
+		got, err := Map(context.Background(), configs, func(_ context.Context, c int) (int, error) {
+			return c * c, nil
+		}, Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	configs := make([]int, 64)
+	for i := range configs {
+		configs[i] = i
+	}
+	// A trial whose output depends only on its config: derived seed stream.
+	run := func(_ context.Context, c int) ([]uint64, error) {
+		seed := TrialSeed(42, c)
+		out := make([]uint64, 4)
+		for j := range out {
+			seed = TrialSeed(seed, j)
+			out[j] = seed
+		}
+		return out, nil
+	}
+	var want [][]uint64
+	for _, w := range trialWorkerCounts {
+		got, err := Map(context.Background(), configs, run, Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d produced different results than workers=%d", w, trialWorkerCounts[0])
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	configs := make([]int, 20)
+	for i := range configs {
+		configs[i] = i
+	}
+	errAt := func(i int) error { return fmt.Errorf("trial %d failed", i) }
+	for _, w := range trialWorkerCounts {
+		_, err := Map(context.Background(), configs, func(_ context.Context, c int) (int, error) {
+			if c == 5 || c == 13 {
+				return 0, errAt(c)
+			}
+			return c, nil
+		}, Workers(w))
+		if err == nil || err.Error() != "trial 5 failed" {
+			t.Fatalf("workers=%d: err = %v, want trial 5's error", w, err)
+		}
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	configs := make([]int, 100)
+	for i := range configs {
+		configs[i] = i
+	}
+	var ran atomic.Int64
+	_, err := Map(context.Background(), configs, func(_ context.Context, c int) (int, error) {
+		ran.Add(1)
+		if c == 0 {
+			return 0, errors.New("boom")
+		}
+		return c, nil
+	}, Workers(2))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Trial 0 fails immediately; only trials already dispatched to the
+	// second worker may still run. With 2 workers that bounds the overrun
+	// to a couple of trials, far below the full grid.
+	if n := ran.Load(); n > 10 {
+		t.Errorf("ran %d trials after first failure, want early stop", n)
+	}
+}
+
+// TestMapRunsTrialsConcurrently proves the pool genuinely overlaps trials
+// (the source of BenchmarkSweepParallel's multicore speedup) without
+// depending on host core count: every trial blocks on a rendezvous that
+// only opens once `workers` trials are in flight at the same instant. A
+// sequential executor would deadlock here and hit the timeout.
+func TestMapRunsTrialsConcurrently(t *testing.T) {
+	const workers = 4
+	var arrived atomic.Int64
+	barrier := make(chan struct{})
+	var once sync.Once
+	configs := make([]int, workers*2)
+	_, err := Map(context.Background(), configs, func(_ context.Context, _ int) (int, error) {
+		if arrived.Add(1) == workers {
+			once.Do(func() { close(barrier) })
+		}
+		select {
+		case <-barrier:
+			return 0, nil
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("trials did not overlap: pool is not concurrent")
+		}
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	configs := make([]int, 50)
+	for i := range configs {
+		configs[i] = i
+	}
+	started := make(chan struct{}, len(configs))
+	_, err := Map(ctx, configs, func(ctx context.Context, c int) (int, error) {
+		started <- struct{}{}
+		if c == 0 {
+			cancel() // caller cancels mid-sweep
+		}
+		<-ctx.Done() // cooperative trial observes the cancellation
+		return 0, ctx.Err()
+	}, Workers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := len(started); n > 8 {
+		t.Errorf("%d trials started after cancellation, want at most the in-flight workers", n)
+	}
+}
+
+func TestMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Dispatch may hand the in-flight workers a first trial before noticing
+	// the cancelled context, but the call must report the cancellation.
+	_, err := Map(ctx, []int{1, 2, 3, 4, 5, 6, 7, 8}, func(_ context.Context, c int) (int, error) {
+		return c, nil
+	}, Workers(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapDeadlinePropagates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := Map(ctx, []int{1, 2, 3, 4}, func(ctx context.Context, c int) (int, error) {
+		<-ctx.Done()
+		return c, nil
+	}, Workers(1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestMapEmptyAndNilContext(t *testing.T) {
+	got, err := Map(nil, nil, func(_ context.Context, c int) (int, error) { return c, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestTrialSeedProperties(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for i := 0; i < 1000; i++ {
+			s := TrialSeed(base, i)
+			if s == 0 {
+				t.Fatalf("TrialSeed(%d, %d) = 0", base, i)
+			}
+			if seen[s] {
+				t.Fatalf("TrialSeed(%d, %d) = %d collides", base, i, s)
+			}
+			seen[s] = true
+		}
+	}
+	if TrialSeed(7, 3) != TrialSeed(7, 3) {
+		t.Fatal("TrialSeed is not pure")
+	}
+}
+
+func TestCacheComputesOncePerKey(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Do(c, "k", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(time.Millisecond) // widen the race window
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if c.Computes() != 1 || c.Len() != 1 {
+		t.Fatalf("Computes=%d Len=%d, want 1/1", c.Computes(), c.Len())
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	fail := errors.New("compute failed")
+	if _, err := Do(c, "k", func() (int, error) { calls++; return 0, fail }); !errors.Is(err, fail) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := Do(c, "k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error evicted)", calls)
+	}
+}
+
+func TestCacheHookCountsMisses(t *testing.T) {
+	c := NewCache()
+	counts := map[string]int{}
+	c.SetComputeHook(func(key string) { counts[key]++ })
+	for i := 0; i < 3; i++ {
+		if _, err := Do(c, "a", func() (string, error) { return "v", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Do(c, "b", func() (string, error) { return "w", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 1 || counts["b"] != 1 {
+		t.Fatalf("counts = %v, want one miss per key", counts)
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Computes() != 0 {
+		t.Fatal("Reset did not clear the cache")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("fig9", 2000, uint64(1), true)
+	if a != Fingerprint("fig9", 2000, uint64(1), true) {
+		t.Fatal("fingerprint not stable")
+	}
+	for _, other := range []string{
+		Fingerprint("fig10", 2000, uint64(1), true),
+		Fingerprint("fig9", 2001, uint64(1), true),
+		Fingerprint("fig9", 2000, uint64(2), true),
+		Fingerprint("fig9", 2000, uint64(1), false),
+	} {
+		if other == a {
+			t.Fatalf("fingerprint collision: %s", a)
+		}
+	}
+}
