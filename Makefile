@@ -1,9 +1,15 @@
 # Tier-1 verification plus the CI gate. Experiment tests run in Quick mode
-# internally (small payloads), and `ci` adds -short to skip the one full
-# registry sweep, keeping the race-instrumented suite to a few minutes.
+# internally (small payloads), and `ci` adds -short to skip the full
+# registry sweeps, keeping the race-instrumented suite to a few minutes.
 GO ?= go
 
-.PHONY: ci build vet test race bench
+# Which BENCH_PR<n>.json the bench-json target writes; bump per PR so the
+# repo accumulates a performance trajectory. Point BENCH_BASELINE at the
+# previous PR's file to embed it as the "before" column.
+BENCH_PR ?= PR2
+BENCH_BASELINE ?=
+
+.PHONY: ci build vet test race bench bench-json
 
 ci: build vet race
 
@@ -22,4 +28,11 @@ race:
 # One pass over every benchmark, including BenchmarkSweepParallel's
 # workers=1 vs workers=N speedup comparison.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim .
+
+# Refresh the performance-trajectory snapshot: raw event-core throughput,
+# one full transmission (ns/op + allocs/op), and the Fig. 9 sweep
+# wall-clock at workers=1 and workers=GOMAXPROCS.
+bench-json:
+	$(GO) run ./cmd/mesbench -benchjson BENCH_$(BENCH_PR).json \
+		$(if $(BENCH_BASELINE),-benchbaseline $(BENCH_BASELINE))

@@ -281,6 +281,20 @@ func BenchmarkSimulator(b *testing.B) {
 	b.ReportMetric(float64(len(payload))*float64(b.N)/b.Elapsed().Seconds(), "simbits/s")
 }
 
+// BenchmarkTransmission measures one complete Event-channel transmission —
+// the unit of work every sweep cell amortizes. ns/op and allocs/op here are
+// the per-trial costs BENCH_PR*.json tracks across PRs.
+func BenchmarkTransmission(b *testing.B) {
+	cfg := core.BenchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkProfileHazard measures the noise model's draw cost.
 func BenchmarkProfileHazard(b *testing.B) {
 	prof := timing.ProfileFor(timing.Windows, timing.Local)

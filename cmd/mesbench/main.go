@@ -7,40 +7,102 @@
 //	mesbench -exp fig9a -bits 40000 -seed 7
 //	mesbench -all -quick
 //	mesbench -all -workers 8
+//	mesbench -exp fig9a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	mesbench -benchjson BENCH_PR2.json [-benchbaseline OLD.json]
 //
 // Experiment parameter grids fan out across a worker pool (internal/runner);
 // -workers bounds the pool and defaults to GOMAXPROCS. Output is
 // bit-identical for any worker count. Interrupting (Ctrl-C) cancels the
 // sweep in flight.
+//
+// -benchjson runs the performance-trajectory measurements (raw event-core
+// throughput, one full transmission, the Fig. 9 sweep at workers=1 and
+// workers=GOMAXPROCS) and writes them as JSON; -benchbaseline embeds a
+// previously written file as the "before" column, which is how each PR's
+// BENCH_PR<n>.json records its speedup.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
 
+	"mes/internal/core"
 	"mes/internal/experiments"
+	"mes/internal/sim"
 )
 
 func main() {
+	// All work happens in realMain so its defers — notably the pprof
+	// writers — run before the process exits, even on failure paths.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		exp     = flag.String("exp", "", "experiment name (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments")
-		bits    = flag.Int("bits", 0, "payload bits per measured point (default 20000)")
-		seed    = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
-		quick   = flag.Bool("quick", false, "reduced payload for a fast pass")
-		workers = flag.Int("workers", 0, "parallel trials per experiment sweep (0 = GOMAXPROCS; any value yields identical output)")
+		exp        = flag.String("exp", "", "experiment name (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiments")
+		bits       = flag.Int("bits", 0, "payload bits per measured point (default 20000)")
+		seed       = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
+		quick      = flag.Bool("quick", false, "reduced payload for a fast pass")
+		workers    = flag.Int("workers", 0, "parallel trials per experiment sweep (0 = GOMAXPROCS; any value yields identical output)")
+		benchJSON  = flag.String("benchjson", "", "write performance-trajectory measurements to this JSON file and exit")
+		benchBase  = flag.String("benchbaseline", "", "embed this earlier -benchjson file as the before column")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *benchBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-12s %s\n", e.Name, e.Paper)
 		}
-		return
+		return 0
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -53,7 +115,7 @@ func main() {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 				if ctx.Err() != nil {
-					os.Exit(1)
+					return 1
 				}
 				continue
 			}
@@ -63,16 +125,131 @@ func main() {
 		e, err := experiments.Lookup(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		out, err := e.Run(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// benchResults is one measurement snapshot of the performance trajectory.
+type benchResults struct {
+	KernelEventsPerSec      float64 `json:"kernel_events_per_sec"`
+	KernelNsPerEvent        float64 `json:"kernel_ns_per_event"`
+	KernelAllocsPerEvent    float64 `json:"kernel_allocs_per_event"`
+	TransmissionNsPerOp     int64   `json:"transmission_ns_per_op"`
+	TransmissionAllocsPerOp int64   `json:"transmission_allocs_per_op"`
+	Fig9Workers1Ms          float64 `json:"fig9_workers1_ms"`
+	Fig9WorkersNMs          float64 `json:"fig9_workersN_ms"`
+}
+
+// benchFile is the on-disk BENCH_PR<n>.json shape.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Before     *benchResults `json:"before,omitempty"`
+	After      benchResults  `json:"after"`
+}
+
+// writeBenchJSON runs the trajectory measurements and writes file. If
+// baseline names an earlier measurement file, its "after" snapshot is
+// embedded as this file's "before".
+func writeBenchJSON(file, baseline string) error {
+	out := benchFile{
+		Schema:     "mes-bench/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base benchFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baseline, err)
+		}
+		if base.Schema != "mes-bench/v1" {
+			return fmt.Errorf("baseline %s: schema %q is not a mes-bench/v1 measurement file", baseline, base.Schema)
+		}
+		out.Before = &base.After
+	}
+
+	// Raw event-core throughput: the SpawnBenchLoad workload, where every
+	// simulated sleep pays the full scheduler hot path.
+	kernel := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		sim.SpawnBenchLoad(k, 4, b.N)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if kernel.N == 0 {
+		return fmt.Errorf("kernel benchmark failed (zero iterations); run `go test -bench BenchmarkKernelEvents ./internal/sim` for the failure")
+	}
+	out.After.KernelNsPerEvent = float64(kernel.T.Nanoseconds()) / float64(kernel.N)
+	out.After.KernelEventsPerSec = 1e9 / out.After.KernelNsPerEvent
+	out.After.KernelAllocsPerEvent = float64(kernel.MemAllocs) / float64(kernel.N)
+
+	// One complete transmission (the sweep cell unit) — the same workload
+	// as BenchmarkTransmission, so the trajectory and `go test -bench`
+	// always measure the same thing.
+	cfg := core.BenchConfig()
+	trans := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if trans.N == 0 {
+		return fmt.Errorf("transmission benchmark failed (zero iterations); run `go test -bench BenchmarkTransmission .` for the failure")
+	}
+	out.After.TransmissionNsPerOp = trans.NsPerOp()
+	out.After.TransmissionAllocsPerOp = trans.AllocsPerOp()
+
+	// The Fig. 9 sweep (42 independent transmissions) at one worker and at
+	// GOMAXPROCS workers: the registry-level wall-clock the parallel runner
+	// and the event core jointly determine.
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		start := time.Now()
+		if _, err := experiments.Fig9(experiments.Options{Bits: 2000, Seed: 1, Workers: w}); err != nil {
+			return err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if w == 1 {
+			out.After.Fig9Workers1Ms = ms
+		}
+		// On a single-core machine both measurements are the same pool size;
+		// record the second run either way so the column is never zero.
+		if w == runtime.GOMAXPROCS(0) {
+			out.After.Fig9WorkersNMs = ms
+		}
+	}
+
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(file, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.0f events/s, %.2f allocs/event, transmission %dns/%d allocs, fig9 %0.0fms (w=1) / %0.0fms (w=%d)\n",
+		file, out.After.KernelEventsPerSec, out.After.KernelAllocsPerEvent,
+		out.After.TransmissionNsPerOp, out.After.TransmissionAllocsPerOp,
+		out.After.Fig9Workers1Ms, out.After.Fig9WorkersNMs, runtime.GOMAXPROCS(0))
+	return nil
 }

@@ -26,6 +26,47 @@
 //   - a wall-clock backend (internal/realtime) that runs the same protocol
 //     shapes on real goroutines and Go sync primitives.
 //
+// # Performance
+//
+// Every experiment replays through internal/sim's discrete-event kernel,
+// so its per-event cost bounds the whole registry's wall-clock. The event
+// core is allocation-free on its hot paths:
+//
+//   - The event queue is a value-typed 4-ary min-heap ([]event ordered by
+//     time with FIFO sequence-number tie-breaks): pushing an event is a
+//     slice append, with no per-event pointer allocation and no
+//     container/heap interface boxing.
+//   - Events are tagged rather than closures: process dispatches and
+//     wake-ups — the dominant traffic behind Sleep, Advance, Exec, Yield
+//     and Wake — are encoded as (kind, proc, value), so scheduling them
+//     allocates nothing. Only the rare generic Kernel.At callers carry a
+//     fn closure.
+//   - The kernel↔process handoff uses single-slot token channels (sends
+//     never block), and a running process that would be the very next
+//     thing popped — no queued event strictly earlier, no tie — just
+//     advances the clock and keeps running: no event, no context switch.
+//   - Simulated machines are pooled across trials (internal/runner.Pool,
+//     osmodel.System.Reset), so sweep cells reuse the kernel's event
+//     queue, process structures, namespaces and filesystem tables instead
+//     of rebuilding them per transmission.
+//
+// Outputs stay deterministic through all of this because ordering is a
+// total order on (time, sequence): the hand-rolled heap pops the same
+// sequence as the reference heap, the inline fast path only ever runs the
+// event the queue would have popped next (ties always go through the
+// queue, preserving FIFO), and a Reset machine is indistinguishable from a
+// fresh one — the registry tests assert byte-identical output across
+// worker counts and with pooling on or off.
+//
+// To profile, run the experiment driver with the pprof flags:
+//
+//	go run ./cmd/mesbench -exp fig9a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+//
+// and track the trajectory numbers with `make bench-json` (see
+// BENCH_PR2.json): raw kernel events/sec, per-transmission ns and allocs,
+// and the Fig. 9 sweep wall-clock at one worker and at GOMAXPROCS.
+//
 // Quick start:
 //
 //	res, err := mes.Send(mes.Config{

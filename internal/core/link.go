@@ -3,13 +3,32 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"mes/internal/codec"
 	"mes/internal/metrics"
 	"mes/internal/osmodel"
+	"mes/internal/runner"
 	"mes/internal/sim"
 	"mes/internal/timing"
 )
+
+// systems pools simulated machines across transmissions: a sweep's grid
+// cells stop rebuilding the kernel, namespaces, filesystem and process
+// structures per trial. Machines are returned to the pool only after a
+// clean Run (every process finished), and System.Reset restores them to
+// as-new state, so results are bit-identical with pooling on or off.
+var systems = runner.NewPool[*osmodel.System]()
+
+// reuseSystems gates the pool (default on).
+var reuseSystems atomic.Bool
+
+func init() { reuseSystems.Store(true) }
+
+// SetSystemReuse toggles pooling of simulated machines across Run calls.
+// Outputs are identical either way — the determinism tests flip this to
+// prove it; production callers should leave it on.
+func SetSystemReuse(on bool) { reuseSystems.Store(on) }
 
 // Config describes one covert-channel transmission.
 type Config struct {
@@ -78,6 +97,20 @@ type link struct {
 	uncontend sim.Duration // redraw value for missed acquisitions
 }
 
+// BenchConfig is the standard single-transmission workload behind the
+// performance-trajectory numbers (BenchmarkTransmission, `mesbench
+// -benchjson`): a 1000-bit Event-channel transmission in the local
+// scenario at a fixed seed. Keeping it here keeps the two consumers
+// measuring the same thing.
+func BenchConfig() Config {
+	return Config{
+		Mechanism: Event,
+		Scenario:  Local(),
+		Payload:   codec.Random(sim.NewRNG(3), 1000),
+		Seed:      1,
+	}
+}
+
 // Run simulates a complete transmission and decodes the Spy's view.
 func Run(cfg Config) (*Result, error) {
 	if len(cfg.Payload) == 0 {
@@ -112,13 +145,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	// A single warm-up symbol absorbs the Trojan's setup latency so the
 	// first preamble measurement reflects steady-state timing.
-	l.syms = append([]int{0}, append(codec.SyncSymbols(syncLen, par.bps()), paySyms...)...)
+	l.syms = make([]int, 0, 1+syncLen+len(paySyms))
+	l.syms = append(l.syms, 0)
+	l.syms = append(l.syms, codec.SyncSymbols(syncLen, par.bps())...)
+	l.syms = append(l.syms, paySyms...)
+	l.lat = make([]sim.Duration, 0, len(l.syms))
 
 	prof := timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	if cfg.Noiseless {
 		prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	}
-	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: cfg.Seed, Trace: cfg.Trace})
+	syscfg := osmodel.Config{Profile: prof, Seed: cfg.Seed, Trace: cfg.Trace}
+	var sys *osmodel.System
+	if reuseSystems.Load() {
+		if pooled, ok := systems.Get(); ok {
+			pooled.Reset(syscfg)
+			sys = pooled
+		}
+	}
+	if sys == nil {
+		sys = osmodel.NewSystem(syscfg)
+	}
 	l.prof = &prof
 	trojanDom, spyDom := domainsFor(sys, cfg.Mechanism, cfg.Scenario)
 
@@ -201,6 +248,12 @@ func Run(cfg Config) (*Result, error) {
 	})
 
 	runErr := sys.Run()
+	if runErr == nil && reuseSystems.Load() {
+		// Clean completion: every process finished, so the machine can be
+		// recycled. Deadlocked or stopped runs leave parked goroutines
+		// behind and are abandoned to the GC instead.
+		systems.Put(sys)
+	}
 	if l.trojanErr != nil {
 		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
 	}

@@ -52,7 +52,7 @@ func Analyze(entries []sim.Entry) []Score {
 	for _, e := range entries {
 		switch e.Event {
 		case "flock", "setevent", "kill":
-			key := e.Event + ":" + normalizeDetail(e.Detail)
+			key := e.Event + ":" + normalizeDetail(e.Detail())
 			byResource[key] = append(byResource[key], e.T)
 		}
 	}

@@ -100,8 +100,8 @@ func TestDetectorSeparation(t *testing.T) {
 
 func TestDetectorSmallSamples(t *testing.T) {
 	entries := []sim.Entry{
-		{T: 0, Event: "flock", Detail: "EX /f"},
-		{T: 100, Event: "flock", Detail: "UN /f"},
+		sim.MakeEntry(0, 0, "", "flock", "EX /f"),
+		sim.MakeEntry(100, 0, "", "flock", "UN /f"),
 	}
 	scores := Analyze(entries)
 	if len(scores) != 1 || scores[0].Suspicion != 0 {
@@ -111,8 +111,8 @@ func TestDetectorSmallSamples(t *testing.T) {
 
 func TestDetectorIgnoresUnrelatedEvents(t *testing.T) {
 	entries := []sim.Entry{
-		{T: 0, Event: "sleep", Detail: "10µs"},
-		{T: 5, Event: "exit"},
+		sim.MakeEntry(0, 0, "", "sleep", "10µs"),
+		sim.MakeEntry(5, 0, "", "exit", ""),
 	}
 	if got := Analyze(entries); len(got) != 0 {
 		t.Fatalf("scored unrelated events: %v", got)

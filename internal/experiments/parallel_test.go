@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"mes/internal/core"
 )
 
 // TestSweepsDeterministicAcrossWorkers is the runner's central contract at
@@ -102,6 +104,43 @@ func TestRegistryCachesSharedSweeps(t *testing.T) {
 	}
 	if counts["fig9"] != 2 {
 		t.Errorf("fig9 computed %d times after a seed change, want 2", counts["fig9"])
+	}
+}
+
+// TestRegistryDeterministicAcrossPoolingAndWorkers is the pooled-kernel
+// contract at the registry level: the full registry renders byte-identical
+// output whether sweep cells run on one worker or eight, and whether each
+// transmission builds a fresh simulated machine or recycles one from the
+// pool (core.SetSystemReuse). The sweep cache is reset between renderings
+// so every configuration really recomputes.
+func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep in -short mode")
+	}
+	render := func(reuse bool, workers int) string {
+		core.SetSystemReuse(reuse)
+		defer core.SetSystemReuse(true)
+		sweeps.Reset()
+		var b strings.Builder
+		for _, e := range Registry() {
+			out, err := e.Run(Options{Quick: true, Seed: 9, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s (reuse=%v workers=%d): %v", e.Name, reuse, workers, err)
+			}
+			b.WriteString(e.Name)
+			b.WriteByte('\n')
+			b.WriteString(out)
+		}
+		return b.String()
+	}
+	base := render(false, 1)
+	for _, c := range []struct {
+		reuse   bool
+		workers int
+	}{{true, 1}, {false, 8}, {true, 8}} {
+		if got := render(c.reuse, c.workers); got != base {
+			t.Errorf("registry output diverged with reuse=%v workers=%d", c.reuse, c.workers)
+		}
 	}
 }
 

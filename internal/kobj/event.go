@@ -68,7 +68,7 @@ func (e *Event) Set() []Waiter {
 	if e.mode == AutoReset {
 		if w := e.q.pop(); w != nil {
 			// Direct handoff: the released waiter consumed the signal.
-			return []Waiter{w}
+			return e.q.wakeOne(w)
 		}
 		e.signalled = true
 		return nil
@@ -85,7 +85,7 @@ func (e *Event) Reset() { e.signalled = false }
 func (e *Event) Pulse() []Waiter {
 	if e.mode == AutoReset {
 		if w := e.q.pop(); w != nil {
-			return []Waiter{w}
+			return e.q.wakeOne(w)
 		}
 		return nil
 	}

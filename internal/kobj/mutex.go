@@ -75,7 +75,7 @@ func (m *Mutex) Release(w Waiter) ([]Waiter, error) {
 	if next := m.q.pop(); next != nil {
 		m.owner = next
 		m.recursion = 1
-		return []Waiter{next}, nil
+		return m.q.wakeOne(next), nil
 	}
 	m.owner = nil
 	return nil, nil

@@ -19,6 +19,10 @@ func NewNamespace(name string) *Namespace {
 // Name returns the namespace label.
 func (ns *Namespace) Name() string { return ns.name }
 
+// Reset empties the namespace in place, retaining the map's capacity.
+// Pooled simulated machines use it between trials.
+func (ns *Namespace) Reset() { clear(ns.objects) }
+
 // Create registers obj under its name. If an object with the same name and
 // type already exists, it is returned with created=false (CreateEvent/
 // CreateMutex open-existing semantics). A name collision across types
@@ -78,6 +82,13 @@ type HandleTable struct {
 // step by 4, like Windows.
 func NewHandleTable() *HandleTable {
 	return &HandleTable{next: 4, entries: make(map[Handle]Object)}
+}
+
+// Reset empties the table in place and restarts handle numbering, as if
+// the owning process were freshly created.
+func (ht *HandleTable) Reset() {
+	ht.next = 4
+	clear(ht.entries)
 }
 
 // Insert allocates a handle for obj.

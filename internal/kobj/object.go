@@ -83,6 +83,28 @@ var (
 // are modeled at the flock layer where the paper discusses them.
 type waitQueue struct {
 	items []Waiter
+	// wake is the reusable result buffer for operations that release
+	// waiters; per-bit single-waiter handoffs then never allocate. The
+	// returned slice is valid only until the queue's next wake-returning
+	// operation — the OS layer consumes it immediately.
+	wake []Waiter
+}
+
+// wakeOne returns a single-element waiter list backed by the reusable
+// buffer.
+func (q *waitQueue) wakeOne(w Waiter) []Waiter {
+	q.wake = append(q.wake[:0], w)
+	return q.wake
+}
+
+// wakeN pops up to n waiters into the reusable buffer, preserving FIFO
+// order.
+func (q *waitQueue) wakeN(n int) []Waiter {
+	q.wake = q.wake[:0]
+	for i := 0; i < n; i++ {
+		q.wake = append(q.wake, q.pop())
+	}
+	return q.wake
 }
 
 func (q *waitQueue) len() int { return len(q.items) }
@@ -113,7 +135,11 @@ func (q *waitQueue) remove(w Waiter) bool {
 }
 
 func (q *waitQueue) drain() []Waiter {
-	out := q.items
-	q.items = nil
+	out := append(q.wake[:0], q.items...)
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.wake = out
 	return out
 }

@@ -66,10 +66,7 @@ func (s *Semaphore) Release(n int) ([]Waiter, error) {
 	if s.max > 0 && s.count+surplus > s.max {
 		return nil, ErrSemOverflow
 	}
-	woken := make([]Waiter, 0, handoffs)
-	for i := 0; i < handoffs; i++ {
-		woken = append(woken, s.q.pop())
-	}
+	woken := s.q.wakeN(handoffs)
 	s.count += surplus
 	return woken, nil
 }

@@ -54,7 +54,7 @@ func (t *Timer) Fire(gen uint64) []Waiter {
 	}
 	if t.mode == AutoReset {
 		if w := t.q.pop(); w != nil {
-			return []Waiter{w}
+			return t.q.wakeOne(w)
 		}
 		t.signalled = true
 		return nil

@@ -54,13 +54,17 @@ func (p *Proc) Flock(fd int, kind vfs.LockKind, nonblock bool) error {
 	if kind == vfs.LockNone {
 		p.exec(timing.OpUnlock)
 		p.crossInode(in)
-		p.sys.k.Tracef(p.sp, "flock", "UN %s", in.Path())
+		if p.sys.k.Tracing() {
+			p.sys.k.Tracef(p.sp, "flock", "UN %s", in.Path())
+		}
 		p.sys.wakeVFS(p, in.Unlock(f), WaitObject0)
 		return nil
 	}
 	p.exec(timing.OpLock)
 	p.crossInode(in)
-	p.sys.k.Tracef(p.sp, "flock", "%v %s", kind, in.Path())
+	if p.sys.k.Tracing() {
+		p.sys.k.Tracef(p.sp, "flock", "%v %s", kind, in.Path())
+	}
 	for {
 		if in.TryFlock(f, kind) {
 			return nil

@@ -45,7 +45,9 @@ func (p *Proc) Kill(target *Proc, sig int) error {
 			p.sp.Advance(d)
 		}
 	}
-	p.sys.k.Tracef(p.sp, "kill", "sig=%d target=%s", sig, target.name)
+	if p.sys.k.Tracing() {
+		p.sys.k.Tracef(p.sp, "kill", "sig=%d target=%s", sig, target.name)
+	}
 	if target.sigWaiting == sig {
 		delay := p.sys.prof.Cost(target.rng, timing.OpWakeDeliver)
 		if p.dom != target.dom {

@@ -35,6 +35,11 @@ type System struct {
 	inodeHome  map[*vfs.Inode]*Domain
 
 	procs []*Proc
+	free  []*Proc // finished procs available for reuse after Reset
+
+	// convBuf is the reusable vfs→kobj waiter conversion buffer (wakeVFS is
+	// on the flock channel's per-bit path).
+	convBuf []kobj.Waiter
 }
 
 // NewSystem builds a machine with a host domain.
@@ -65,6 +70,38 @@ func NewSystem(cfg Config) *System {
 	}
 	s.domains["host"] = s.hostDomain
 	return s
+}
+
+// Reset returns the machine to the state NewSystem(cfg) would build while
+// retaining allocated capacity: the kernel's event queue and process
+// structures, the host namespace, filesystem and domain tables, and this
+// system's own process structures are all reused in place. A reset system
+// replays exactly like a fresh one for equal configs. Reset must only be
+// called after Run has returned with every process finished (a pooled
+// system that deadlocked or was stopped must be discarded instead).
+func (s *System) Reset(cfg Config) {
+	opts := []sim.Option{sim.WithSeed(cfg.Seed), sim.WithHooks(cfg.Profile.Hooks())}
+	if cfg.Trace != nil {
+		opts = append(opts, sim.WithTrace(cfg.Trace))
+	}
+	if cfg.Horizon > 0 {
+		opts = append(opts, sim.WithHorizon(cfg.Horizon))
+	}
+	s.k.Reset(opts...)
+	s.prof = cfg.Profile
+	// Same derivation as NewSystem's Split: one draw from the root stream.
+	s.rng.Reseed(s.k.Rand().Uint64())
+	clear(s.domains)
+	clear(s.objHome)
+	clear(s.inodeHome)
+	s.hostDomain.ns.Reset()
+	s.hostDomain.fs.Reset()
+	s.domains["host"] = s.hostDomain
+	for i, p := range s.procs {
+		s.free = append(s.free, p)
+		s.procs[i] = nil
+	}
+	s.procs = s.procs[:0]
 }
 
 // Kernel exposes the simulation kernel (experiment drivers need Run/Now).
@@ -124,17 +161,33 @@ func (s *System) Domain(name string) (*Domain, bool) {
 	return d, ok
 }
 
-// Spawn starts a process in domain d.
+// Spawn starts a process in domain d. After a Reset, finished process
+// structures (handle/fd tables included) are recycled in place.
 func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
-	p := &Proc{
-		sys:            s,
-		dom:            d,
-		name:           name,
-		rng:            s.rng.Split(),
-		handles:        kobj.NewHandleTable(),
-		fds:            vfs.NewFDTable(),
-		pendingSignals: make(map[int]int),
-		sigWaiting:     -1,
+	var p *Proc
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		p.sys, p.dom, p.name = s, d, name
+		p.rng.Reseed(s.rng.Uint64()) // same derivation as Split
+		p.handles.Reset()
+		p.fds.Reset()
+		p.blocked = false
+		p.blockStart = 0
+		clear(p.pendingSignals)
+		p.sigWaiting = -1
+	} else {
+		p = &Proc{
+			sys:            s,
+			dom:            d,
+			name:           name,
+			rng:            s.rng.Split(),
+			handles:        kobj.NewHandleTable(),
+			fds:            vfs.NewFDTable(),
+			pendingSignals: make(map[int]int),
+			sigWaiting:     -1,
+		}
 	}
 	p.sp = s.k.Spawn(name, func(*sim.Proc) { body(p) })
 	s.procs = append(s.procs, p)
@@ -227,9 +280,10 @@ func (s *System) wake(caller *Proc, waiters []kobj.Waiter, result int) {
 
 // wakeVFS adapts vfs waiter lists.
 func (s *System) wakeVFS(caller *Proc, waiters []vfs.Waiter, result int) {
-	conv := make([]kobj.Waiter, len(waiters))
-	for i, w := range waiters {
-		conv[i] = w.(*Proc)
+	conv := s.convBuf[:0]
+	for _, w := range waiters {
+		conv = append(conv, w.(*Proc))
 	}
+	s.convBuf = conv
 	s.wake(caller, conv, result)
 }

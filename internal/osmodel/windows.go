@@ -44,7 +44,9 @@ func (p *Proc) SetEvent(h kobj.Handle) error {
 	}
 	p.exec(timing.OpSet)
 	p.crossObj(obj)
-	p.sys.k.Tracef(p.sp, "setevent", "%s", obj.Name())
+	if p.sys.k.Tracing() {
+		p.sys.k.Tracef(p.sp, "setevent", "%s", obj.Name())
+	}
 	p.sys.wake(p, obj.(*kobj.Event).Set(), WaitObject0)
 	return nil
 }

@@ -1,0 +1,35 @@
+package runner
+
+import "sync"
+
+// Pool is a typed free list for expensive per-trial scratch state — in this
+// repo, whole simulated machines (kernel, namespaces, filesystem, process
+// structures) that sweep cells would otherwise rebuild from scratch for
+// every grid point. It is a thin generic wrapper over sync.Pool, so it is
+// safe for the worker goroutines Map fans trials out to.
+//
+// Determinism contract: a pooled value must be reset to a state
+// indistinguishable from a freshly constructed one before reuse. Whether a
+// trial receives a recycled or a fresh value must never change its output —
+// only its allocation count. Callers enforce this by pairing Get with a
+// full in-place reset (see osmodel.System.Reset) and by returning values to
+// the pool only from runs that ended cleanly.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty pool.
+func NewPool[T any]() *Pool[T] { return &Pool[T]{} }
+
+// Get removes an arbitrary value from the pool. ok is false when the pool
+// has nothing to offer and the caller must construct a fresh value.
+func (p *Pool[T]) Get() (v T, ok bool) {
+	x := p.p.Get()
+	if x == nil {
+		return v, false
+	}
+	return x.(T), true
+}
+
+// Put returns a value to the pool for a later Get.
+func (p *Pool[T]) Put(v T) { p.p.Put(v) }

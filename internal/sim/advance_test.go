@@ -46,7 +46,7 @@ func TestPublicTracef(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 	got := tr.Filter("syscall")
-	if len(got) != 1 || !strings.Contains(got[0].Detail, "/f") {
+	if len(got) != 1 || !strings.Contains(got[0].Detail(), "/f") {
 		t.Fatalf("trace = %v", got)
 	}
 }
@@ -62,12 +62,15 @@ func TestTracefWithoutTraceIsNoop(t *testing.T) {
 }
 
 func TestEntryString(t *testing.T) {
-	e := Entry{T: Time(5 * Microsecond), PID: 2, Proc: "spy", Event: "sleep", Detail: "10µs"}
+	e := MakeEntry(Time(5*Microsecond), 2, "spy", "sleep", "10µs")
 	s := e.String()
 	if !strings.Contains(s, "spy") || !strings.Contains(s, "sleep") {
 		t.Fatalf("Entry.String = %q", s)
 	}
-	e.Detail = ""
+	if e.Detail() != "10µs" {
+		t.Fatalf("Detail = %q, want 10µs", e.Detail())
+	}
+	e = MakeEntry(Time(5*Microsecond), 2, "spy", "sleep", "")
 	if s := e.String(); strings.Contains(s, ":") {
 		t.Fatalf("detail-less entry should omit colon: %q", s)
 	}

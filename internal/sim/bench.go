@@ -1,0 +1,25 @@
+package sim
+
+// SpawnBenchLoad populates k with nprocs processes that together execute at
+// least total timed sleeps of small co-prime durations. The durations are
+// chosen so that nearly every sleep coexists with pending events from the
+// other processes and must go through the event queue and a real handoff —
+// the worst case for the scheduler hot path. It is the standard workload
+// behind the event-core trajectory numbers (BenchmarkKernelEvents,
+// `mesbench -benchjson`); it returns the exact number of sleeps scheduled.
+func SpawnBenchLoad(k *Kernel, nprocs, total int) int {
+	durs := [...]Duration{3, 5, 7, 11, 13, 17, 19, 23}
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	per := (total + nprocs - 1) / nprocs
+	for w := 0; w < nprocs; w++ {
+		d := durs[w%len(durs)]
+		k.Spawn("load", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				p.Sleep(d)
+			}
+		})
+	}
+	return per * nprocs
+}

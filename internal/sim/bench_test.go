@@ -1,0 +1,20 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEvents measures raw scheduler throughput: four processes
+// interleave sleeps of co-prime durations, so each simulated event pays the
+// full hot path — queue insert, pop, and the kernel↔process handoff. ns/op
+// and allocs/op are per simulated event; the events/s metric is what
+// BENCH_PR*.json tracks across PRs.
+func BenchmarkKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	n := SpawnBenchLoad(k, 4, b.N)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,38 +1,40 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
 )
 
+// eventKind tags what an event does when it fires. The dominant scheduler
+// traffic — process dispatches and wake-ups — is encoded structurally
+// (kind + proc + value) so the hot paths schedule without allocating a
+// closure; evGeneric with a fn remains for the rare direct At/After users.
+type eventKind uint8
+
+const (
+	evGeneric  eventKind = iota // run fn
+	evDispatch                  // hand the execution token to proc
+	evWake                      // deliver value to proc's Park, then dispatch
+)
+
 // event is a scheduled action on the virtual timeline. Ties on time are
 // broken by sequence number, so scheduling order is total and deterministic.
+// Events are stored by value in the kernel's queue: pushing one is a slice
+// append, never a heap allocation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	kind  eventKind
+	value int
+	proc  *Proc
+	fn    func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// before reports whether e fires ahead of o: earlier time, or FIFO by
+// sequence number on ties.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // DeadlockError reports that the simulation can make no further progress
@@ -55,11 +57,12 @@ var ErrStopped = errors.New("sim: stopped")
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // value-typed 4-ary min-heap ordered by (at, seq)
 	rng     *RNG
 	hooks   Hooks
 	trace   *Trace
 	procs   []*Proc
+	free    []*Proc // finished procs available for reuse after Reset
 	spawned int
 	live    int // procs not yet finished
 	yielded chan struct{}
@@ -73,7 +76,7 @@ type Option func(*Kernel)
 
 // WithSeed sets the root RNG seed (default 1).
 func WithSeed(seed uint64) Option {
-	return func(k *Kernel) { k.rng = NewRNG(seed) }
+	return func(k *Kernel) { k.rng.Reseed(seed) }
 }
 
 // WithHooks installs a timing/noise model. The default is NopHooks.
@@ -96,12 +99,53 @@ func NewKernel(opts ...Option) *Kernel {
 	k := &Kernel{
 		rng:     NewRNG(1),
 		hooks:   NopHooks{},
-		yielded: make(chan struct{}),
+		yielded: make(chan struct{}, 1),
 	}
 	for _, o := range opts {
 		o(k)
 	}
 	return k
+}
+
+// Reset returns the kernel to its post-NewKernel state (with the given
+// options applied) while keeping allocated capacity: the event queue's
+// backing array and — when every process has finished — the process
+// structures themselves are reused by subsequent Spawns. Reset must not be
+// called while Run is executing. If processes are still live (a deadlocked
+// or stopped run), their goroutines stay parked forever, exactly as they
+// would after an abandoned kernel; Reset drops them and starts fresh.
+func (k *Kernel) Reset(opts ...Option) {
+	for i := range k.events {
+		k.events[i] = event{} // release fn/proc references
+	}
+	k.events = k.events[:0]
+	if k.live == 0 {
+		for i, p := range k.procs {
+			k.free = append(k.free, p)
+			k.procs[i] = nil
+		}
+		k.procs = k.procs[:0]
+	} else {
+		// Abandoned goroutines still reference their Proc structs; none of
+		// them may be reused.
+		k.procs = nil
+		k.free = nil
+	}
+	select { // a stopped/abandoned run can leave an unconsumed token
+	case <-k.yielded:
+	default:
+	}
+	k.now, k.seq = 0, 0
+	k.spawned, k.live = 0, 0
+	k.running = nil
+	k.stopped = false
+	k.horizon = 0
+	k.hooks = NopHooks{}
+	k.trace = nil
+	k.rng.Reseed(1)
+	for _, o := range opts {
+		o(k)
+	}
 }
 
 // Now returns the current virtual time.
@@ -116,13 +160,76 @@ func (k *Kernel) Hooks() Hooks { return k.hooks }
 // Trace returns the attached trace recorder, or nil.
 func (k *Kernel) Trace() *Trace { return k.trace }
 
-// At schedules fn to run at absolute time t (clamped to now).
-func (k *Kernel) At(t Time, fn func()) {
+// Tracing reports whether a trace recorder is attached. Hot paths check it
+// before assembling Tracef arguments, so untraced runs never box values
+// into interfaces.
+func (k *Kernel) Tracing() bool { return k.trace != nil }
+
+// schedule inserts an event at absolute time t (clamped to now). The heap
+// is 4-ary: shallower than a binary heap for the same size, so the sift-up
+// here and the sift-down in pop touch fewer cache lines per operation.
+func (k *Kernel) schedule(t Time, kind eventKind, p *Proc, value int, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	seq := k.seq
+	h := append(k.events, event{})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		// The parent wins ties automatically: existing events always carry
+		// smaller sequence numbers than the one being inserted.
+		if h[parent].at <= t {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = event{at: t, seq: seq, kind: kind, value: value, proc: p, fn: fn}
+	k.events = h
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/proc references held in the vacated slot
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			min := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[min]) {
+					min = j
+				}
+			}
+			if !h[min].before(&last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	k.events = h
+	return top
+}
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	k.schedule(t, evGeneric, nil, 0, fn)
 }
 
 // After schedules fn to run d from now.
@@ -143,24 +250,40 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 	return k.SpawnAt(k.now, name, fn)
 }
 
-// SpawnAt creates a process that starts at absolute time t.
+// SpawnAt creates a process that starts at absolute time t. After a Reset,
+// finished process structures (and their handoff channels) are recycled.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		id:     len(k.procs) + 1,
-		name:   name,
-		body:   fn,
-		resume: make(chan struct{}),
-		state:  ProcCreated,
+	var p *Proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		p.id = len(k.procs) + 1
+		p.name = name
+		p.body = fn
+		p.state = ProcCreated
+		p.started = false
+		p.wakeValue = 0
+	} else {
+		p = &Proc{
+			k:      k,
+			id:     len(k.procs) + 1,
+			name:   name,
+			body:   fn,
+			resume: make(chan struct{}, 1),
+			state:  ProcCreated,
+		}
 	}
 	k.procs = append(k.procs, p)
 	k.spawned++
 	k.live++
-	k.At(t, func() { k.dispatch(p) })
+	k.schedule(t, evDispatch, p, 0, nil)
 	return p
 }
 
 // dispatch hands the execution token to p and waits until p parks or exits.
+// The handoff channels are single-slot tokens: the send never blocks, so
+// each direction of a switch parks exactly one goroutine.
 func (k *Kernel) dispatch(p *Proc) {
 	if p.state == ProcDone {
 		return
@@ -177,6 +300,23 @@ func (k *Kernel) dispatch(p *Proc) {
 	k.running = nil
 }
 
+// execute fires one popped event.
+func (k *Kernel) execute(e *event) {
+	switch e.kind {
+	case evDispatch:
+		k.dispatch(e.proc)
+	case evWake:
+		p := e.proc
+		if p.state != ProcParked {
+			panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", p.name, p.state))
+		}
+		p.wakeValue = e.value
+		k.dispatch(p)
+	default:
+		e.fn()
+	}
+}
+
 // Run processes events until none remain, all processes have finished, the
 // horizon is reached, or Stop is called. It returns a *DeadlockError if the
 // queue drains while processes are still blocked.
@@ -190,15 +330,15 @@ func (k *Kernel) Run() error {
 			// timers) remain. Process-less simulations drain the queue.
 			return nil
 		}
-		e := heap.Pop(&k.events).(*event)
-		if k.horizon > 0 && e.at > k.horizon {
+		if k.horizon > 0 && k.events[0].at > k.horizon {
 			k.now = k.horizon
 			return nil
 		}
+		e := k.pop()
 		if e.at > k.now {
 			k.now = e.at
 		}
-		e.fn()
+		k.execute(&e)
 	}
 	if k.live > 0 {
 		var blocked []string
@@ -213,16 +353,22 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
-// Step runs a single event. It reports whether an event was processed.
+// Step runs a single event. It reports whether an event was processed;
+// events beyond the horizon are not executed (the clock clamps to the
+// horizon instead, matching Run).
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 || k.stopped {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
+	if k.horizon > 0 && k.events[0].at > k.horizon {
+		k.now = k.horizon
+		return false
+	}
+	e := k.pop()
 	if e.at > k.now {
 		k.now = e.at
 	}
-	e.fn()
+	k.execute(&e)
 	return true
 }
 
@@ -231,7 +377,12 @@ func (k *Kernel) Live() int { return k.live }
 
 // Tracef records an event against p in the attached trace (no-op without
 // one). Higher layers use it to log syscall-level activity — the
-// observability surface a defender would monitor.
+// observability surface a defender would monitor. Formatting is deferred:
+// the format and args are stored verbatim and rendered only when the trace
+// is read, so traced runs do not pay fmt.Sprintf per entry. Args must
+// therefore be values, not pointers to state that later mutates. Callers on
+// allocation-sensitive paths should guard with Tracing() so the variadic
+// args are never boxed.
 func (k *Kernel) Tracef(p *Proc, ev, format string, args ...interface{}) {
 	k.tracef(p, ev, format, args...)
 }
@@ -244,5 +395,5 @@ func (k *Kernel) tracef(p *Proc, ev, format string, args ...interface{}) {
 	if p != nil {
 		name, id = p.name, p.id
 	}
-	k.trace.add(Entry{T: k.now, PID: id, Proc: name, Event: ev, Detail: fmt.Sprintf(format, args...)})
+	k.trace.add(Entry{T: k.now, PID: id, Proc: name, Event: ev, format: format, args: args})
 }

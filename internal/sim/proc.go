@@ -40,7 +40,7 @@ type Proc struct {
 	id      int
 	name    string
 	body    func(*Proc)
-	resume  chan struct{}
+	resume  chan struct{} // single-slot token: kernel -> proc
 	state   ProcState
 	started bool
 
@@ -66,6 +66,28 @@ func (p *Proc) yield(s ProcState) {
 	p.state = ProcRunning
 }
 
+// pause suspends the process until absolute time t with no model noise.
+//
+// Fast path: when the process would be the very next thing the kernel runs
+// anyway — no queued event fires strictly before t, no tie to arbitrate,
+// and neither Stop nor the horizon intervenes — the clock simply advances
+// to t and the body keeps running on the same goroutine: no event is
+// queued and no handoff happens. This is exactly the schedule the slow
+// path would have produced, minus two context switches and a heap
+// round-trip. Ties (an event already queued at t) must take the slow path
+// so FIFO ordering by sequence number is preserved.
+func (p *Proc) pause(t Time) {
+	k := p.k
+	if !k.stopped &&
+		(len(k.events) == 0 || t < k.events[0].at) &&
+		(k.horizon <= 0 || t <= k.horizon) {
+		k.now = t
+		return
+	}
+	k.schedule(t, evDispatch, p, 0, nil)
+	p.yield(ProcSleeping)
+}
+
 // ID returns the process's kernel-assigned id (1-based).
 func (p *Proc) ID() int { return p.id }
 
@@ -89,9 +111,10 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	total := d + p.k.hooks.SleepLatency(p.k.rng, d)
-	p.k.tracef(p, "sleep", "%v (effective %v)", d, total)
-	p.k.After(total, func() { p.k.dispatch(p) })
-	p.yield(ProcSleeping)
+	if p.k.trace != nil {
+		p.k.tracef(p, "sleep", "%v (effective %v)", d, total)
+	}
+	p.pause(p.k.now.Add(total))
 }
 
 // Advance moves the process exactly d forward in virtual time with no
@@ -101,8 +124,7 @@ func (p *Proc) Advance(d Duration) {
 	if d <= 0 {
 		return
 	}
-	p.k.After(d, func() { p.k.dispatch(p) })
-	p.yield(ProcSleeping)
+	p.pause(p.k.now.Add(d))
 }
 
 // Exec consumes CPU for cost plus model jitter, advancing virtual time.
@@ -111,8 +133,7 @@ func (p *Proc) Exec(cost Duration) {
 		cost = 0
 	}
 	total := cost + p.k.hooks.ExecJitter(p.k.rng, cost)
-	p.k.After(total, func() { p.k.dispatch(p) })
-	p.yield(ProcSleeping)
+	p.pause(p.k.now.Add(total))
 }
 
 // Park blocks until another process (or a kernel event) calls Wake. It
@@ -124,24 +145,21 @@ func (p *Proc) Park() int {
 }
 
 // Wake schedules p to resume after delay, delivering value to its Park.
-// Waking a process that is not parked is a programming error and panics:
-// lost wakeups would silently corrupt channel timing measurements.
+// Waking a process that is not parked is a programming error and panics at
+// fire time: lost wakeups would silently corrupt channel timing
+// measurements.
 func (p *Proc) Wake(delay Duration, value int) {
 	if p.state == ProcDone {
 		panic(fmt.Sprintf("sim: Wake of finished process %q", p.name))
 	}
-	p.k.After(delay, func() {
-		if p.state != ProcParked {
-			panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", p.name, p.state))
-		}
-		p.wakeValue = value
-		p.k.dispatch(p)
-	})
+	if delay < 0 {
+		delay = 0
+	}
+	p.k.schedule(p.k.now.Add(delay), evWake, p, value, nil)
 }
 
 // Yield cedes the token, rescheduling the process at the current instant
 // behind any already-queued events.
 func (p *Proc) Yield() {
-	p.k.After(0, func() { p.k.dispatch(p) })
-	p.yield(ProcSleeping)
+	p.pause(p.k.now)
 }

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// stampWorkload spawns a few processes whose interleaving depends on the
+// kernel RNG, runs the kernel, and returns the observed wake times; used
+// to compare replays.
+func stampWorkload(t *testing.T, k *Kernel) []Time {
+	t.Helper()
+	var stamps []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("p", func(p *Proc) {
+			for j := 0; j < 6; j++ {
+				p.Sleep(Duration(1 + p.Kernel().Rand().Intn(50)))
+				stamps = append(stamps, p.Now())
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stamps
+}
+
+// TestResetReplaysIdentically is the pooling contract at the sim layer: a
+// kernel that is Reset with the same seed replays exactly like a freshly
+// constructed one, including recycled Proc structures.
+func TestResetReplaysIdentically(t *testing.T) {
+	k := NewKernel(WithSeed(7))
+	a := stampWorkload(t, k)
+
+	k.Reset(WithSeed(7))
+	if got := len(k.free); got == 0 {
+		t.Fatal("Reset recycled no finished procs")
+	}
+	b := stampWorkload(t, k)
+
+	fresh := NewKernel(WithSeed(7))
+	c := stampWorkload(t, fresh)
+
+	if len(a) == 0 {
+		t.Fatal("workload produced no stamps")
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("replay diverged at %d: first=%v reset=%v fresh=%v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+// TestResetAfterDeadlock: a kernel whose run deadlocked (parked goroutines
+// abandoned) must still be safely resettable — it just cannot recycle the
+// stuck procs.
+func TestResetAfterDeadlock(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	var dl *DeadlockError
+	if err := k.Run(); !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	k.Reset()
+	if len(k.free) != 0 {
+		t.Fatal("Reset recycled a deadlocked proc")
+	}
+	done := false
+	k.Spawn("ok", func(p *Proc) {
+		p.Sleep(10)
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("post-reset run: %v", err)
+	}
+	if !done || k.Now() != 10 {
+		t.Fatalf("post-reset run: done=%v now=%v", done, k.Now())
+	}
+}
+
+// TestResetClearsPendingEvents: events queued beyond a horizon (or simply
+// unfired) must not leak into the next run.
+func TestResetClearsPendingEvents(t *testing.T) {
+	k := NewKernel(WithHorizon(10))
+	fired := false
+	k.At(100, func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	k.Reset()
+	if err := k.Run(); err != nil {
+		t.Fatalf("post-reset Run: %v", err)
+	}
+	if fired {
+		t.Fatal("stale event fired after Reset")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %v after Reset with no events, want 0", k.Now())
+	}
+}
+
+// TestStepHorizon is the regression test for Step executing events past the
+// horizon: it must clamp the clock and leave the event unprocessed, like
+// Run does.
+func TestStepHorizon(t *testing.T) {
+	k := NewKernel(WithHorizon(50))
+	order := []Time{}
+	k.At(30, func() { order = append(order, k.Now()) })
+	k.At(100, func() { order = append(order, k.Now()) })
+	if !k.Step() {
+		t.Fatal("Step refused an event inside the horizon")
+	}
+	if k.Step() {
+		t.Fatal("Step executed an event beyond the horizon")
+	}
+	if len(order) != 1 || order[0] != 30 {
+		t.Fatalf("executed events at %v, want [30]", order)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("Now = %v, want clamped horizon 50", k.Now())
+	}
+}
+
+// TestKernelEventAllocsAmortizedZero asserts the zero-allocation contract
+// of the event core, including that untraced runs pay no trace-formatting
+// cost (no fmt boxing) on the Sleep path: the only allocations per run are
+// the spawn closures and goroutine startup, amortized over thousands of
+// events.
+func TestKernelEventAllocsAmortizedZero(t *testing.T) {
+	const events = 4000
+	k := NewKernel()
+	allocs := testing.AllocsPerRun(5, func() {
+		k.Reset()
+		SpawnBenchLoad(k, 4, events)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per := allocs / events; per > 0.05 {
+		t.Errorf("amortized allocs per simulated event = %.4f (%.0f per run), want ~0", per, allocs)
+	}
+}
+
+// TestFastPathSkipsQueue: a lone runnable proc advances the clock inline —
+// no events are queued for plain sleeps, yet the schedule is the one the
+// queue would have produced.
+func TestFastPathSkipsQueue(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("solo", func(p *Proc) {
+		p.Sleep(5)
+		if len(k.events) != 0 {
+			t.Errorf("inline sleep queued %d events", len(k.events))
+		}
+		p.Sleep(7)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 12 {
+		t.Fatalf("woke at %v, want 12", at)
+	}
+}

@@ -15,6 +15,11 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed + 0x9e3779b97f4a7c15}
 }
 
+// Reseed resets the generator in place to the stream NewRNG(seed) would
+// produce. Pooled simulation state uses it to re-derive fresh streams
+// without allocating.
+func (r *RNG) Reseed(seed uint64) { r.state = seed + 0x9e3779b97f4a7c15 }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

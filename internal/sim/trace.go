@@ -5,21 +5,42 @@ import (
 	"strings"
 )
 
-// Entry is one recorded trace line.
+// Entry is one recorded trace line. The detail text is stored as a format
+// string plus its arguments and rendered only when the entry is read, so
+// recording a traced run never pays fmt.Sprintf in the scheduler hot path.
 type Entry struct {
-	T      Time
-	PID    int
-	Proc   string
-	Event  string
-	Detail string
+	T     Time
+	PID   int
+	Proc  string
+	Event string
+
+	format string
+	args   []interface{}
+}
+
+// MakeEntry builds an entry with a pre-rendered detail string (tests,
+// external tooling). Kernel-recorded entries come from Tracef and format
+// lazily instead.
+func MakeEntry(t Time, pid int, proc, event, detail string) Entry {
+	return Entry{T: t, PID: pid, Proc: proc, Event: event, format: "%s", args: []interface{}{detail}}
+}
+
+// Detail renders the entry's detail text.
+func (e Entry) Detail() string {
+	if len(e.args) == 0 && !strings.ContainsRune(e.format, '%') {
+		return e.format
+	}
+	// Formats with verbs (or %% escapes) go through fmt even with no args,
+	// so they render exactly as eager Sprintf did.
+	return fmt.Sprintf(e.format, e.args...)
 }
 
 // String renders the entry in a compact single-line form.
 func (e Entry) String() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("%12v  %s(%d)  %s", e.T, e.Proc, e.PID, e.Event)
+	if d := e.Detail(); d != "" {
+		return fmt.Sprintf("%12v  %s(%d)  %s: %s", e.T, e.Proc, e.PID, e.Event, d)
 	}
-	return fmt.Sprintf("%12v  %s(%d)  %s: %s", e.T, e.Proc, e.PID, e.Event, e.Detail)
+	return fmt.Sprintf("%12v  %s(%d)  %s", e.T, e.Proc, e.PID, e.Event)
 }
 
 // Trace records kernel events for debugging and for rendering the paper's

@@ -48,6 +48,15 @@ func NewFS() *FS {
 	}
 }
 
+// Reset empties the i-node and open-file tables in place, retaining map
+// capacity, and restarts numbering. Pooled simulated machines use it
+// between trials.
+func (fs *FS) Reset() {
+	fs.nextIno, fs.nextFile = 0, 0
+	clear(fs.inodes)
+	clear(fs.files)
+}
+
 // Create makes a new file. readOnly files reject writable opens —
 // the paper sets the shared file read-only so the channel cannot be
 // trivialised into direct data writes; mandatory enables mandatory
@@ -151,6 +160,13 @@ type FDTable struct {
 // numbering starts at 3 (0-2 being the standard streams).
 func NewFDTable() *FDTable {
 	return &FDTable{next: 3, fds: make(map[int]*File)}
+}
+
+// Reset empties the table in place and restarts descriptor numbering, as
+// if the owning process were freshly created.
+func (t *FDTable) Reset() {
+	t.next = 3
+	clear(t.fds)
 }
 
 // Install assigns the lowest free descriptor to f.

@@ -74,6 +74,11 @@ type Inode struct {
 	exclusive *File
 	shared    map[*File]bool
 	queue     []lockWaiter
+	// wake is the reusable result buffer for Unlock/promote, so per-bit
+	// lock handoffs never allocate. The returned slice is valid only until
+	// the next promotion on this i-node; the OS layer consumes it
+	// immediately.
+	wake []Waiter
 }
 
 type lockWaiter struct {
@@ -206,9 +211,10 @@ func (in *Inode) promote() []Waiter {
 		}
 		head := in.queue[0]
 		in.queue = in.queue[1:]
-		return []Waiter{head.w}
+		in.wake = append(in.wake[:0], head.w)
+		return in.wake
 	}
-	var woken []Waiter
+	woken := in.wake[:0]
 	for len(in.queue) > 0 {
 		head := in.queue[0]
 		if !in.compatible(head.file, head.kind) {
@@ -221,5 +227,6 @@ func (in *Inode) promote() []Waiter {
 			break
 		}
 	}
+	in.wake = woken
 	return woken
 }
