@@ -6,12 +6,19 @@ GO ?= go
 # Which BENCH_PR<n>.json the bench-json target writes; bump per PR so the
 # repo accumulates a performance trajectory. Point BENCH_BASELINE at the
 # previous PR's file to embed it as the "before" column.
-BENCH_PR ?= PR2
-BENCH_BASELINE ?=
+BENCH_PR ?= PR3
+BENCH_BASELINE ?= BENCH_PR2.json
 
-.PHONY: ci build vet test race bench bench-json
+.PHONY: ci build vet test race bench bench-json perf-smoke
 
-ci: build vet race
+ci: build vet race perf-smoke
+
+# Allocation regressions on the two tracked hot paths fail fast: the event
+# core must stay at 0 allocs/event and a pooled transmission within its
+# 10-allocation budget.
+perf-smoke:
+	$(GO) test -count=1 -run 'TestKernelEventAllocsAmortizedZero' ./internal/sim
+	$(GO) test -count=1 -run 'TestTransmissionAllocBudget' .
 
 build:
 	$(GO) build ./...
@@ -28,7 +35,7 @@ race:
 # One pass over every benchmark, including BenchmarkSweepParallel's
 # workers=1 vs workers=N speedup comparison.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim ./internal/detect .
 
 # Refresh the performance-trajectory snapshot: raw event-core throughput,
 # one full transmission (ns/op + allocs/op), and the Fig. 9 sweep

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"mes/internal/core"
+	"mes/internal/detect"
 	"mes/internal/experiments"
 	"mes/internal/sim"
 )
@@ -141,6 +142,8 @@ func realMain() int {
 }
 
 // benchResults is one measurement snapshot of the performance trajectory.
+// Fields added by later schema revisions are zero in snapshots embedded
+// from older baseline files.
 type benchResults struct {
 	KernelEventsPerSec      float64 `json:"kernel_events_per_sec"`
 	KernelNsPerEvent        float64 `json:"kernel_ns_per_event"`
@@ -149,6 +152,11 @@ type benchResults struct {
 	TransmissionAllocsPerOp int64   `json:"transmission_allocs_per_op"`
 	Fig9Workers1Ms          float64 `json:"fig9_workers1_ms"`
 	Fig9WorkersNMs          float64 `json:"fig9_workersN_ms"`
+	// mes-bench/v2: one kernel↔process control round trip (sim.SpawnPingPong)
+	// and the defender-side trace scan (detect.BenchTrace).
+	ContextSwitchNsPerOp float64 `json:"context_switch_ns_per_op,omitempty"`
+	DetectEntriesPerSec  float64 `json:"detect_entries_per_sec,omitempty"`
+	DetectAllocsPerScan  int64   `json:"detect_allocs_per_scan,omitempty"`
 }
 
 // benchFile is the on-disk BENCH_PR<n>.json shape.
@@ -160,12 +168,17 @@ type benchFile struct {
 	After      benchResults  `json:"after"`
 }
 
+// benchSchemas are the accepted measurement-file revisions: v2 added the
+// context-switch and detector rows. Older files remain valid baselines —
+// their new-row columns read as zero ("not measured").
+var benchSchemas = map[string]bool{"mes-bench/v1": true, "mes-bench/v2": true}
+
 // writeBenchJSON runs the trajectory measurements and writes file. If
 // baseline names an earlier measurement file, its "after" snapshot is
 // embedded as this file's "before".
 func writeBenchJSON(file, baseline string) error {
 	out := benchFile{
-		Schema:     "mes-bench/v1",
+		Schema:     "mes-bench/v2",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -178,8 +191,8 @@ func writeBenchJSON(file, baseline string) error {
 		if err := json.Unmarshal(raw, &base); err != nil {
 			return fmt.Errorf("parse baseline %s: %w", baseline, err)
 		}
-		if base.Schema != "mes-bench/v1" {
-			return fmt.Errorf("baseline %s: schema %q is not a mes-bench/v1 measurement file", baseline, base.Schema)
+		if !benchSchemas[base.Schema] {
+			return fmt.Errorf("baseline %s: schema %q is not a mes-bench measurement file", baseline, base.Schema)
 		}
 		out.Before = &base.After
 	}
@@ -201,6 +214,39 @@ func writeBenchJSON(file, baseline string) error {
 	out.After.KernelNsPerEvent = float64(kernel.T.Nanoseconds()) / float64(kernel.N)
 	out.After.KernelEventsPerSec = 1e9 / out.After.KernelNsPerEvent
 	out.After.KernelAllocsPerEvent = float64(kernel.MemAllocs) / float64(kernel.N)
+
+	// One kernel↔process control round trip (two coroutine switches plus
+	// the queue round trip) — the handoff cost the coroutine rewrite
+	// targets.
+	cswitch := testing.Benchmark(func(b *testing.B) {
+		k := sim.NewKernel()
+		sim.SpawnPingPong(k, b.N/2+1)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if cswitch.N == 0 {
+		return fmt.Errorf("context-switch benchmark failed; run `go test -bench BenchmarkContextSwitch ./internal/sim` for the failure")
+	}
+	out.After.ContextSwitchNsPerOp = float64(cswitch.T.Nanoseconds()) / float64(cswitch.N)
+
+	// The defender-side trace scan over the standard synthetic trace.
+	const detectEntries = 8192
+	trace := detect.BenchTrace(detectEntries)
+	scan := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if scores := detect.Analyze(trace); len(scores) == 0 {
+				b.Fatal("no resources scored")
+			}
+		}
+	})
+	if scan.N == 0 {
+		return fmt.Errorf("detect benchmark failed; run `go test -bench BenchmarkDetectAnalyze ./internal/detect` for the failure")
+	}
+	out.After.DetectEntriesPerSec = float64(detectEntries) * float64(scan.N) / scan.T.Seconds()
+	out.After.DetectAllocsPerScan = scan.AllocsPerOp()
 
 	// One complete transmission (the sweep cell unit) — the same workload
 	// as BenchmarkTransmission, so the trajectory and `go test -bench`
@@ -247,9 +293,11 @@ func writeBenchJSON(file, baseline string) error {
 	if err := os.WriteFile(file, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.0f events/s, %.2f allocs/event, transmission %dns/%d allocs, fig9 %0.0fms (w=1) / %0.0fms (w=%d)\n",
+	fmt.Printf("wrote %s: %.0f events/s, %.2f allocs/event, switch %.0fns, transmission %dns/%d allocs, detect %.0f entries/s, fig9 %0.0fms (w=1) / %0.0fms (w=%d)\n",
 		file, out.After.KernelEventsPerSec, out.After.KernelAllocsPerEvent,
+		out.After.ContextSwitchNsPerOp,
 		out.After.TransmissionNsPerOp, out.After.TransmissionAllocsPerOp,
+		out.After.DetectEntriesPerSec,
 		out.After.Fig9Workers1Ms, out.After.Fig9WorkersNMs, runtime.GOMAXPROCS(0))
 	return nil
 }

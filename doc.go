@@ -29,8 +29,9 @@
 // # Performance
 //
 // Every experiment replays through internal/sim's discrete-event kernel,
-// so its per-event cost bounds the whole registry's wall-clock. The event
-// core is allocation-free on its hot paths:
+// so its per-event and per-context-switch costs bound the whole registry's
+// wall-clock. The event core is allocation-free and scheduler-free on its
+// hot paths:
 //
 //   - The event queue is a value-typed 4-ary min-heap ([]event ordered by
 //     time with FIFO sequence-number tie-breaks): pushing an event is a
@@ -41,22 +42,45 @@
 //     and Wake — are encoded as (kind, proc, value), so scheduling them
 //     allocates nothing. Only the rare generic Kernel.At callers carry a
 //     fn closure.
-//   - The kernel↔process handoff uses single-slot token channels (sends
-//     never block), and a running process that would be the very next
-//     thing popped — no queued event strictly earlier, no tie — just
-//     advances the clock and keeps running: no event, no context switch.
-//   - Simulated machines are pooled across trials (internal/runner.Pool,
-//     osmodel.System.Reset), so sweep cells reuse the kernel's event
-//     queue, process structures, namespaces and filesystem tables instead
-//     of rebuilding them per transmission.
+//   - The kernel↔process handoff is a coroutine switch (iter.Pull, which
+//     compiles to runtime.coroswitch): dispatch resumes the body's
+//     coroutine and a blocking op yields straight back, a direct
+//     goroutine-to-goroutine transfer with no Go-scheduler park/unpark.
+//     The old single-slot channel handoff paid chanparkcommit twice per
+//     switch (~640ns/round trip); the coroutine transfer does the same
+//     round trip in ~190ns (BenchmarkContextSwitch). On recycling kernels
+//     (any kernel that has been Reset — the pooled-machine pattern)
+//     coroutines are persistent: a finished process parks in an idle
+//     yield and the next spawn reuses it allocation-free. One-shot
+//     kernels let each coroutine exit with its body, so dropped kernels
+//     leave no goroutines behind; Reset unwinds mid-wait bodies (running
+//     their defers), Kernel.Release tears a machine down entirely, and
+//     the machine pool is an explicitly bounded free list (runner.Pool)
+//     that releases evicted machines rather than letting the GC shed
+//     them — a parked goroutine's stack would otherwise pin the machine
+//     forever.
+//   - A running process that would be the very next thing popped — no
+//     queued event strictly earlier, no tie — just advances the clock and
+//     keeps running: no event, no context switch at all.
+//   - Simulated machines and per-transmission link state are pooled across
+//     trials (internal/runner.Pool, osmodel.System.Reset), so sweep cells
+//     reuse the kernel's event queue, coroutines, namespaces, filesystem
+//     tables and protocol trampolines. One pooled transmission performs
+//     ten heap allocations — the caller-owned Result data plus the
+//     per-run kernel object and sender/receiver pair (the perf smoke in
+//     `make ci` pins both this budget and the kernel's 0 allocs/event).
+//   - Gaussian noise draws (timing.Profile.Cost's per-op jitter, §V.C)
+//     bank the second Box–Muller deviate per RNG, halving the
+//     Log/Sqrt/Sincos work per draw.
 //
 // Outputs stay deterministic through all of this because ordering is a
 // total order on (time, sequence): the hand-rolled heap pops the same
 // sequence as the reference heap, the inline fast path only ever runs the
 // event the queue would have popped next (ties always go through the
-// queue, preserving FIFO), and a Reset machine is indistinguishable from a
-// fresh one — the registry tests assert byte-identical output across
-// worker counts and with pooling on or off.
+// queue, preserving FIFO), coroutine resume order is exactly the old
+// dispatch order, and a Reset machine is indistinguishable from a fresh
+// one — the registry tests assert byte-identical output across worker
+// counts and with pooling on or off.
 //
 // To profile, run the experiment driver with the pprof flags:
 //
@@ -64,8 +88,12 @@
 //	go tool pprof cpu.pprof
 //
 // and track the trajectory numbers with `make bench-json` (see
-// BENCH_PR2.json): raw kernel events/sec, per-transmission ns and allocs,
-// and the Fig. 9 sweep wall-clock at one worker and at GOMAXPROCS.
+// BENCH_PR3.json): raw kernel events/sec, the context-switch round trip,
+// per-transmission ns and allocs, the detector's trace-scan rate, and the
+// Fig. 9 sweep wall-clock at one worker and at GOMAXPROCS. On the 1-core
+// reference container the coroutine rewrite took the kernel from 2.17M to
+// 5.65M events/s and one Event transmission from 1.67ms/49 allocs to
+// 0.83ms/10 allocs.
 //
 // Quick start:
 //

@@ -10,7 +10,20 @@ func Pack(b Bits, bitsPerSymbol int) ([]int, error) {
 	if bitsPerSymbol < 1 || bitsPerSymbol > 16 {
 		return nil, fmt.Errorf("codec: bitsPerSymbol %d out of range [1,16]", bitsPerSymbol)
 	}
-	var syms []int
+	return AppendPack(make([]int, 0, PackedLen(len(b), bitsPerSymbol)), b, bitsPerSymbol)
+}
+
+// PackedLen reports how many symbols Pack produces for n bits.
+func PackedLen(n, bitsPerSymbol int) int {
+	return (n + bitsPerSymbol - 1) / bitsPerSymbol
+}
+
+// AppendPack is Pack appending into dst: allocation-free when dst has
+// capacity for PackedLen(len(b)) more symbols.
+func AppendPack(dst []int, b Bits, bitsPerSymbol int) ([]int, error) {
+	if bitsPerSymbol < 1 || bitsPerSymbol > 16 {
+		return nil, fmt.Errorf("codec: bitsPerSymbol %d out of range [1,16]", bitsPerSymbol)
+	}
 	for i := 0; i < len(b); i += bitsPerSymbol {
 		sym := 0
 		for j := 0; j < bitsPerSymbol; j++ {
@@ -19,9 +32,9 @@ func Pack(b Bits, bitsPerSymbol int) ([]int, error) {
 				sym |= int(b[i+j])
 			}
 		}
-		syms = append(syms, sym)
+		dst = append(dst, sym)
 	}
-	return syms, nil
+	return dst, nil
 }
 
 // Unpack expands symbols back to bits (MSB first), producing
@@ -48,12 +61,22 @@ func Unpack(syms []int, bitsPerSymbol int) (Bits, error) {
 // paper's "10101010"; for M-ary it exercises the extreme levels so the
 // receiver can calibrate its thresholds.
 func SyncSymbols(n, bitsPerSymbol int) []int {
-	max := 1<<uint(bitsPerSymbol) - 1
-	out := make([]int, n)
-	for i := range out {
-		if i%2 == 0 {
-			out[i] = max
-		}
+	return AppendSyncSymbols(make([]int, 0, n), n, bitsPerSymbol)
+}
+
+// AppendSyncSymbols is SyncSymbols appending into dst.
+func AppendSyncSymbols(dst []int, n, bitsPerSymbol int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, SyncSymbolAt(i, bitsPerSymbol))
 	}
-	return out
+	return dst
+}
+
+// SyncSymbolAt returns the i-th symbol of the synchronization preamble —
+// the alternating pattern without materializing the slice.
+func SyncSymbolAt(i, bitsPerSymbol int) int {
+	if i%2 == 0 {
+		return 1<<uint(bitsPerSymbol) - 1
+	}
+	return 0
 }

@@ -44,7 +44,7 @@ func TestCalibrationReport(t *testing.T) {
 			Mechanism: tg.mech,
 			Scenario:  tg.scn,
 			Payload:   payload,
-			Seed:      7,
+			Seed:      5,
 		})
 		if err != nil {
 			t.Errorf("%-10v %-12v: %v", tg.mech, tg.scn, err)

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mes/internal/sim"
 )
@@ -34,7 +34,11 @@ func CalibrateDecoder(m int, syncSyms []int, lat []sim.Duration) (*Decoder, erro
 	if len(syncSyms) > len(lat) {
 		return nil, fmt.Errorf("%w: %d sync symbols but %d measurements", errDecoder, len(syncSyms), len(lat))
 	}
-	var los, his []float64
+	// Typical preambles are 8 symbols, so the level samples fit in
+	// stack-friendly fixed buffers; longer preambles spill to the heap via
+	// append as usual.
+	var losBuf, hisBuf [16]float64
+	los, his := losBuf[:0], hisBuf[:0]
 	for i, s := range syncSyms {
 		v := lat[i].Micros()
 		switch s {
@@ -61,14 +65,14 @@ func CalibrateDecoder(m int, syncSyms []int, lat []sim.Duration) (*Decoder, erro
 	}, nil
 }
 
+// median sorts v in place and returns its median.
 func median(v []float64) float64 {
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	n := len(s)
+	slices.Sort(v)
+	n := len(v)
 	if n%2 == 1 {
-		return s[n/2]
+		return v[n/2]
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return (v[n/2-1] + v[n/2]) / 2
 }
 
 // M returns the alphabet size.

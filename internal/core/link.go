@@ -18,7 +18,9 @@ import (
 // structures per trial. Machines are returned to the pool only after a
 // clean Run (every process finished), and System.Reset restores them to
 // as-new state, so results are bit-identical with pooling on or off.
-var systems = runner.NewPool[*osmodel.System]()
+// Machines evicted on overflow are released so their parked coroutines
+// exit instead of pinning the machine forever.
+var systems = runner.NewPoolDrop(func(s *osmodel.System) { s.Release() })
 
 // reuseSystems gates the pool (default on).
 var reuseSystems atomic.Bool
@@ -79,7 +81,10 @@ type Result struct {
 	Decoder   *Decoder
 }
 
-// link carries the shared state of one transmission run.
+// link carries the shared state of one transmission run. Links are pooled
+// across Runs (see links): the structure, its profile copy and the two
+// process-body trampolines are recycled, while the per-run slices handed
+// to the Result (SentSyms, Latencies) are always freshly allocated.
 type link struct {
 	cfg     Config
 	par     Params
@@ -87,7 +92,7 @@ type link struct {
 	syms    []int
 	syncLen int
 
-	prof      *timing.Profile
+	prof      timing.Profile
 	lat       []sim.Duration
 	payStart  sim.Time
 	payEnd    sim.Time
@@ -95,6 +100,103 @@ type link struct {
 	spyErr    error
 	misses    int
 	uncontend sim.Duration // redraw value for missed acquisitions
+
+	// Per-run channel machinery, reassigned by Run.
+	snd        sender
+	rcv        receiver
+	rv         *osmodel.Rendezvous
+	contention bool
+	setupDelay sim.Duration
+
+	// spyFn/trojanFn close over the stable link only and are built once
+	// per structure, so pooled Runs spawn without closure allocations.
+	spyFn    func(*osmodel.Proc)
+	trojanFn func(*osmodel.Proc)
+
+	// name memoizes the per-(mechanism, seed) object name, saving the
+	// fmt.Sprintf when a pooled link replays the same configuration.
+	name     string
+	nameMech Mechanism
+	nameSeed uint64
+}
+
+// links pools link structures across transmissions, like systems pools
+// simulated machines. A link is returned to the pool only after a clean
+// run; outputs are identical with pooling on or off.
+var links = runner.NewPool[*link]()
+
+// newLink builds a link with its body trampolines bound.
+func newLink() *link {
+	l := &link{}
+	l.spyFn = func(p *osmodel.Proc) { l.runSpy(p) }
+	l.trojanFn = func(p *osmodel.Proc) { l.runTrojan(p) }
+	return l
+}
+
+// runSpy is the Spy process body: one measurement per symbol.
+func (l *link) runSpy(p *osmodel.Proc) {
+	if err := l.rcv.setup(p); err != nil {
+		l.spyErr = err
+		return
+	}
+	var prevM sim.Duration
+	for i := range l.syms {
+		if l.rv != nil {
+			l.rv.ArriveFollow(p)
+		}
+		m, err := l.rcv.measure(p)
+		if err != nil {
+			l.spyErr = err
+			return
+		}
+		m = l.observe(p, m, prevM)
+		prevM = m
+		l.lat = append(l.lat, m)
+		if l.contention && l.rv == nil && !l.cfg.UnfairCompetition {
+			// Open-loop pacing (Protocol 1's SLEEP_PERIOD_2) when the
+			// fine-grained inter-bit sync is ablated away. In the
+			// unfair ablation the Spy hammers instead — §V.B: the Spy
+			// then occupies the resource for the rest of the round.
+			p.Sleep(l.par.TT0)
+		}
+		if i == l.syncLen { // warm-up + preamble done
+			l.payStart = p.Now()
+		}
+	}
+	l.payEnd = p.Now()
+}
+
+// runTrojan is the Trojan process body: one send per symbol.
+func (l *link) runTrojan(p *osmodel.Proc) {
+	p.Sleep(l.setupDelay)
+	if err := l.snd.setup(p); err != nil {
+		l.trojanErr = err
+		return
+	}
+	for _, sym := range l.syms {
+		if l.rv != nil {
+			l.rv.ArriveLead(p)
+		}
+		if err := l.snd.send(p, sym); err != nil {
+			l.trojanErr = err
+			return
+		}
+		if l.contention && l.rv == nil {
+			p.Sleep(l.par.TT0) // Protocol 1's SLEEP_PERIOD_1
+		}
+	}
+}
+
+// release clears the per-run state and returns the link to the pool. The
+// result-owned slices were handed off; dropping our references — including
+// the config's payload and trace — keeps the pooled structure from
+// retaining caller data.
+func (l *link) release() {
+	l.cfg = Config{}
+	l.syms, l.lat = nil, nil
+	l.snd, l.rcv, l.rv = nil, nil, nil
+	l.trojanErr, l.spyErr = nil, nil
+	links.Put(l)
 }
 
 // BenchConfig is the standard single-transmission workload behind the
@@ -138,24 +240,30 @@ func Run(cfg Config) (*Result, error) {
 		return nil, errors.New("core: sync preamble needs at least 2 symbols")
 	}
 
-	l := &link{cfg: cfg, par: par, m: par.M(), syncLen: syncLen}
-	paySyms, err := codec.Pack(cfg.Payload, par.bps())
+	l, ok := links.Get()
+	if !ok {
+		l = newLink()
+	}
+	l.cfg, l.par, l.m, l.syncLen = cfg, par, par.M(), syncLen
+	l.payStart, l.payEnd, l.misses = 0, 0, 0
+	var err error
+
+	// A single warm-up symbol absorbs the Trojan's setup latency so the
+	// first preamble measurement reflects steady-state timing.
+	l.syms = make([]int, 0, 1+syncLen+codec.PackedLen(len(cfg.Payload), par.bps()))
+	l.syms = append(l.syms, 0)
+	l.syms = codec.AppendSyncSymbols(l.syms, syncLen, par.bps())
+	l.syms, err = codec.AppendPack(l.syms, cfg.Payload, par.bps())
 	if err != nil {
 		return nil, err
 	}
-	// A single warm-up symbol absorbs the Trojan's setup latency so the
-	// first preamble measurement reflects steady-state timing.
-	l.syms = make([]int, 0, 1+syncLen+len(paySyms))
-	l.syms = append(l.syms, 0)
-	l.syms = append(l.syms, codec.SyncSymbols(syncLen, par.bps())...)
-	l.syms = append(l.syms, paySyms...)
 	l.lat = make([]sim.Duration, 0, len(l.syms))
 
-	prof := timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+	l.prof = timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	if cfg.Noiseless {
-		prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+		l.prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	}
-	syscfg := osmodel.Config{Profile: prof, Seed: cfg.Seed, Trace: cfg.Trace}
+	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace}
 	var sys *osmodel.System
 	if reuseSystems.Load() {
 		if pooled, ok := systems.Get(); ok {
@@ -166,93 +274,59 @@ func Run(cfg Config) (*Result, error) {
 	if sys == nil {
 		sys = osmodel.NewSystem(syscfg)
 	}
-	l.prof = &prof
 	trojanDom, spyDom := domainsFor(sys, cfg.Mechanism, cfg.Scenario)
 
-	name := fmt.Sprintf("mes_%v_%d", cfg.Mechanism, cfg.Seed)
-	snd, rcv, err := newPair(cfg.Mechanism, par, name)
+	if l.name == "" || l.nameMech != cfg.Mechanism || l.nameSeed != cfg.Seed {
+		l.name = fmt.Sprintf("mes_%v_%d", cfg.Mechanism, cfg.Seed)
+		l.nameMech, l.nameSeed = cfg.Mechanism, cfg.Seed
+	}
+	l.snd, l.rcv, err = newPair(cfg.Mechanism, par, l.name)
 	if err != nil {
+		sys.Release() // drop the machine without leaving parked coroutines
 		return nil, err
 	}
 	if cfg.Mechanism == Flock {
-		path := "/share/" + name + ".txt"
+		path := "/share/" + l.name + ".txt"
 		in, err := sys.CreateSharedFile(path, 64, true, true)
 		if err != nil {
+			sys.Release()
 			return nil, err
 		}
 		in.SetFair(!cfg.UnfairCompetition)
 	}
-	l.uncontend = uncontendedEstimate(&prof, cfg.Mechanism)
+	l.uncontend = uncontendedEstimate(&l.prof, cfg.Mechanism)
 
-	contention := cfg.Mechanism.Kind() == Contention
-	var rv *osmodel.Rendezvous
-	if contention && !cfg.DisableInterBitSync {
-		rv = osmodel.NewRendezvous(sys)
+	l.contention = cfg.Mechanism.Kind() == Contention
+	l.rv = nil
+	if l.contention && !cfg.DisableInterBitSync {
+		l.rv = osmodel.NewRendezvous(sys)
 	}
 
-	setupDelay := cfg.SetupDelay
-	if setupDelay == 0 {
-		setupDelay = 200 * sim.Microsecond
+	l.setupDelay = cfg.SetupDelay
+	if l.setupDelay == 0 {
+		l.setupDelay = 200 * sim.Microsecond
 	}
 
-	sys.Spawn("spy", spyDom, func(p *osmodel.Proc) {
-		if err := rcv.setup(p); err != nil {
-			l.spyErr = err
-			return
-		}
-		var prevM sim.Duration
-		for i := range l.syms {
-			if rv != nil {
-				rv.ArriveFollow(p)
-			}
-			m, err := rcv.measure(p)
-			if err != nil {
-				l.spyErr = err
-				return
-			}
-			m = l.observe(p, m, prevM)
-			prevM = m
-			l.lat = append(l.lat, m)
-			if contention && rv == nil && !cfg.UnfairCompetition {
-				// Open-loop pacing (Protocol 1's SLEEP_PERIOD_2) when the
-				// fine-grained inter-bit sync is ablated away. In the
-				// unfair ablation the Spy hammers instead — §V.B: the Spy
-				// then occupies the resource for the rest of the round.
-				p.Sleep(par.TT0)
-			}
-			if i == l.syncLen { // warm-up + preamble done
-				l.payStart = p.Now()
-			}
-		}
-		l.payEnd = p.Now()
-	})
-
-	sys.Spawn("trojan", trojanDom, func(p *osmodel.Proc) {
-		p.Sleep(setupDelay)
-		if err := snd.setup(p); err != nil {
-			l.trojanErr = err
-			return
-		}
-		for _, sym := range l.syms {
-			if rv != nil {
-				rv.ArriveLead(p)
-			}
-			if err := snd.send(p, sym); err != nil {
-				l.trojanErr = err
-				return
-			}
-			if contention && rv == nil {
-				p.Sleep(par.TT0) // Protocol 1's SLEEP_PERIOD_1
-			}
-		}
-	})
+	sys.Spawn("spy", spyDom, l.spyFn)
+	sys.Spawn("trojan", trojanDom, l.trojanFn)
 
 	runErr := sys.Run()
-	if runErr == nil && reuseSystems.Load() {
+	switch {
+	case runErr != nil:
+		// Deadlocked or stopped: unwind the blocked coroutines so the
+		// machine (and this link, which their stacks reference) can be
+		// collected instead of being pinned by parked goroutines.
+		sys.Release()
+	case reuseSystems.Load():
 		// Clean completion: every process finished, so the machine can be
-		// recycled. Deadlocked or stopped runs leave parked goroutines
-		// behind and are abandoned to the GC instead.
+		// recycled — minus its references into this run (trace, bodies),
+		// which must not sit in the pool keeping caller data alive.
+		sys.Detach()
 		systems.Put(sys)
+	default:
+		// Pooling disabled: drop the machine without leaving any parked
+		// coroutines behind.
+		sys.Release()
 	}
 	if l.trojanErr != nil {
 		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
@@ -267,7 +341,13 @@ func Run(cfg Config) (*Result, error) {
 	if runErr != nil {
 		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
 	}
-	return l.decode()
+	res, err := l.decode()
+	if err == nil {
+		// Clean decode: recycle the link. Error paths abandon it — an
+		// abandoned simulated machine may still reference the trampolines.
+		l.release()
+	}
+	return res, err
 }
 
 // observe applies the Spy-side measurement noise model to a raw latency m
@@ -282,7 +362,7 @@ func Run(cfg Config) (*Result, error) {
 //   - both: rare wholesale corruption (the Spy observes the neighbouring
 //     bit's timing), the guard-independent BER floor.
 func (l *link) observe(p *osmodel.Proc, m, prevM sim.Duration) sim.Duration {
-	prof := l.prof
+	prof := &l.prof
 	rng := p.Rand()
 	if l.cfg.Mechanism.Kind() == Cooperation {
 		cap := l.par.TW0 + 25*sim.Microsecond
@@ -332,10 +412,9 @@ func (l *link) decode() (*Result, error) {
 	}
 	res.Decoder = dec
 
-	decodedSync := dec.DecodeAll(l.lat[warmup : warmup+l.syncLen])
 	res.SyncOK = true
-	for i, s := range codec.SyncSymbols(l.syncLen, l.par.bps()) {
-		if decodedSync[i] != s {
+	for i := 0; i < l.syncLen; i++ {
+		if dec.Decode(l.lat[warmup+i]) != codec.SyncSymbolAt(i, l.par.bps()) {
 			res.SyncOK = false
 			break
 		}

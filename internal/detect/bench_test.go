@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"testing"
+
+	"mes/internal/sim"
+)
+
+// BenchmarkDetectAnalyze measures the trace-scan cost per entry — the
+// defender-side analog of the kernel's events/s number, tracked in
+// BENCH_PR*.json. Keys are derived from entry arguments, so the scan pays
+// no per-entry fmt rendering.
+func BenchmarkDetectAnalyze(b *testing.B) {
+	const n = 8192
+	entries := BenchTrace(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scores := Analyze(entries); len(scores) == 0 {
+			b.Fatal("no resources scored")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+// TestAnalyzeKeysMatchRenderedDetails pins the keying contract: resources
+// derived from entry arguments must group and render exactly as keying off
+// the rendered detail text did, including the kill→"target=" form and
+// flock lock/unlock folding.
+func TestAnalyzeKeysMatchRenderedDetails(t *testing.T) {
+	var entries []sim.Entry
+	tm := sim.Time(0)
+	for i := 0; i < 32; i++ {
+		tm = tm.Add(50 * sim.Microsecond)
+		entries = append(entries,
+			sim.MakeEntry(tm, 1, "t", "flock", "EX /share/a.txt"),
+			sim.MakeEntry(tm.Add(5), 1, "t", "flock", "UN /share/a.txt"),
+			sim.MakeEntry(tm.Add(10), 1, "t", "kill", "sig=9 target=spy"),
+			sim.MakeEntry(tm.Add(15), 1, "t", "setevent", "mes_ev"),
+		)
+	}
+	got := map[string]int{}
+	for _, s := range Analyze(entries) {
+		got[s.Resource] = s.Events
+	}
+	want := map[string]int{
+		"flock:/share/a.txt": 64,
+		"kill:target=spy":    32,
+		"setevent:mes_ev":    32,
+	}
+	for res, n := range want {
+		if got[res] != n {
+			t.Errorf("resource %q: %d events, want %d (keys: %v)", res, got[res], n, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("resources = %v, want exactly %d groups", got, len(want))
+	}
+}
+
+// TestAnalyzeKillKeyingAcrossProvenance: kernel-recorded kill entries
+// (lazy format, bare target argument) and pre-rendered MakeEntry kill
+// entries must fold into one resource group.
+func TestAnalyzeKillKeyingAcrossProvenance(t *testing.T) {
+	tr := sim.NewTrace(0)
+	k := sim.NewKernel(sim.WithTrace(tr))
+	k.Spawn("trojan", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			p.Sleep(50 * sim.Microsecond)
+			k.Tracef(p, "kill", "sig=%d target=%s", 9, "spy")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	entries := append([]sim.Entry(nil), tr.Entries()...)
+	tm := k.Now()
+	for i := 0; i < 16; i++ {
+		tm = tm.Add(50 * sim.Microsecond)
+		entries = append(entries, sim.MakeEntry(tm, 1, "t", "kill", "sig=9 target=spy"))
+	}
+	var killScores []Score
+	for _, s := range Analyze(entries) {
+		if s.Resource == "kill:target=spy" {
+			killScores = append(killScores, s)
+		}
+	}
+	if len(killScores) != 1 || killScores[0].Events != 32 {
+		t.Fatalf("kill scores = %+v, want one group of 32 events", killScores)
+	}
+}

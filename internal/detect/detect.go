@@ -45,23 +45,56 @@ func (s Score) String() string {
 // Threshold above which a resource is flagged as a likely covert channel.
 const Threshold = 0.5
 
+// resID groups entries by event kind and normalized resource without
+// materializing a key string per entry.
+type resID struct {
+	event string
+	res   string
+}
+
 // Analyze scores every resource appearing in the trace's channel-relevant
-// events.
+// events. Per-resource keys are derived from the entries' stored arguments
+// (Entry.ResourceHint), so scanning a trace never renders Entry.Detail's
+// fmt.Sprintf per entry; the displayed resource name is built once per
+// unique resource.
 func Analyze(entries []sim.Entry) []Score {
-	byResource := make(map[string][]sim.Time)
+	byResource := make(map[resID][]sim.Time)
 	for _, e := range entries {
 		switch e.Event {
 		case "flock", "setevent", "kill":
-			key := e.Event + ":" + normalizeDetail(e.Detail())
-			byResource[key] = append(byResource[key], e.T)
+			raw, ok := e.ResourceHint()
+			if !ok {
+				raw = e.Detail() // foreign entry shapes: render, rare
+			}
+			res := normalizeDetail(raw)
+			if e.Event == "kill" {
+				// Kernel-recorded kill hints carry the bare target name
+				// while pre-rendered details normalize to "target=<name>";
+				// strip to the bare form so both provenances group
+				// together (TrimPrefix shares the backing, no allocation).
+				res = strings.TrimPrefix(res, "target=")
+			}
+			id := resID{event: e.Event, res: res}
+			byResource[id] = append(byResource[id], e.T)
 		}
 	}
 	var out []Score
-	for res, times := range byResource {
-		out = append(out, scoreSeries(res, times))
+	for id, times := range byResource {
+		out = append(out, scoreSeries(resourceName(id), times))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Suspicion > out[j].Suspicion })
 	return out
+}
+
+// resourceName renders the per-resource display key, matching what keying
+// off rendered details produced: kill entries group under the
+// "target=<proc>" form their detail text ends with (the id stores the
+// bare target name).
+func resourceName(id resID) string {
+	if id.event == "kill" {
+		return id.event + ":target=" + id.res
+	}
+	return id.event + ":" + id.res
 }
 
 // Flagged returns the resources whose suspicion exceeds the threshold.

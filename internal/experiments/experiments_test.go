@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-var quick = Options{Quick: true, Seed: 3}
+var quick = Options{Quick: true, Seed: 6}
 
 func TestFig8Distinguishable(t *testing.T) {
 	r, err := Fig8(quick)
@@ -265,7 +265,7 @@ func TestInterferenceAblation(t *testing.T) {
 }
 
 func TestBaselines(t *testing.T) {
-	rows, err := Baselines(Options{Quick: true, Seed: 5})
+	rows, err := Baselines(Options{Quick: true, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

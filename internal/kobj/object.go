@@ -88,11 +88,21 @@ type waitQueue struct {
 	// returned slice is valid only until the queue's next wake-returning
 	// operation — the OS layer consumes it immediately.
 	wake []Waiter
+	// itemsBuf/wakeBuf seed the two slices above, so the covert channels'
+	// one-waiter-deep queues never heap-allocate even on a freshly created
+	// object (one kernel object is created per transmission; with pooled
+	// machines these were the last per-trial queue allocations). Deeper
+	// queues spill to the heap via append as usual.
+	itemsBuf [2]Waiter
+	wakeBuf  [2]Waiter
 }
 
 // wakeOne returns a single-element waiter list backed by the reusable
 // buffer.
 func (q *waitQueue) wakeOne(w Waiter) []Waiter {
+	if q.wake == nil {
+		q.wake = q.wakeBuf[:0]
+	}
 	q.wake = append(q.wake[:0], w)
 	return q.wake
 }
@@ -100,6 +110,9 @@ func (q *waitQueue) wakeOne(w Waiter) []Waiter {
 // wakeN pops up to n waiters into the reusable buffer, preserving FIFO
 // order.
 func (q *waitQueue) wakeN(n int) []Waiter {
+	if q.wake == nil {
+		q.wake = q.wakeBuf[:0]
+	}
 	q.wake = q.wake[:0]
 	for i := 0; i < n; i++ {
 		q.wake = append(q.wake, q.pop())
@@ -109,7 +122,12 @@ func (q *waitQueue) wakeN(n int) []Waiter {
 
 func (q *waitQueue) len() int { return len(q.items) }
 
-func (q *waitQueue) push(w Waiter) { q.items = append(q.items, w) }
+func (q *waitQueue) push(w Waiter) {
+	if q.items == nil {
+		q.items = q.itemsBuf[:0]
+	}
+	q.items = append(q.items, w)
+}
 
 func (q *waitQueue) pop() Waiter {
 	if len(q.items) == 0 {
@@ -135,6 +153,9 @@ func (q *waitQueue) remove(w Waiter) bool {
 }
 
 func (q *waitQueue) drain() []Waiter {
+	if q.wake == nil {
+		q.wake = q.wakeBuf[:0]
+	}
 	out := append(q.wake[:0], q.items...)
 	for i := range q.items {
 		q.items[i] = nil

@@ -466,3 +466,39 @@ func TestDeterministicReplay(t *testing.T) {
 		t.Fatalf("replay diverged: %v vs %v", a, b)
 	}
 }
+
+// TestDetachDropsRunReferences: a machine parked in a reuse pool must not
+// keep the previous run's trace or process bodies alive; Reset then
+// restores full function.
+func TestDetachDropsRunReferences(t *testing.T) {
+	tr := sim.NewTrace(0)
+	cfg := Config{Profile: timing.ProfileFor(timing.Windows, timing.Local), Seed: 1, Trace: tr}
+	s := NewSystem(cfg)
+	ran := false
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		ran = true
+	})
+	if err := s.Run(); err != nil || !ran {
+		t.Fatalf("Run: %v ran=%v", err, ran)
+	}
+	s.Detach()
+	if s.Kernel().Trace() != nil {
+		t.Fatal("Detach left the caller's trace attached")
+	}
+	for _, p := range s.procs {
+		if p.body != nil {
+			t.Fatal("Detach left a process body referenced")
+		}
+	}
+	// A detached, pooled machine must come back fully functional.
+	s.Reset(Config{Profile: timing.ProfileFor(timing.Windows, timing.Local), Seed: 1})
+	ran = false
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		ran = true
+	})
+	if err := s.Run(); err != nil || !ran {
+		t.Fatalf("post-detach Run: %v ran=%v", err, ran)
+	}
+}

@@ -36,6 +36,12 @@ type Proc struct {
 	sp   *sim.Proc
 	rng  *sim.RNG
 
+	// body is the current spawn's entry point; bodyFn is the reusable
+	// trampoline handed to the sim kernel (built once per structure, see
+	// System.Spawn).
+	body   func(*Proc)
+	bodyFn func(*sim.Proc)
+
 	handles *kobj.HandleTable
 	fds     *vfs.FDTable
 

@@ -80,15 +80,11 @@ func NewSystem(cfg Config) *System {
 // called after Run has returned with every process finished (a pooled
 // system that deadlocked or was stopped must be discarded instead).
 func (s *System) Reset(cfg Config) {
-	opts := []sim.Option{sim.WithSeed(cfg.Seed), sim.WithHooks(cfg.Profile.Hooks())}
-	if cfg.Trace != nil {
-		opts = append(opts, sim.WithTrace(cfg.Trace))
-	}
-	if cfg.Horizon > 0 {
-		opts = append(opts, sim.WithHorizon(cfg.Horizon))
-	}
-	s.k.Reset(opts...)
+	// Assign the profile first so the hooks adapter binds to the long-lived
+	// field: cfg stays on the stack and ResetTo avoids the option-closure
+	// allocations of the variadic Reset.
 	s.prof = cfg.Profile
+	s.k.ResetTo(cfg.Seed, s.prof.Hooks(), cfg.Trace, cfg.Horizon)
 	// Same derivation as NewSystem's Split: one draw from the root stream.
 	s.rng.Reseed(s.k.Rand().Uint64())
 	clear(s.domains)
@@ -102,6 +98,23 @@ func (s *System) Reset(cfg Config) {
 		s.procs[i] = nil
 	}
 	s.procs = s.procs[:0]
+}
+
+// Release tears the machine down: every process coroutine is unwound so
+// nothing pins the machine in memory. Called on machines evicted from the
+// reuse pool or abandoned after a failed run; a released machine may be
+// pooled again but respawns from scratch.
+func (s *System) Release() { s.k.Release() }
+
+// Detach drops the machine's references into the run that just used it —
+// the caller's trace and the spawned process bodies — so a machine parked
+// in the reuse pool retains nothing of the previous trial. Reset
+// re-populates all of it on the next use.
+func (s *System) Detach() {
+	s.k.DetachTrace()
+	for _, p := range s.procs {
+		p.body = nil
+	}
 }
 
 // Kernel exposes the simulation kernel (experiment drivers need Run/Now).
@@ -162,7 +175,8 @@ func (s *System) Domain(name string) (*Domain, bool) {
 }
 
 // Spawn starts a process in domain d. After a Reset, finished process
-// structures (handle/fd tables included) are recycled in place.
+// structures (handle/fd tables and the body trampoline included) are
+// recycled in place, so respawning on a pooled machine allocates nothing.
 func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
 	var p *Proc
 	if n := len(s.free); n > 0 {
@@ -188,8 +202,13 @@ func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
 			pendingSignals: make(map[int]int),
 			sigWaiting:     -1,
 		}
+		// The trampoline closes over the stable p only, so it is built once
+		// per structure and survives recycling; the body of the current
+		// spawn is read from the field.
+		p.bodyFn = func(*sim.Proc) { p.body(p) }
 	}
-	p.sp = s.k.Spawn(name, func(*sim.Proc) { body(p) })
+	p.body = body
+	p.sp = s.k.Spawn(name, p.bodyFn)
 	s.procs = append(s.procs, p)
 	return p
 }

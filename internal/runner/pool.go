@@ -2,11 +2,24 @@ package runner
 
 import "sync"
 
-// Pool is a typed free list for expensive per-trial scratch state — in this
-// repo, whole simulated machines (kernel, namespaces, filesystem, process
-// structures) that sweep cells would otherwise rebuild from scratch for
-// every grid point. It is a thin generic wrapper over sync.Pool, so it is
-// safe for the worker goroutines Map fans trials out to.
+// DefaultPoolCap bounds how many values a Pool retains. Pools hold
+// per-trial scratch state, so the working set is the number of trials in
+// flight — a handful of workers — and anything beyond the cap is surplus.
+const DefaultPoolCap = 64
+
+// Pool is a typed, explicitly bounded free list for expensive per-trial
+// scratch state — in this repo, whole simulated machines (kernel,
+// namespaces, filesystem, process structures) that sweep cells would
+// otherwise rebuild from scratch for every grid point. It is
+// mutex-protected, so it is safe for the worker goroutines Map fans trials
+// out to.
+//
+// Unlike sync.Pool, values are never shed behind the caller's back by the
+// garbage collector: a value leaves the pool only through Get or through
+// the drop hook when Put overflows the capacity. That explicit lifecycle
+// matters for values that own resources the GC cannot reclaim — a
+// simulated machine's parked coroutine goroutines live until the machine
+// is released, so silently dropping one would leak them forever.
 //
 // Determinism contract: a pooled value must be reset to a state
 // indistinguishable from a freshly constructed one before reuse. Whether a
@@ -15,21 +28,55 @@ import "sync"
 // full in-place reset (see osmodel.System.Reset) and by returning values to
 // the pool only from runs that ended cleanly.
 type Pool[T any] struct {
-	p sync.Pool
+	mu    sync.Mutex
+	items []T
+	cap   int
+	drop  func(T)
 }
 
-// NewPool returns an empty pool.
-func NewPool[T any]() *Pool[T] { return &Pool[T]{} }
+// NewPool returns an empty pool with the default capacity.
+func NewPool[T any]() *Pool[T] { return &Pool[T]{cap: DefaultPoolCap} }
 
-// Get removes an arbitrary value from the pool. ok is false when the pool
-// has nothing to offer and the caller must construct a fresh value.
+// NewPoolDrop returns an empty pool that calls drop on values Put beyond
+// the default capacity, releasing whatever the value owns.
+func NewPoolDrop[T any](drop func(T)) *Pool[T] {
+	return &Pool[T]{cap: DefaultPoolCap, drop: drop}
+}
+
+// Get removes the most recently Put value from the pool (LIFO keeps the
+// working set cache-warm). ok is false when the pool has nothing to offer
+// and the caller must construct a fresh value.
 func (p *Pool[T]) Get() (v T, ok bool) {
-	x := p.p.Get()
-	if x == nil {
-		return v, false
+	p.mu.Lock()
+	if n := len(p.items); n > 0 {
+		v, ok = p.items[n-1], true
+		var zero T
+		p.items[n-1] = zero
+		p.items = p.items[:n-1]
 	}
-	return x.(T), true
+	p.mu.Unlock()
+	return v, ok
 }
 
-// Put returns a value to the pool for a later Get.
-func (p *Pool[T]) Put(v T) { p.p.Put(v) }
+// Put returns a value to the pool for a later Get. If the pool is at
+// capacity the value is dropped instead (via the drop hook, when set).
+func (p *Pool[T]) Put(v T) {
+	p.mu.Lock()
+	if len(p.items) < p.cap {
+		p.items = append(p.items, v)
+		p.mu.Unlock()
+		return
+	}
+	drop := p.drop
+	p.mu.Unlock()
+	if drop != nil {
+		drop(v)
+	}
+}
+
+// Len reports how many values the pool currently retains.
+func (p *Pool[T]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.items)
+}

@@ -23,3 +23,19 @@ func SpawnBenchLoad(k *Kernel, nprocs, total int) int {
 	}
 	return per * nprocs
 }
+
+// SpawnPingPong populates k with two processes that alternate via Yield
+// for rounds rounds each, so every round is one full control transfer:
+// a schedule, a pop, and a kernel↔process handoff in each direction. It is
+// the workload behind BenchmarkContextSwitch and the context-switch row of
+// `mesbench -benchjson`; it returns the total number of yields.
+func SpawnPingPong(k *Kernel, rounds int) int {
+	for w := 0; w < 2; w++ {
+		k.Spawn("pingpong", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Yield()
+			}
+		})
+	}
+	return 2 * rounds
+}

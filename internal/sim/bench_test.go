@@ -18,3 +18,19 @@ func BenchmarkKernelEvents(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
 }
+
+// BenchmarkContextSwitch isolates the kernel↔process handoff: two processes
+// ping-pong via Yield, so every op is one full control round trip — a
+// schedule, a pop, and a pair of coroutine switches (body→kernel,
+// kernel→body). Under the old goroutine-per-proc handoff each direction was
+// a runtime park/unpark through a channel (~µs per op); the iter.Pull
+// coroutine transfer is a direct runtime.coroswitch (~100ns range).
+func BenchmarkContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	SpawnPingPong(k, b.N/2+1)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

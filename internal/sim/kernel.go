@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 )
 
@@ -65,10 +66,15 @@ type Kernel struct {
 	free    []*Proc // finished procs available for reuse after Reset
 	spawned int
 	live    int // procs not yet finished
-	yielded chan struct{}
 	running *Proc
 	stopped bool
 	horizon Time // 0 = unlimited
+	// recycle marks a kernel whose procs are reused across runs (set by the
+	// first Reset/ResetTo — the pooled-machine pattern). Only then do
+	// finished bodies keep their coroutine parked for the next spawn; on
+	// one-shot kernels coroutines exit with their body so a dropped kernel
+	// leaves no goroutines behind. Release clears it.
+	recycle bool
 }
 
 // Option configures a Kernel.
@@ -97,9 +103,8 @@ func WithHorizon(t Time) Option {
 // NewKernel builds an empty simulator.
 func NewKernel(opts ...Option) *Kernel {
 	k := &Kernel{
-		rng:     NewRNG(1),
-		hooks:   NopHooks{},
-		yielded: make(chan struct{}, 1),
+		rng:   NewRNG(1),
+		hooks: NopHooks{},
 	}
 	for _, o := range opts {
 		o(k)
@@ -109,43 +114,91 @@ func NewKernel(opts ...Option) *Kernel {
 
 // Reset returns the kernel to its post-NewKernel state (with the given
 // options applied) while keeping allocated capacity: the event queue's
-// backing array and — when every process has finished — the process
-// structures themselves are reused by subsequent Spawns. Reset must not be
-// called while Run is executing. If processes are still live (a deadlocked
-// or stopped run), their goroutines stay parked forever, exactly as they
-// would after an abandoned kernel; Reset drops them and starts fresh.
+// backing array and the process structures themselves are reused by
+// subsequent Spawns. Reset must not be called while Run is executing.
+// Processes still blocked mid-wait (a deadlocked or stopped run) are
+// unwound first: cancelling their coroutine makes the in-flight yield
+// return false, the body panics with the procAbort sentinel (running its
+// deferred functions), and the structure becomes recyclable like any
+// finished process.
 func (k *Kernel) Reset(opts ...Option) {
+	k.resetState() // detaches the trace
+	k.recycle = true
+	k.hooks = NopHooks{}
+	k.rng.Reseed(1)
+	for _, o := range opts {
+		o(k)
+	}
+}
+
+// ResetTo is the allocation-free equivalent of
+// Reset(WithSeed(seed), WithHooks(h), WithTrace(tr), WithHorizon(horizon))
+// for pooled machines: no option slice, no option closures. A nil trace
+// detaches tracing and horizon 0 means unlimited, exactly like a fresh
+// kernel.
+func (k *Kernel) ResetTo(seed uint64, h Hooks, tr *Trace, horizon Time) {
+	k.resetState()
+	k.recycle = true
+	if h == nil {
+		h = NopHooks{}
+	}
+	k.hooks = h
+	k.trace = tr
+	k.horizon = horizon
+	k.rng.Reseed(seed)
+}
+
+// Release tears the kernel down: every coroutine — blocked mid-wait or
+// parked idle awaiting recycling — is unwound and its goroutine exits, so
+// nothing pins the machine in memory. A released kernel is equivalent to a
+// fresh NewKernel() (it may be reused), but the free list is emptied and
+// subsequent spawns allocate anew. Pooled machines evicted from their pool
+// must be released; see runner.NewPoolDrop.
+func (k *Kernel) Release() {
+	k.resetState()
+	for i, p := range k.free {
+		if p.started {
+			p.cancel()
+			p.detach()
+		}
+		k.free[i] = nil
+	}
+	k.free = k.free[:0]
+	k.recycle = false
+	k.hooks = NopHooks{}
+	k.rng.Reseed(1)
+}
+
+// resetState clears the simulation state shared by Reset and ResetTo,
+// keeping allocated capacity.
+func (k *Kernel) resetState() {
+	// Detach the previous run's trace before unwinding: an abandoned
+	// body's deferred functions may call Tracef on the way down, and those
+	// entries must not leak into a trace the caller already collected.
+	k.trace = nil
+	// Unwind abandoned bodies before touching any other state: events
+	// their deferred functions schedule on the way down are discarded
+	// below.
+	for _, p := range k.procs {
+		if p.state != ProcDone && p.started {
+			p.cancel()
+			p.detach()
+		}
+	}
 	for i := range k.events {
 		k.events[i] = event{} // release fn/proc references
 	}
 	k.events = k.events[:0]
-	if k.live == 0 {
-		for i, p := range k.procs {
-			k.free = append(k.free, p)
-			k.procs[i] = nil
-		}
-		k.procs = k.procs[:0]
-	} else {
-		// Abandoned goroutines still reference their Proc structs; none of
-		// them may be reused.
-		k.procs = nil
-		k.free = nil
+	for i, p := range k.procs {
+		k.free = append(k.free, p)
+		k.procs[i] = nil
 	}
-	select { // a stopped/abandoned run can leave an unconsumed token
-	case <-k.yielded:
-	default:
-	}
+	k.procs = k.procs[:0]
 	k.now, k.seq = 0, 0
 	k.spawned, k.live = 0, 0
 	k.running = nil
 	k.stopped = false
 	k.horizon = 0
-	k.hooks = NopHooks{}
-	k.trace = nil
-	k.rng.Reseed(1)
-	for _, o := range opts {
-		o(k)
-	}
 }
 
 // Now returns the current virtual time.
@@ -159,6 +212,11 @@ func (k *Kernel) Hooks() Hooks { return k.hooks }
 
 // Trace returns the attached trace recorder, or nil.
 func (k *Kernel) Trace() *Trace { return k.trace }
+
+// DetachTrace drops the trace reference without resetting anything else:
+// a machine parked in a reuse pool must not keep the previous caller's
+// trace alive until its next Reset.
+func (k *Kernel) DetachTrace() { k.trace = nil }
 
 // Tracing reports whether a trace recorder is attached. Hot paths check it
 // before assembling Tracef arguments, so untraced runs never box values
@@ -251,7 +309,8 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 }
 
 // SpawnAt creates a process that starts at absolute time t. After a Reset,
-// finished process structures (and their handoff channels) are recycled.
+// finished process structures — including their live coroutines, parked in
+// loop's idle yield — are recycled, so respawning allocates nothing.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 	var p *Proc
 	if n := len(k.free); n > 0 {
@@ -262,16 +321,14 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 		p.name = name
 		p.body = fn
 		p.state = ProcCreated
-		p.started = false
 		p.wakeValue = 0
 	} else {
 		p = &Proc{
-			k:      k,
-			id:     len(k.procs) + 1,
-			name:   name,
-			body:   fn,
-			resume: make(chan struct{}, 1),
-			state:  ProcCreated,
+			k:     k,
+			id:    len(k.procs) + 1,
+			name:  name,
+			body:  fn,
+			state: ProcCreated,
 		}
 	}
 	k.procs = append(k.procs, p)
@@ -281,9 +338,11 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 	return p
 }
 
-// dispatch hands the execution token to p and waits until p parks or exits.
-// The handoff channels are single-slot tokens: the send never blocks, so
-// each direction of a switch parks exactly one goroutine.
+// dispatch transfers control to p until it blocks or exits. The handoff is
+// a coroutine switch (iter.Pull resume / yield, runtime.coroswitch
+// underneath): a direct goroutine-to-goroutine transfer with no scheduler
+// park/unpark, so the Go runtime never arbitrates the simulation's
+// single-threaded control flow.
 func (k *Kernel) dispatch(p *Proc) {
 	if p.state == ProcDone {
 		return
@@ -292,11 +351,9 @@ func (k *Kernel) dispatch(p *Proc) {
 	p.state = ProcRunning
 	if !p.started {
 		p.started = true
-		go p.run()
-	} else {
-		p.resume <- struct{}{}
+		p.resume, p.cancel = iter.Pull(iter.Seq[struct{}](p.loop))
 	}
-	<-k.yielded
+	p.resume()
 	k.running = nil
 }
 

@@ -31,38 +31,99 @@ func (s ProcState) String() string {
 	}
 }
 
-// Proc is a simulated process. Its body runs on a dedicated goroutine, but
-// the kernel guarantees at most one body goroutine executes at a time, so
-// bodies may use plain Go code without synchronization. All methods below
-// must be called from within the owning body.
+// procAbort is the sentinel panic a Kernel.Reset throws through an
+// abandoned process body to unwind its coroutine (see Proc.cancel). It is
+// recovered inside runBody and never escapes the sim package.
+type procAbort struct{}
+
+// Proc is a simulated process. Its body runs on a coroutine (iter.Pull, so
+// kernel↔process switches are direct runtime.coroswitch transfers, never
+// scheduler park/unpark round-trips), and the kernel guarantees at most one
+// body executes at a time, so bodies may use plain Go code without
+// synchronization. All methods below must be called from within the owning
+// body.
 type Proc struct {
-	k       *Kernel
-	id      int
-	name    string
-	body    func(*Proc)
-	resume  chan struct{} // single-slot token: kernel -> proc
-	state   ProcState
-	started bool
+	k    *Kernel
+	id   int
+	name string
+	body func(*Proc)
+
+	// Coroutine handoff state. resume transfers control into the body
+	// (kernel side); yieldCoro transfers it back out (body side); cancel
+	// unwinds an abandoned body during Reset. The coroutine is persistent:
+	// after the body returns it parks in loop's idle yield, so a recycled
+	// Proc restarts its next body with zero new allocations.
+	resume    func() (struct{}, bool)
+	cancel    func()
+	yieldCoro func(struct{}) bool
+	started   bool // coroutine exists (and is parked in yieldCoro)
+
+	state ProcState
 
 	// wakeValue carries a result from Wake to the Park caller.
 	wakeValue int
 }
 
-// run is the goroutine entry point.
-func (p *Proc) run() {
+// loop is the coroutine entry point: it runs process bodies until the
+// kernel cancels the coroutine or stops recycling. On a recycling kernel
+// (one that has been Reset — the pooled-machine case) a completed body
+// parks in an idle yield; SpawnAt then installs a fresh body and the next
+// dispatch resumes the loop, reusing the coroutine and its goroutine with
+// no allocation. On a one-shot kernel the goroutine exits with the body:
+// an idle-parked goroutine's stack is a GC root that would pin the whole
+// machine forever if the kernel were simply dropped.
+func (p *Proc) loop(yield func(struct{}) bool) {
+	p.yieldCoro = yield
+	for p.runBody() {
+		if !p.k.recycle {
+			p.detach()
+			return
+		}
+		if !yield(struct{}{}) { // idle until recycled; false = kernel cancelled
+			return
+		}
+	}
+}
+
+// detach forgets the coroutine: a future respawn of this structure builds
+// a fresh one. Called either from inside the exiting coroutine (loop) or
+// after cancelling it (Reset/Release); the kernel only reads these fields
+// between dispatches, so both are safe.
+func (p *Proc) detach() {
+	p.started = false
+	p.resume, p.cancel, p.yieldCoro = nil, nil, nil
+}
+
+// runBody executes one body to completion. It reports whether the
+// coroutine should keep living: false means a Reset unwound the body with
+// the procAbort sentinel and the coroutine must finalize. A real panic in
+// the body is re-raised; iter.Pull transports it to the kernel's resume
+// call, so Kernel.Run panics with the body's original panic value.
+func (p *Proc) runBody() (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, aborted := r.(procAbort); aborted {
+				return // completed stays false: Reset cancelled this body
+			}
+			panic(r)
+		}
+	}()
 	p.body(p)
 	p.state = ProcDone
 	p.k.live--
 	p.k.tracef(p, "exit", "")
-	p.k.yielded <- struct{}{}
+	return true
 }
 
-// yield parks the goroutine and returns the token to the kernel. The caller
-// must have arranged for a future dispatch (event or external Wake).
+// yield hands control back to the kernel with a single coroutine switch.
+// The caller must have arranged for a future dispatch (event or external
+// Wake). If the kernel cancelled the coroutine while we were parked (a
+// Reset mid-wait), the body is unwound via the procAbort sentinel.
 func (p *Proc) yield(s ProcState) {
 	p.state = s
-	p.k.yielded <- struct{}{}
-	<-p.resume
+	if !p.yieldCoro(struct{}{}) {
+		panic(procAbort{})
+	}
 	p.state = ProcRunning
 }
 

@@ -51,19 +51,27 @@ func TestResetReplaysIdentically(t *testing.T) {
 	}
 }
 
-// TestResetAfterDeadlock: a kernel whose run deadlocked (parked goroutines
-// abandoned) must still be safely resettable — it just cannot recycle the
-// stuck procs.
+// TestResetAfterDeadlock: a kernel whose run deadlocked must still be
+// safely resettable. The coroutine handoff lets Reset unwind the stuck
+// bodies (running their deferred functions) and recycle the structures —
+// under the old goroutine handoff they leaked, parked forever.
 func TestResetAfterDeadlock(t *testing.T) {
 	k := NewKernel()
-	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	unwound := false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() { unwound = true }()
+		p.Park()
+	})
 	var dl *DeadlockError
 	if err := k.Run(); !errors.As(err, &dl) {
 		t.Fatalf("Run = %v, want DeadlockError", err)
 	}
 	k.Reset()
-	if len(k.free) != 0 {
-		t.Fatal("Reset recycled a deadlocked proc")
+	if !unwound {
+		t.Fatal("Reset did not unwind the deadlocked body (defer never ran)")
+	}
+	if len(k.free) != 1 {
+		t.Fatalf("Reset recycled %d procs, want the unwound one", len(k.free))
 	}
 	done := false
 	k.Spawn("ok", func(p *Proc) {

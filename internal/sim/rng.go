@@ -8,6 +8,13 @@ import "math"
 // decorrelated child streams via Split.
 type RNG struct {
 	state uint64
+
+	// Box–Muller produces deviates in pairs; NormFloat64 banks the sine
+	// deviate here and serves it on the next call, halving the Log/Sqrt/
+	// Sincos work per draw. The spare is part of the stream state: Reseed
+	// clears it so replays from equal seeds stay identical.
+	spare    float64
+	hasSpare bool
 }
 
 // NewRNG returns a generator seeded with seed. Seed 0 is valid.
@@ -18,7 +25,10 @@ func NewRNG(seed uint64) *RNG {
 // Reseed resets the generator in place to the stream NewRNG(seed) would
 // produce. Pooled simulation state uses it to re-derive fresh streams
 // without allocating.
-func (r *RNG) Reseed(seed uint64) { r.state = seed + 0x9e3779b97f4a7c15 }
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed + 0x9e3779b97f4a7c15
+	r.spare, r.hasSpare = 0, false
+}
 
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
@@ -51,8 +61,15 @@ func (r *RNG) Intn(n int) int {
 // Bool returns a fair coin flip.
 func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
 
-// NormFloat64 returns a standard normal deviate (Box–Muller, one branch).
+// NormFloat64 returns a standard normal deviate (Box–Muller). Each
+// uniform pair yields two independent deviates — the cosine one is
+// returned immediately and the sine one is banked for the next call, so
+// the amortized cost is one Log, one Sqrt and one Sincos per two draws.
 func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
 	// Draw until u1 is usable to avoid log(0).
 	var u1 float64
 	for {
@@ -62,7 +79,10 @@ func (r *RNG) NormFloat64() float64 {
 		}
 	}
 	u2 := r.Float64()
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	rad := math.Sqrt(-2 * math.Log(u1))
+	sin, cos := math.Sincos(2 * math.Pi * u2)
+	r.spare, r.hasSpare = rad*sin, true
+	return rad * cos
 }
 
 // ExpFloat64 returns an exponential deviate with mean 1.

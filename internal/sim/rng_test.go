@@ -162,3 +162,42 @@ func TestDurationString(t *testing.T) {
 		}
 	}
 }
+
+// TestReseedClearsSpareDeviate: NormFloat64 banks the Box–Muller sine
+// deviate between calls, so Reseed must discard it — a pooled RNG that is
+// reseeded mid-pair would otherwise leak one draw from the previous trial
+// into the next, breaking replay-from-equal-seeds.
+func TestReseedClearsSpareDeviate(t *testing.T) {
+	fresh := NewRNG(11)
+	want := []float64{fresh.NormFloat64(), fresh.NormFloat64(), fresh.NormFloat64()}
+
+	pooled := NewRNG(3)
+	pooled.NormFloat64() // leaves a spare banked
+	pooled.Reseed(11)
+	for i, w := range want {
+		if got := pooled.NormFloat64(); got != w {
+			t.Fatalf("draw %d after Reseed = %v, want %v (spare survived)", i, got, w)
+		}
+	}
+}
+
+// TestNormFloat64PairIndependence: the banked sine deviate shares its
+// radius with the returned cosine deviate; Box–Muller guarantees the pair
+// is still jointly independent standard normal. Check the correlation of
+// consecutive (even, odd) draws stays near zero.
+func TestNormFloat64PairIndependence(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sxy, sx, sy float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		y := r.NormFloat64()
+		sxy += x * y
+		sx += x
+		sy += y
+	}
+	corr := (sxy/n - (sx/n)*(sy/n))
+	if corr > 0.02 || corr < -0.02 {
+		t.Fatalf("pair covariance = %.4f, want ≈0", corr)
+	}
+}

@@ -35,6 +35,21 @@ func (e Entry) Detail() string {
 	return fmt.Sprintf(e.format, e.args...)
 }
 
+// ResourceHint returns the entry's final string argument without rendering
+// the detail — for kernel-recorded events whose detail format ends in "%s"
+// (the convention for resource-touching syscalls: "flock", "setevent",
+// "kill"), that argument is the resource identity. Consumers that only
+// need to group entries by resource (internal/detect) use it to skip the
+// per-entry fmt.Sprintf that Detail would pay. ok is false when the entry
+// carries no trailing string argument.
+func (e Entry) ResourceHint() (hint string, ok bool) {
+	if len(e.args) == 0 || !strings.HasSuffix(e.format, "%s") {
+		return "", false
+	}
+	s, ok := e.args[len(e.args)-1].(string)
+	return s, ok
+}
+
 // String renders the entry in a compact single-line form.
 func (e Entry) String() string {
 	if d := e.Detail(); d != "" {

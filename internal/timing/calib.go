@@ -164,12 +164,27 @@ func (p Profile) ForIsolation(iso Isolation) Profile {
 	return q
 }
 
+// profileCache holds the six calibrated OS × isolation profiles, indexed
+// by the two iota enums. Profiles are pure values (the op-cost table is an
+// array), so handing out copies from the cache keeps ProfileFor
+// allocation-free on the per-transmission path — deriving a profile on
+// demand would pay ForIsolation's name concatenation every call.
+var profileCache = func() (cache [2][3]Profile) {
+	for osk, base := range map[OSKind]Profile{Windows: windowsLocal(), Linux: linuxLocal()} {
+		for _, iso := range []Isolation{Local, Sandbox, VM} {
+			cache[osk][iso] = base.ForIsolation(iso)
+		}
+	}
+	return cache
+}()
+
 // ProfileFor returns the calibrated profile for an OS/scenario pair.
 func ProfileFor(os OSKind, iso Isolation) Profile {
-	var base Profile
-	if os == Windows {
-		base = windowsLocal()
-	} else {
+	if os >= 0 && int(os) < len(profileCache) && iso >= 0 && int(iso) < len(profileCache[0]) {
+		return profileCache[os][iso]
+	}
+	base := windowsLocal()
+	if os != Windows {
 		base = linuxLocal()
 	}
 	return base.ForIsolation(iso)

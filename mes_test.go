@@ -1,6 +1,7 @@
 package mes_test
 
 import (
+	"runtime/debug"
 	"testing"
 
 	"mes"
@@ -68,5 +69,39 @@ func TestFacadeAllScenarios(t *testing.T) {
 		if res.BER > 0.2 {
 			t.Fatalf("%v: BER %.3f", scn, res.BER)
 		}
+	}
+}
+
+// TestTransmissionAllocBudget is the transmission-path analog of
+// internal/sim's TestKernelEventAllocsAmortizedZero: one complete pooled
+// transmission must stay within 10 heap allocations — the Result and its
+// caller-owned slices (sent symbols, latencies, decoded symbols, received
+// bits), the decoder, the per-run kernel object and the sender/receiver
+// pair. Everything else (machines, links, trampolines, queues, scratch) is
+// recycled. A budget regression means a hot-path allocation crept back in.
+func TestTransmissionAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per instrumented operation")
+	}
+	cfg := mes.Config{
+		Mechanism: mes.Event,
+		Scenario:  mes.Local(),
+		Payload:   mes.TextBits("alloc budget probe payload"),
+		Seed:      1,
+	}
+	run := func() {
+		if _, err := mes.Send(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The machine/link pools are explicit free lists (runner.Pool), never
+	// shed by the GC, so after one warm-up run every measured run reuses
+	// the same pooled state. GC stays off during measurement anyway so an
+	// incidental collection cannot perturb the count.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	run() // warm the machine/link pools
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 10 {
+		t.Errorf("transmission allocations = %.1f per run, want ≤ 10 steady-state", allocs)
 	}
 }
