@@ -9,9 +9,15 @@ GO ?= go
 BENCH_PR ?= PR3
 BENCH_BASELINE ?= BENCH_PR2.json
 
-.PHONY: ci build vet test race bench bench-json perf-smoke
+# Coverage floors for the packages guarding the mechanism abstraction,
+# set at the pre-extension-family baseline (PR 3): `make cover` fails if
+# a change lands code in core/kobj without tests pulling its weight.
+COVER_CORE_MIN ?= 79.9
+COVER_KOBJ_MIN ?= 87.3
 
-ci: build vet race perf-smoke
+.PHONY: ci build vet test race bench bench-json perf-smoke fuzz-smoke cover
+
+ci: build vet race perf-smoke cover
 
 # Allocation regressions on the two tracked hot paths fail fast: the event
 # core must stay at 0 allocs/event and a pooled transmission within its
@@ -31,6 +37,24 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Ten seconds of coverage-guided fuzzing per codec target (each -fuzz run
+# must name exactly one target). The checked-in seed corpus under
+# internal/codec/testdata/fuzz replays on every plain `go test` as well.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzPackUnpack -fuzztime=10s -run '^$$' ./internal/codec
+	$(GO) test -fuzz=FuzzRepetitionDecode -fuzztime=10s -run '^$$' ./internal/codec
+
+# Line-coverage gate for the mechanism-abstraction packages. Fails on a
+# failing test run, on a missing summary line (a run that died before
+# reporting must not pass vacuously), and on a floor breach.
+cover:
+	@out="$$($(GO) test -count=1 -cover ./internal/core ./internal/kobj)" || { echo "$$out"; echo "FAIL: go test failed"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | awk -v core=$(COVER_CORE_MIN) -v kobj=$(COVER_KOBJ_MIN) ' \
+		/^ok .*mes\/internal\/core/ { seen_core=1; gsub("%","",$$5); if ($$5+0 < core+0) { printf "FAIL: internal/core coverage %s%% < floor %s%%\n", $$5, core; bad=1 } } \
+		/^ok .*mes\/internal\/kobj/ { seen_kobj=1; gsub("%","",$$5); if ($$5+0 < kobj+0) { printf "FAIL: internal/kobj coverage %s%% < floor %s%%\n", $$5, kobj; bad=1 } } \
+		END { if (!seen_core || !seen_kobj) { print "FAIL: coverage summary line missing from go test output"; bad=1 }; exit bad }'
 
 # One pass over every benchmark, including BenchmarkSweepParallel's
 # workers=1 vs workers=N speedup comparison.

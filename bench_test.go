@@ -25,7 +25,7 @@ var benchOpt = experiments.Options{Bits: 4000, Seed: 1}
 // mechanism, reporting TR and BER.
 func benchScenarioTable(b *testing.B, scn core.Scenario) {
 	payload := codec.Random(sim.NewRNG(1), benchOpt.Bits)
-	for _, m := range core.Mechanisms() {
+	for _, m := range core.PaperMechanisms() {
 		if core.Feasible(m, scn) != nil {
 			continue
 		}

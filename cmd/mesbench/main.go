@@ -4,6 +4,7 @@
 //
 //	mesbench -list
 //	mesbench -exp table4
+//	mesbench -exp crossmech -quick    # full family incl. Futex/CondVar/WriteSync
 //	mesbench -exp fig9a -bits 40000 -seed 7
 //	mesbench -all -quick
 //	mesbench -all -workers 8

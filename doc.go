@@ -4,11 +4,19 @@
 //
 // It provides:
 //
-//   - six covert channels built on OS mutual-exclusion and synchronization
-//     mechanisms — flock, FileLockEX, Mutex, Semaphore (contention) and
-//     Event, WaitableTimer (cooperation) — running on a deterministic
-//     discrete-event model of the OS substrates the paper uses (Windows
-//     kernel objects, the Linux fd/file/i-node tables, sandboxes and VMs);
+//   - nine covert channels built on OS mutual-exclusion and
+//     synchronization mechanisms: the paper's six — flock, FileLockEX,
+//     Mutex, Semaphore (contention) and Event, WaitableTimer
+//     (cooperation) — plus an extension family generalizing the recipe
+//     the way §IV.G predicts: Futex (a futex(2) lock word, contention),
+//     CondVar (a process-shared pthread condition variable, cooperation)
+//     and WriteSync (a page-cache/fsync journal channel in the style of
+//     Sync+Sync, arXiv:2309.07657, and Write+Sync, arXiv:2312.11501).
+//     All run on a deterministic discrete-event model of the OS
+//     substrates (Windows kernel objects, the Linux fd/file/i-node
+//     tables and journal, sandboxes and VMs), and every layer above the
+//     channel core is table-driven over Mechanisms(), so the family is
+//     an extension point rather than a closed enum;
 //   - the paper's three threat scenarios: local, cross-sandbox, cross-VM
 //     (with the hypervisor visibility rules that make only file-backed
 //     channels survive VM isolation);
@@ -115,10 +123,11 @@ import (
 	"mes/internal/core"
 )
 
-// Mechanism selects one of the paper's six MESMs.
+// Mechanism selects a channel mechanism: one of the paper's six MESMs or
+// an extension mechanism.
 type Mechanism = core.Mechanism
 
-// The six mechanisms (paper §IV.G).
+// The paper's six mechanisms (§IV.G) followed by the extension family.
 const (
 	Flock      = core.Flock
 	FileLockEX = core.FileLockEX
@@ -126,6 +135,9 @@ const (
 	Semaphore  = core.Semaphore
 	Event      = core.Event
 	Timer      = core.Timer
+	Futex      = core.Futex
+	CondVar    = core.CondVar
+	WriteSync  = core.WriteSync
 )
 
 // Scenario is a deployment scenario from the paper's threat model (§III).
@@ -161,8 +173,12 @@ func TextBits(s string) Bits { return codec.FromString(s) }
 // ParseBits parses a "1010…" string.
 func ParseBits(s string) (Bits, error) { return codec.ParseBits(s) }
 
-// Mechanisms lists all six mechanisms in the paper's order.
+// Mechanisms lists the full channel family: the paper's six in the
+// paper's order, then the extension mechanisms.
 func Mechanisms() []Mechanism { return core.Mechanisms() }
+
+// PaperMechanisms lists only the six mechanisms the paper evaluates.
+func PaperMechanisms() []Mechanism { return core.PaperMechanisms() }
 
 // Feasible reports whether a mechanism can form a channel in a scenario
 // (Table VI: identity-only kernel objects do not cross VM boundaries).

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"mes/internal/codec"
+	"mes/internal/osmodel"
 	"mes/internal/sim"
+	"mes/internal/timing"
 )
 
 func TestPageCacheCleanChannel(t *testing.T) {
@@ -100,5 +102,72 @@ func TestMeminfoChannel(t *testing.T) {
 func TestMeminfoEmptyPayload(t *testing.T) {
 	if _, err := RunMeminfo(nil, MeminfoConfig{}); err == nil {
 		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestWriteSyncCleanChannel(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(7), 2000)
+	res, err := RunWriteSync(payload, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER > 0.01 {
+		t.Fatalf("interference-free write+sync BER %.3f%%", res.BER*100)
+	}
+	// Cited ballpark: ≈20 kb/s on an ordinary SSD (Sync+Sync).
+	if res.TRKbps < 4 || res.TRKbps > 40 {
+		t.Fatalf("write+sync TR %.3f kb/s outside the cited ballpark", res.TRKbps)
+	}
+}
+
+func TestWriteSyncDegradesUnderInterference(t *testing.T) {
+	payload := codec.Random(sim.NewRNG(8), 2000)
+	clean, err := RunWriteSync(payload, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := RunWriteSync(payload, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.BER < clean.BER+0.02 {
+		t.Fatalf("open journal should degrade: clean %.3f%% noisy %.3f%%",
+			clean.BER*100, noisy.BER*100)
+	}
+	if _, err := RunWriteSync(nil, 0, 1); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestWriteSyncSubstrate(t *testing.T) {
+	c := NewPageCache()
+	if c.DirtyPages() != 0 {
+		t.Fatal("fresh cache dirty")
+	}
+	sys := osmodel.NewSystem(osmodel.Config{Profile: timing.Noiseless(timing.Linux, timing.Local), Seed: 1})
+	var cost, clean sim.Duration
+	sys.Spawn("w", sys.Host(), func(p *osmodel.Proc) {
+		c.Write(p, 3)
+		c.Write(p, 4)
+		c.Write(p, 3) // re-dirtying the same page is one page in the backlog
+		if c.DirtyPages() != 2 || !c.Resident(3) {
+			t.Errorf("backlog %d resident(3)=%v, want 2/true", c.DirtyPages(), c.Resident(3))
+		}
+		t0 := p.Now()
+		if n := c.Sync(p); n != 2 {
+			t.Errorf("Sync flushed %d, want 2", n)
+		}
+		cost = p.Now().Sub(t0)
+		t0 = p.Now()
+		if n := c.Sync(p); n != 0 {
+			t.Errorf("clean Sync flushed %d", n)
+		}
+		clean = p.Now().Sub(t0)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cost-clean != 2*c.WritebackCost {
+		t.Fatalf("dirty-clean sync gap %v, want %v (2 writebacks)", cost-clean, 2*c.WritebackCost)
 	}
 }

@@ -17,24 +17,36 @@ import (
 	"mes/internal/timing"
 )
 
-// PageCache is a minimal OS page-cache model: a set of resident pages with
-// distinct hit/miss access costs. It is an *open* shared resource: every
-// process can fault pages in or evict them.
+// PageCache is a minimal OS page-cache model: a set of resident pages
+// with distinct hit/miss access costs, plus a dirty set awaiting
+// writeback (the Sync+Sync / Write+Sync observable). It is an *open*
+// shared resource: every process can fault pages in, evict them, dirty
+// them with buffered writes, or force the writeback.
 type PageCache struct {
 	resident  map[int]bool
+	dirty     map[int]bool
 	HitCost   sim.Duration
 	MissCost  sim.Duration
 	FlushCost sim.Duration
+	// DirtyCost is a buffered write (memory only); WritebackCost is one
+	// page's fsync-driven write to stable storage.
+	DirtyCost     sim.Duration
+	WritebackCost sim.Duration
+	SyncBaseCost  sim.Duration
 }
 
 // NewPageCache builds a cache with desktop-flavoured costs (RAM hit ≈ 1µs
-// modeled syscall overhead; SSD fault ≈ 12µs).
+// modeled syscall overhead; SSD fault or page writeback ≈ 12µs).
 func NewPageCache() *PageCache {
 	return &PageCache{
-		resident:  make(map[int]bool),
-		HitCost:   sim.Micro(1.0),
-		MissCost:  sim.Micro(12.0),
-		FlushCost: sim.Micro(2.0),
+		resident:      make(map[int]bool),
+		dirty:         make(map[int]bool),
+		HitCost:       sim.Micro(1.0),
+		MissCost:      sim.Micro(12.0),
+		FlushCost:     sim.Micro(2.0),
+		DirtyCost:     sim.Micro(3.0),
+		WritebackCost: sim.Micro(12.0),
+		SyncBaseCost:  sim.Micro(7.5),
 	}
 }
 
@@ -59,6 +71,30 @@ func (c *PageCache) Flush(p *osmodel.Proc, page int) {
 
 // Resident reports page residency without charging anyone (test hook).
 func (c *PageCache) Resident(page int) bool { return c.resident[page] }
+
+// Write dirties page with a buffered write: the page becomes resident
+// and dirty, and only the cheap memory cost is charged — the storage
+// cost is deferred to whoever syncs (Write+Sync's asymmetry).
+func (c *PageCache) Write(p *osmodel.Proc, page int) {
+	c.resident[page] = true
+	c.dirty[page] = true
+	p.Compute(c.DirtyCost)
+}
+
+// Sync forces writeback of every dirty page (fsync-style), charging the
+// caller the base cost plus one writeback per page, and returns how many
+// pages were written back. Like the page set itself this is open: any
+// process's sync pays for — and thereby observes — everybody's writes.
+func (c *PageCache) Sync(p *osmodel.Proc) int {
+	n := len(c.dirty)
+	p.Compute(c.SyncBaseCost + sim.Duration(n)*c.WritebackCost)
+	clear(c.dirty)
+	return n
+}
+
+// DirtyPages reports the writeback backlog without charging anyone
+// (test hook).
+func (c *PageCache) DirtyPages() int { return len(c.dirty) }
 
 // PageCacheResult reports a page-cache covert channel transmission.
 type PageCacheResult struct {
@@ -136,6 +172,89 @@ func RunPageCache(payload codec.Bits, interferers int, seed uint64) (*PageCacheR
 	got := make(codec.Bits, len(lat))
 	for i, l := range lat {
 		if l < thr+prof.OpCost[timing.OpTimestamp] {
+			got[i] = 1
+		}
+	}
+	_, ber := metrics.BER(payload, got)
+	return &PageCacheResult{
+		BER:    ber,
+		TRKbps: metrics.TRKbps(len(payload), end.Sub(start)),
+		Sent:   payload,
+		Got:    got,
+	}, nil
+}
+
+// RunWriteSync transmits payload through the open page-cache writeback
+// channel (Sync+Sync, arXiv:2309.07657; Write+Sync, arXiv:2312.11501):
+// bit 1 = the Trojan dirties a page burst with buffered writes; the Spy
+// calls fsync and reads the bit from how long the writeback takes, which
+// also resets the dirty state for the next bit. interferers model
+// unrelated processes writing to the same filesystem — every one of
+// their dirty pages lands in the Spy's fsync too, the open-resource
+// noise the MES-style closed WriteSync channel (core.WriteSync, private
+// files + shared journal with a pre-negotiated burst size) is immune to
+// by construction.
+func RunWriteSync(payload codec.Bits, interferers int, seed uint64) (*PageCacheResult, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("baseline: empty payload")
+	}
+	const pagesPerBit = 8
+	prof := timing.ProfileFor(timing.Linux, timing.Local)
+	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: seed})
+	host := sys.Host()
+	cache := NewPageCache()
+	rv := osmodel.NewRendezvous(sys)
+
+	var lat []sim.Duration
+	var start, end sim.Time
+	done := false
+
+	sys.Spawn("trojan", host, func(p *osmodel.Proc) {
+		for _, bit := range payload {
+			rv.ArriveLead(p)
+			p.Judge()
+			if bit == 1 {
+				for pg := 0; pg < pagesPerBit; pg++ {
+					cache.Write(p, pg)
+				}
+			}
+		}
+	})
+	sys.Spawn("spy", host, func(p *osmodel.Proc) {
+		start = p.Now()
+		for range payload {
+			rv.ArriveFollow(p)
+			t0 := p.Timestamp()
+			cache.Sync(p)
+			lat = append(lat, p.Timestamp().Sub(t0))
+		}
+		end = p.Now()
+		done = true
+	})
+	for i := 0; i < interferers; i++ {
+		r := sim.NewRNG(seed + uint64(i)*104729)
+		sys.Spawn(fmt.Sprintf("noise%d", i), host, func(p *osmodel.Proc) {
+			for !done {
+				// Unrelated workload dirtying its own files on the shared
+				// filesystem; its pages ride along in the Spy's fsync.
+				p.Sleep(sim.Duration(r.ExpFloat64() * float64(150*sim.Microsecond)))
+				if done {
+					return
+				}
+				cache.Write(p, 1000+i)
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+
+	// Decode: a slow fsync means the Trojan's burst was pending ⇒ 1. The
+	// threshold sits halfway up the burst's writeback cost.
+	thr := cache.SyncBaseCost + sim.Duration(pagesPerBit/2)*cache.WritebackCost
+	got := make(codec.Bits, len(lat))
+	for i, l := range lat {
+		if l > thr {
 			got[i] = 1
 		}
 	}

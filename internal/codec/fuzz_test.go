@@ -1,0 +1,151 @@
+package codec
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// normBits masks arbitrary fuzz bytes down to a valid bit sequence.
+func normBits(raw []byte) Bits {
+	b := make(Bits, len(raw))
+	for i, v := range raw {
+		b[i] = v & 1
+	}
+	return b
+}
+
+// FuzzPackUnpack checks the symbol-packing round trip for arbitrary
+// payloads and symbol widths: AppendPack agrees with Pack, invalid
+// widths are rejected symmetrically, and Unpack(Pack(b)) restores b plus
+// MSB-first zero padding to the symbol boundary — never panicking on any
+// input.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0}, 2)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 0}, 3)
+	f.Add([]byte{0xFF, 0x00, 0x42}, 16)
+	f.Add([]byte{1}, 0)
+	f.Add([]byte{1, 0}, 17)
+	f.Fuzz(func(t *testing.T, raw []byte, bps int) {
+		bits := normBits(raw)
+		syms, err := Pack(bits, bps)
+		if bps < 1 || bps > 16 {
+			if err == nil {
+				t.Fatalf("Pack accepted bitsPerSymbol %d", bps)
+			}
+			if _, err := Unpack([]int{0}, bps); err == nil {
+				t.Fatalf("Unpack accepted bitsPerSymbol %d", bps)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Pack(%v, %d): %v", bits, bps, err)
+		}
+		if len(syms) != PackedLen(len(bits), bps) {
+			t.Fatalf("Pack produced %d symbols, PackedLen says %d", len(syms), PackedLen(len(bits), bps))
+		}
+
+		// AppendPack into a prefilled destination must append exactly
+		// Pack's symbols after the prefix.
+		prefix := []int{7, 8, 9}
+		appended, err := AppendPack(append([]int(nil), prefix...), bits, bps)
+		if err != nil {
+			t.Fatalf("AppendPack: %v", err)
+		}
+		if len(appended) != len(prefix)+len(syms) {
+			t.Fatalf("AppendPack length %d, want %d", len(appended), len(prefix)+len(syms))
+		}
+		for i, s := range syms {
+			if appended[len(prefix)+i] != s {
+				t.Fatalf("AppendPack diverged from Pack at symbol %d: %d vs %d", i, appended[len(prefix)+i], s)
+			}
+		}
+
+		back, err := Unpack(syms, bps)
+		if err != nil {
+			t.Fatalf("Unpack(Pack(b)): %v", err)
+		}
+		want := append(append(Bits{}, bits...), make(Bits, len(back)-len(bits))...)
+		if !back.Equal(want) {
+			t.Fatalf("round trip: got %s, want %s (zero-padded)", back, want)
+		}
+
+		// Unpack on raw (possibly out-of-range) symbols must error, never
+		// panic, and never fabricate non-bit values.
+		rawSyms := make([]int, 0, len(raw))
+		for _, v := range raw {
+			rawSyms = append(rawSyms, int(v)-128)
+		}
+		if out, err := Unpack(rawSyms, bps); err == nil {
+			for _, bit := range out {
+				if bit > 1 {
+					t.Fatalf("Unpack produced non-bit value %d", bit)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRepetitionDecode checks the repetition code on arbitrary input: it
+// never panics, output length is the group count, outputs are bits, the
+// clean encode→decode round trip is the identity, and the majority-vote
+// property holds — any single flip per triplet is corrected.
+func FuzzRepetitionDecode(f *testing.F) {
+	f.Add([]byte{1, 0, 1}, 3, 0)
+	f.Add([]byte{}, 5, 2)
+	f.Add([]byte{0xFF, 3, 0, 1}, 4, 1) // even n falls back to 3
+	f.Add([]byte{1, 1, 0, 0, 1, 0, 1}, -7, 6)
+	f.Fuzz(func(t *testing.T, raw []byte, n int, flip int) {
+		// Decode of arbitrary (unnormalized) bytes must not panic and must
+		// produce one bit per full group.
+		eff := n
+		if eff < 3 || eff%2 == 0 {
+			eff = 3
+		}
+		out := DecodeRepetition(Bits(raw), n)
+		if want := len(raw) / eff; len(out) != want {
+			t.Fatalf("decode length %d, want %d (n=%d)", len(out), want, eff)
+		}
+		for _, bit := range out {
+			if bit > 1 {
+				t.Fatalf("decode produced non-bit value %d", bit)
+			}
+		}
+
+		// Clean round trip is the identity.
+		bits := normBits(raw)
+		enc := EncodeRepetition(bits, n)
+		if got := DecodeRepetition(enc, n); !got.Equal(bits) {
+			t.Fatalf("round trip: got %s, want %s", got, bits)
+		}
+
+		// Majority vote: flipping one position inside each group still
+		// decodes to the original bits.
+		if len(enc) > 0 {
+			damaged := append(Bits{}, enc...)
+			pos := flip
+			if pos < 0 {
+				pos = -pos
+			}
+			for g := 0; g+eff <= len(damaged); g += eff {
+				i := g + pos%eff
+				damaged[i] ^= 1
+			}
+			if got := DecodeRepetition(damaged, n); !got.Equal(bits) {
+				t.Fatalf("single flip per group not corrected: got %s, want %s", got, bits)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedCorpusPresent pins the checked-in corpus: the fuzz targets
+// must keep regression seeds under testdata so plain `go test` replays
+// them.
+func TestFuzzSeedCorpusPresent(t *testing.T) {
+	for _, target := range []string{"FuzzPackUnpack", "FuzzRepetitionDecode"} {
+		matches, err := filepath.Glob("testdata/fuzz/" + target + "/*")
+		if err != nil || len(matches) == 0 {
+			t.Errorf("no checked-in corpus for %s (err=%v)", target, err)
+		}
+	}
+}

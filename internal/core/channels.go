@@ -398,6 +398,186 @@ func (r *flockReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
 	return p.Timestamp().Sub(start), nil
 }
 
+// --- Futex (contention, Linux; extension mechanism) ---
+//
+// The lock form of futex(2): the Trojan holds the word for TT1 on bit 1,
+// the Spy times its own acquire+release round trip. Structurally the
+// Mutex channel on the Linux personality — the futex word in a shared
+// mapping is the pre-negotiated critical resource.
+
+type futexSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *futexSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenFutex(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *futexSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	if err := p.FutexLock(s.h); err != nil {
+		return err
+	}
+	p.Sleep(s.par.TT1)
+	return p.FutexUnlock(s.h)
+}
+
+type futexReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *futexReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateFutex(r.name)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *futexReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if err := p.FutexLock(r.h); err != nil {
+		return 0, err
+	}
+	if err := p.FutexUnlock(r.h); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- CondVar (cooperation, Linux; extension mechanism) ---
+//
+// The process-shared pthread condition variable carries Protocol 2
+// unchanged: the Spy parks in cond_wait, the Trojan signals after
+// tw0 + sym·ti. Because condvars are stateless the Spy must be parked
+// before every signal — the tw0 ≥ the Linux sleep floor in the default
+// Timeset guarantees the margin.
+
+type condSender struct {
+	name string
+	par  Params
+	h    kobj.Handle
+}
+
+func (s *condSender) setup(p *osmodel.Proc) error {
+	h, err := retryOpen(p, func() (kobj.Handle, error) { return p.OpenCond(s.name) })
+	if err != nil {
+		return err
+	}
+	s.h = h
+	return nil
+}
+
+func (s *condSender) send(p *osmodel.Proc, sym int) error {
+	judgeSymbol(p, s.par)
+	p.Sleep(s.par.waitFor(sym))
+	return p.CondSignal(s.h)
+}
+
+type condReceiver struct {
+	name string
+	h    kobj.Handle
+}
+
+func (r *condReceiver) setup(p *osmodel.Proc) error {
+	h, err := p.CreateCond(r.name)
+	if err != nil {
+		return err
+	}
+	r.h = h
+	return nil
+}
+
+func (r *condReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if err := p.CondWait(r.h); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
+// --- WriteSync (contention, Linux; extension mechanism) ---
+//
+// The page-cache/fsync channel of Sync+Sync (arXiv:2309.07657) and
+// Write+Sync (arXiv:2312.11501). Each side owns a private writable file;
+// the shared resource is the filesystem journal: bit 1 = the Trojan
+// dirties writeSyncPagesPerBit pages of its own file, and the Spy's
+// fsync of its own file must write them all back (ext4 commits the whole
+// journal), stretching the measured fsync latency by pages × the
+// page-flush cost. Bit 0 = the Trojan sleeps TT0 and the Spy's fsync
+// returns at the clean-journal base cost. Neither process ever touches
+// the other's file — the contention is entirely inside the kernel.
+
+// writeSyncPagesPerBit is the Trojan's per-bit write burst. With the
+// calibrated ~12µs page flush this puts the dirty-fsync level at the
+// default Timeset's TT1 (~150µs), well clear of the ~8µs clean level.
+const writeSyncPagesPerBit = 12
+
+type writeSyncSender struct {
+	path string
+	par  Params
+	fd   int
+}
+
+func (s *writeSyncSender) setup(p *osmodel.Proc) error {
+	if _, err := p.CreateHostFile(s.path, writeSyncPagesPerBit*4096, false, false); err != nil {
+		return err
+	}
+	fd, err := p.OpenFile(s.path, true)
+	if err != nil {
+		return err
+	}
+	s.fd = fd
+	return nil
+}
+
+func (s *writeSyncSender) send(p *osmodel.Proc, sym int) error {
+	p.Judge()
+	if sym == 0 {
+		p.Sleep(s.par.TT0)
+		return nil
+	}
+	return p.WriteFile(s.fd, writeSyncPagesPerBit)
+}
+
+type writeSyncReceiver struct {
+	path string
+	fd   int
+}
+
+func (r *writeSyncReceiver) setup(p *osmodel.Proc) error {
+	if _, err := p.CreateHostFile(r.path, 4096, false, false); err != nil {
+		return err
+	}
+	fd, err := p.OpenFile(r.path, true)
+	if err != nil {
+		return err
+	}
+	r.fd = fd
+	return nil
+}
+
+func (r *writeSyncReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
+	start := p.Timestamp()
+	if _, err := p.Fsync(r.fd); err != nil {
+		return 0, err
+	}
+	return p.Timestamp().Sub(start), nil
+}
+
 // newPair builds the sender/receiver implementations for a mechanism. The
 // object/file name is unique per link so concurrent links don't collide.
 func newPair(m Mechanism, par Params, name string) (sender, receiver, error) {
@@ -417,6 +597,13 @@ func newPair(m Mechanism, par Params, name string) (sender, receiver, error) {
 	case Flock:
 		path := "/share/" + name + ".txt"
 		return &flockSender{path: path, par: par}, &flockReceiver{path: path}, nil
+	case Futex:
+		return &futexSender{name: name, par: par}, &futexReceiver{name: name}, nil
+	case CondVar:
+		return &condSender{name: name, par: par}, &condReceiver{name: name}, nil
+	case WriteSync:
+		return &writeSyncSender{path: "/share/" + name + "_t.dat", par: par},
+			&writeSyncReceiver{path: "/share/" + name + "_s.dat"}, nil
 	default:
 		return nil, nil, errors.New("core: unknown mechanism")
 	}

@@ -12,20 +12,37 @@ import (
 )
 
 func TestMechanismMetadata(t *testing.T) {
-	if len(Mechanisms()) != 6 {
-		t.Fatalf("mechanism count = %d, want 6", len(Mechanisms()))
+	if len(Mechanisms()) != 9 {
+		t.Fatalf("mechanism count = %d, want 9 (paper's six + futex/condvar/write+sync)", len(Mechanisms()))
+	}
+	if len(PaperMechanisms()) != 6 {
+		t.Fatalf("paper mechanism count = %d, want 6", len(PaperMechanisms()))
+	}
+	for i, m := range PaperMechanisms() {
+		if Mechanisms()[i] != m {
+			t.Fatalf("Mechanisms() must lead with the paper's six in order; index %d is %v", i, Mechanisms()[i])
+		}
+		if !m.Paper() {
+			t.Errorf("%v.Paper() = false, want true", m)
+		}
 	}
 	kinds := map[Mechanism]Kind{
 		Flock: Contention, FileLockEX: Contention, Mutex: Contention,
 		Semaphore: Contention, Event: Cooperation, Timer: Cooperation,
+		Futex: Contention, CondVar: Cooperation, WriteSync: Contention,
 	}
 	for m, k := range kinds {
 		if m.Kind() != k {
 			t.Errorf("%v.Kind() = %v, want %v", m, m.Kind(), k)
 		}
 	}
-	if Flock.OS() != timing.Linux {
-		t.Error("flock should live on Linux")
+	for _, m := range []Mechanism{Flock, Futex, CondVar, WriteSync} {
+		if m.OS() != timing.Linux {
+			t.Errorf("%v should live on Linux", m)
+		}
+		if m != Flock && m.Paper() {
+			t.Errorf("%v.Paper() = true, want false (extension mechanism)", m)
+		}
 	}
 	for _, m := range []Mechanism{FileLockEX, Mutex, Semaphore, Event, Timer} {
 		if m.OS() != timing.Windows {
@@ -57,6 +74,28 @@ func TestDefaultParamsMatchPaperTimesets(t *testing.T) {
 	}
 	if DefaultParams(Event, timing.VM) != (Params{}) {
 		t.Error("Event has no VM timeset (infeasible channel)")
+	}
+}
+
+func TestDefaultParamsExtensionMechanisms(t *testing.T) {
+	for _, iso := range []timing.Isolation{timing.Local, timing.Sandbox} {
+		for _, m := range []Mechanism{Futex, CondVar, WriteSync} {
+			p := DefaultParams(m, iso)
+			if p == (Params{}) {
+				t.Errorf("%v/%v has no default timeset", m, iso)
+			}
+		}
+		// The condvar Spy must already be parked when the Trojan signals:
+		// tw0 at or above the Linux sleep-wake floor keeps both symbol
+		// levels paced by the sleep itself, not the floor.
+		if p := DefaultParams(CondVar, iso); p.TW0 < sim.Micro(58) {
+			t.Errorf("CondVar/%v tw0 = %v, want ≥ the 58µs Linux sleep floor", iso, p.TW0)
+		}
+	}
+	for _, m := range []Mechanism{Futex, CondVar, WriteSync} {
+		if DefaultParams(m, timing.VM) != (Params{}) {
+			t.Errorf("%v has no VM timeset (infeasible channel)", m)
+		}
 	}
 }
 

@@ -456,6 +456,11 @@ func uncontendedEstimate(prof *timing.Profile, m Mechanism) sim.Duration {
 		return 2*ts + prof.OpCost[timing.OpMutexAcquire] + prof.OpCost[timing.OpMutexRelease]
 	case Semaphore:
 		return 2*ts + prof.OpCost[timing.OpSemP] + prof.OpCost[timing.OpSemV]
+	case Futex:
+		return 2*ts + prof.OpCost[timing.OpFutexWait] + prof.OpCost[timing.OpFutexWake]
+	case WriteSync:
+		// The free-resource measurement is a clean-journal fsync.
+		return 2*ts + prof.OpCost[timing.OpFsync]
 	default:
 		return 2*ts + prof.OpCost[timing.OpLock] + prof.OpCost[timing.OpUnlock]
 	}

@@ -4,14 +4,20 @@
 // preamble, payload, per-bit fine synchronization for contention channels —
 // and returns decoded bits with BER/TR metrics.
 //
-// Mechanisms (paper §IV.G):
+// Mechanisms (paper §IV.G, plus the extension family):
 //
-//   - contention (mutual exclusion): Flock, FileLockEX, Mutex, Semaphore.
-//     Bit 1 = the Trojan occupies the critical resource for TT1; bit 0 =
-//     the Trojan sleeps TT0. The Spy times its own acquisition.
-//   - cooperation (synchronization): Event, Timer. The Spy blocks in a
-//     wait; the Trojan signals after TW0 (+ symbol·TI). The paper's novel
-//     cooperation-based volatile channel.
+//   - contention (mutual exclusion): Flock, FileLockEX, Mutex, Semaphore,
+//     Futex, WriteSync. Bit 1 = the Trojan occupies the critical resource
+//     for TT1 (or, for WriteSync, dirties the shared journal); bit 0 =
+//     the Trojan sleeps TT0. The Spy times its own acquisition (or
+//     fsync).
+//   - cooperation (synchronization): Event, Timer, CondVar. The Spy
+//     blocks in a wait; the Trojan signals after TW0 (+ symbol·TI). The
+//     paper's novel cooperation-based volatile channel.
+//
+// The paper evaluates the first six (PaperMechanisms); Futex, CondVar
+// and WriteSync extend the family along §IV.G's "any blocking
+// mechanism" observation and the Sync+Sync/Write+Sync follow-on work.
 package core
 
 import (
@@ -36,10 +42,16 @@ func (k Kind) String() string {
 	return "cooperation"
 }
 
-// Mechanism identifies one of the six MESMs the paper builds channels on.
+// Mechanism identifies a blocking kernel primitive a channel is built
+// on: one of the paper's six MESMs, or one of the extension mechanisms
+// that generalize the recipe (§IV.G observes any mutual-exclusion or
+// synchronization mechanism works).
 type Mechanism int
 
-// The six mechanisms evaluated in the paper.
+// The six mechanisms evaluated in the paper, followed by the extension
+// family: futex locks, process-shared condition variables, and the
+// page-cache/fsync channel of Sync+Sync (arXiv:2309.07657) and
+// Write+Sync (arXiv:2312.11501).
 const (
 	Flock      Mechanism = iota // Linux flock(2) on a shared i-node
 	FileLockEX                  // Windows LockFileEx on a file object
@@ -47,11 +59,24 @@ const (
 	Semaphore                   // Windows semaphore kernel object
 	Event                       // Windows event kernel object
 	Timer                       // Windows waitable timer kernel object
+	Futex                       // Linux futex(2) word in shared memory
+	CondVar                     // Linux process-shared pthread condvar
+	WriteSync                   // Linux page-cache write + fsync journal
 	numMechanisms
 )
 
-// Mechanisms lists all six in the paper's Table IV column order.
+// Mechanisms lists the full channel family: the paper's six in Table IV
+// column order, then the extension mechanisms. Every layer above core is
+// table-driven over this list, so growing the family is a matter of
+// adding the enum value, its kobj/osmodel substrate and a newPair case.
 func Mechanisms() []Mechanism {
+	return []Mechanism{Flock, FileLockEX, Mutex, Semaphore, Event, Timer, Futex, CondVar, WriteSync}
+}
+
+// PaperMechanisms lists only the six mechanisms the paper evaluates —
+// the reproduction artifacts (Tables IV–VI, the figures) stay scoped to
+// these, while the extension experiments sweep Mechanisms().
+func PaperMechanisms() []Mechanism {
 	return []Mechanism{Flock, FileLockEX, Mutex, Semaphore, Event, Timer}
 }
 
@@ -70,6 +95,12 @@ func (m Mechanism) String() string {
 		return "Event"
 	case Timer:
 		return "Timer"
+	case Futex:
+		return "Futex"
+	case CondVar:
+		return "CondVar"
+	case WriteSync:
+		return "WriteSync"
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
@@ -79,19 +110,32 @@ func (m Mechanism) String() string {
 // channel.
 func (m Mechanism) Kind() Kind {
 	switch m {
-	case Event, Timer:
+	case Event, Timer, CondVar:
 		return Cooperation
 	default:
 		return Contention
 	}
 }
 
+// Paper reports whether the mechanism is one of the six the paper
+// evaluates (false for the extension family).
+func (m Mechanism) Paper() bool {
+	switch m {
+	case Futex, CondVar, WriteSync:
+		return false
+	default:
+		return true
+	}
+}
+
 // OS reports which modeled operating system hosts the mechanism.
 func (m Mechanism) OS() timing.OSKind {
-	if m == Flock {
+	switch m {
+	case Flock, Futex, CondVar, WriteSync:
 		return timing.Linux
+	default:
+		return timing.Windows
 	}
-	return timing.Windows
 }
 
 // ParseMechanism resolves a mechanism by its paper name
@@ -113,6 +157,12 @@ func ParseMechanism(name string) (Mechanism, error) {
 		return Semaphore, nil
 	case "filelockex", "filelock":
 		return FileLockEX, nil
+	case "futex":
+		return Futex, nil
+	case "condvar", "cond":
+		return CondVar, nil
+	case "writesync", "write+sync", "sync+sync":
+		return WriteSync, nil
 	}
 	return 0, fmt.Errorf("core: unknown mechanism %q", name)
 }

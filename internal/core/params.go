@@ -46,11 +46,16 @@ func (p Params) String() string {
 }
 
 // DefaultParams returns the paper's Timeset for a mechanism in a scenario
-// (Tables IV, V and VI).
+// (Tables IV, V and VI), and calibrated equivalents for the extension
+// mechanisms. CondVar's tw0 sits above the Linux 58µs sleep-wake floor so
+// both symbol levels pace identically; WriteSync's tt1 tracks its fixed
+// dirty-journal fsync duration (writeSyncPagesPerBit pages at the
+// profile's page-flush cost), which stands in for the hold time in the
+// contention noise model.
 func DefaultParams(m Mechanism, iso timing.Isolation) Params {
 	us := func(v float64) sim.Duration { return sim.Micro(v) }
 	switch iso {
-	case timing.Local: // Table IV
+	case timing.Local: // Table IV + extension defaults
 		switch m {
 		case Flock:
 			return Params{TT1: us(160), TT0: us(60)}
@@ -64,8 +69,14 @@ func DefaultParams(m Mechanism, iso timing.Isolation) Params {
 			return Params{TW0: us(15), TI: us(65)}
 		case Timer:
 			return Params{TW0: us(15), TI: us(75)}
+		case Futex:
+			return Params{TT1: us(140), TT0: us(60)}
+		case CondVar:
+			return Params{TW0: us(60), TI: us(70)}
+		case WriteSync:
+			return Params{TT1: us(150), TT0: us(60)}
 		}
-	case timing.Sandbox: // Table V
+	case timing.Sandbox: // Table V + extension defaults
 		switch m {
 		case Flock:
 			return Params{TT1: us(170), TT0: us(60)}
@@ -79,6 +90,12 @@ func DefaultParams(m Mechanism, iso timing.Isolation) Params {
 			return Params{TW0: us(15), TI: us(70)}
 		case Timer:
 			return Params{TW0: us(15), TI: us(85)}
+		case Futex:
+			return Params{TT1: us(150), TT0: us(60)}
+		case CondVar:
+			return Params{TW0: us(60), TI: us(80)}
+		case WriteSync:
+			return Params{TT1: us(160), TT0: us(60)}
 		}
 	case timing.VM: // Table VI (only the file-backed channels work)
 		switch m {

@@ -58,6 +58,60 @@ func TestAnalyzeKeysMatchRenderedDetails(t *testing.T) {
 	}
 }
 
+// TestAnalyzeKeysNewMechanismEvents pins the keying contract for the
+// extension mechanisms' trace events: futex lock/unlock pairs fold by
+// object name (like flock's EX/UN), condsignal keys by condvar name, and
+// write/fsync key by path with the count prefixes stripped — for both
+// kernel-recorded (lazy format args) and pre-rendered entries.
+func TestAnalyzeKeysNewMechanismEvents(t *testing.T) {
+	tr := sim.NewTrace(0)
+	k := sim.NewKernel(sim.WithTrace(tr))
+	k.Spawn("pair", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			p.Sleep(40 * sim.Microsecond)
+			k.Tracef(p, "futex", "EX %s", "mes_fu_1")
+			k.Tracef(p, "futex", "UN %s", "mes_fu_1")
+			k.Tracef(p, "condsignal", "%s", "mes_cv_1")
+			k.Tracef(p, "write", "%d %s", 12, "/share/t.dat")
+			k.Tracef(p, "fsync", "flushed=%d %s", 12, "/share/s.dat")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	entries := append([]sim.Entry(nil), tr.Entries()...)
+	// The same activity pre-rendered (external tooling provenance).
+	tm := k.Now()
+	for i := 0; i < 16; i++ {
+		tm = tm.Add(40 * sim.Microsecond)
+		entries = append(entries,
+			sim.MakeEntry(tm, 1, "pair", "futex", "EX mes_fu_1"),
+			sim.MakeEntry(tm.Add(3), 1, "pair", "futex", "UN mes_fu_1"),
+			sim.MakeEntry(tm.Add(6), 1, "pair", "condsignal", "mes_cv_1"),
+			sim.MakeEntry(tm.Add(9), 1, "pair", "write", "12 /share/t.dat"),
+			sim.MakeEntry(tm.Add(12), 1, "pair", "fsync", "flushed=12 /share/s.dat"),
+		)
+	}
+	got := map[string]int{}
+	for _, s := range Analyze(entries) {
+		got[s.Resource] = s.Events
+	}
+	want := map[string]int{
+		"futex:mes_fu_1":      64, // EX+UN × both provenances
+		"condsignal:mes_cv_1": 32,
+		"write:/share/t.dat":  32,
+		"fsync:/share/s.dat":  32,
+	}
+	for res, n := range want {
+		if got[res] != n {
+			t.Errorf("resource %q: %d events, want %d (keys: %v)", res, got[res], n, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("resources = %v, want exactly %d groups", got, len(want))
+	}
+}
+
 // TestAnalyzeKillKeyingAcrossProvenance: kernel-recorded kill entries
 // (lazy format, bare target argument) and pre-rendered MakeEntry kill
 // entries must fold into one resource group.

@@ -6,8 +6,10 @@
 // object with a bimodal inter-operation spacing (the '0' and '1' times),
 // while benign lock users arrive raggedly.
 //
-// The detector consumes sim.Trace entries ("flock", "setevent", "kill")
-// and scores each resource on rate, regularity and bimodality.
+// The detector consumes the trace events of every traced channel family
+// (see channelEvents: flock and futex lock/unlock, setevent and
+// condsignal wakes, write/fsync journal activity, kill) and scores each
+// resource on rate, regularity and bimodality.
 package detect
 
 import (
@@ -52,6 +54,24 @@ type resID struct {
 	res   string
 }
 
+// channelEvents is the set of trace events a covert pair's protocol
+// discipline shows up in, one per mechanism family: flock and futex
+// lock/unlock pairs, Event and condvar signals, fsync journal commits
+// (the WriteSync channel's observable), write bursts, and the signal
+// channel's kills. Every event recorded by a channel's per-symbol path
+// must be listed here — a mechanism whose events are missing is
+// invisible to the detector (the audit TestAnalyzeCoversChannelEvents
+// pins the list against the mechanisms' traced syscalls).
+var channelEvents = map[string]bool{
+	"flock":      true,
+	"setevent":   true,
+	"kill":       true,
+	"futex":      true,
+	"condsignal": true,
+	"fsync":      true,
+	"write":      true,
+}
+
 // Analyze scores every resource appearing in the trace's channel-relevant
 // events. Per-resource keys are derived from the entries' stored arguments
 // (Entry.ResourceHint), so scanning a trace never renders Entry.Detail's
@@ -60,23 +80,23 @@ type resID struct {
 func Analyze(entries []sim.Entry) []Score {
 	byResource := make(map[resID][]sim.Time)
 	for _, e := range entries {
-		switch e.Event {
-		case "flock", "setevent", "kill":
-			raw, ok := e.ResourceHint()
-			if !ok {
-				raw = e.Detail() // foreign entry shapes: render, rare
-			}
-			res := normalizeDetail(raw)
-			if e.Event == "kill" {
-				// Kernel-recorded kill hints carry the bare target name
-				// while pre-rendered details normalize to "target=<name>";
-				// strip to the bare form so both provenances group
-				// together (TrimPrefix shares the backing, no allocation).
-				res = strings.TrimPrefix(res, "target=")
-			}
-			id := resID{event: e.Event, res: res}
-			byResource[id] = append(byResource[id], e.T)
+		if !channelEvents[e.Event] {
+			continue
 		}
+		raw, ok := e.ResourceHint()
+		if !ok {
+			raw = e.Detail() // foreign entry shapes: render, rare
+		}
+		res := normalizeDetail(raw)
+		if e.Event == "kill" {
+			// Kernel-recorded kill hints carry the bare target name
+			// while pre-rendered details normalize to "target=<name>";
+			// strip to the bare form so both provenances group
+			// together (TrimPrefix shares the backing, no allocation).
+			res = strings.TrimPrefix(res, "target=")
+		}
+		id := resID{event: e.Event, res: res}
+		byResource[id] = append(byResource[id], e.T)
 	}
 	var out []Score
 	for id, times := range byResource {

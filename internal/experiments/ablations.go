@@ -231,7 +231,7 @@ type BaselineRow struct {
 }
 
 // Baselines runs the related-work channels at their cited operating
-// points: a four-trial grid, one self-contained thunk per channel.
+// points: a five-trial grid, one self-contained thunk per channel.
 func Baselines(opt Options) ([]BaselineRow, error) {
 	bits := opt.sweepBits()
 	if bits > 3000 {
@@ -272,6 +272,18 @@ func Baselines(opt Options) ([]BaselineRow, error) {
 		},
 		procLocks(8, "5.15 kb/s"),
 		procLocks(32, "22.186 kb/s"),
+		func() (BaselineRow, error) {
+			ws, err := baseline.RunWriteSync(payload, 0, opt.seed())
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Channel:  "write+fsync page cache (Sync+Sync)",
+				Measured: format3(ws.TRKbps) + " kb/s",
+				Cited:    "≈20 kb/s, BER≈0.4% (SSD)",
+				BERPct:   ws.BER * 100,
+			}, nil
+		},
 		func() (BaselineRow, error) {
 			mi, err := baseline.RunMeminfo(opt.payload(memBits), baseline.MeminfoConfig{Seed: opt.seed()})
 			if err != nil {

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mes/internal/core"
+	"mes/internal/report"
+)
+
+// CrossMechRow is one mechanism × scenario cell of the extension matrix:
+// the full channel family — the paper's six plus the extension
+// mechanisms — measured under one payload.
+type CrossMechRow struct {
+	Mechanism core.Mechanism
+	Kind      core.Kind
+	OS        string
+	Scenario  core.Scenario
+	Timeset   string
+	BERPct    float64
+	TRKbps    float64
+	Extension bool // beyond the paper's six
+}
+
+// CrossMech sweeps every mechanism in Mechanisms() across the local and
+// cross-sandbox scenarios (the cross-VM matrix is Table VI's domain).
+// This is the conformance artifact for the mechanism abstraction: adding
+// a mechanism to core automatically adds its rows here, and each row is
+// expected to clear the 10% BER bar at its default quick parameters.
+func CrossMech(opt Options) ([]CrossMechRow, error) {
+	payload := opt.payload(opt.bits())
+	type trial struct {
+		m   core.Mechanism
+		scn core.Scenario
+	}
+	var trials []trial
+	for _, scn := range []core.Scenario{core.Local(), core.CrossSandbox()} {
+		for _, m := range core.Mechanisms() {
+			if core.Feasible(m, scn) == nil {
+				trials = append(trials, trial{m: m, scn: scn})
+			}
+		}
+	}
+	return runAll(opt, trials, func(tr trial) (CrossMechRow, error) {
+		res, err := core.Run(core.Config{
+			Mechanism: tr.m,
+			Scenario:  tr.scn,
+			Payload:   payload,
+			Seed:      opt.seed(),
+		})
+		if err != nil {
+			return CrossMechRow{}, fmt.Errorf("%v/%v: %w", tr.m, tr.scn, err)
+		}
+		return CrossMechRow{
+			Mechanism: tr.m,
+			Kind:      tr.m.Kind(),
+			OS:        tr.m.OS().String(),
+			Scenario:  tr.scn,
+			Timeset:   res.Params.String(),
+			BERPct:    res.BER * 100,
+			TRKbps:    res.TRKbps,
+			Extension: !tr.m.Paper(),
+		}, nil
+	})
+}
+
+// RenderCrossMech prints the family matrix; extension mechanisms are
+// starred.
+func RenderCrossMech(rows []CrossMechRow) string {
+	tb := report.NewTable("cross-mechanism family (paper's six + extensions*)",
+		"Mechanism", "kind", "OS", "scenario", "Timeset", "BER(%)", "TR(kb/s)")
+	for _, r := range rows {
+		name := r.Mechanism.String()
+		if r.Extension {
+			name += "*"
+		}
+		tb.AddRow(name, r.Kind.String(), r.OS, r.Scenario.String(), r.Timeset, r.BERPct, r.TRKbps)
+	}
+	return tb.String() + "* extension beyond the paper's six (futex, pthread condvar, Sync+Sync-style write+fsync)\n"
+}

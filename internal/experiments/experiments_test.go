@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"mes/internal/core"
 )
 
 var quick = Options{Quick: true, Seed: 6}
@@ -269,13 +271,45 @@ func TestBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (page cache, 2× /proc/locks, write+sync, meminfo)", len(rows))
 	}
 	for _, r := range rows {
 		if r.BERPct > 3 {
 			t.Errorf("%s: BER %.3f%%", r.Channel, r.BERPct)
 		}
+	}
+}
+
+func TestCrossMechFamilySweep(t *testing.T) {
+	rows, err := CrossMech(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local + sandbox, all nine mechanisms feasible in both.
+	if want := 2 * len(core.Mechanisms()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	extensions := 0
+	for _, r := range rows {
+		if r.BERPct > 10 {
+			t.Errorf("%v/%v: BER %.3f%% above the 10%% conformance bar", r.Mechanism, r.Scenario, r.BERPct)
+		}
+		if r.TRKbps <= 0 {
+			t.Errorf("%v/%v: TR %.3f", r.Mechanism, r.Scenario, r.TRKbps)
+		}
+		if r.Extension {
+			extensions++
+			if r.Mechanism.Paper() {
+				t.Errorf("%v flagged as extension", r.Mechanism)
+			}
+		}
+	}
+	if extensions != 6 {
+		t.Errorf("extension rows = %d, want 6 (three mechanisms × two scenarios)", extensions)
+	}
+	if !strings.Contains(RenderCrossMech(rows), "Futex*") {
+		t.Error("rendering should star the extension mechanisms")
 	}
 }
 

@@ -134,6 +134,12 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		return b.String()
 	}
 	base := render(false, 1)
+	// The registry sweep must include the crossmech extension experiment —
+	// the determinism contract covers the full mechanism family, not just
+	// the paper's six.
+	if !strings.Contains(base, "crossmech") || !strings.Contains(base, "WriteSync*") {
+		t.Error("registry rendering is missing the crossmech family sweep")
+	}
 	for _, c := range []struct {
 		reuse   bool
 		workers int

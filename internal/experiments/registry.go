@@ -142,6 +142,13 @@ func Registry() []Experiment {
 			}
 			return RenderBaselines(rows), nil
 		}},
+		{"crossmech", "extension: full mechanism-family sweep (paper's six + futex/condvar/write+sync)", func(o Options) (string, error) {
+			rows, err := cached("crossmech", o, CrossMech)
+			if err != nil {
+				return "", err
+			}
+			return RenderCrossMech(rows), nil
+		}},
 		{"signal", "§IV.A future work: signal-based channel", func(o Options) (string, error) {
 			r, err := cached("signal", o, SignalChannel)
 			if err != nil {

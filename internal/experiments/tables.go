@@ -49,12 +49,14 @@ func PaperValues(iso timing.Isolation, m core.Mechanism) (berPct, trKbps float64
 	return v[0], v[1], ok
 }
 
-// scenarioTable runs all feasible mechanisms in one scenario: the grid is
-// one trial per mechanism, each an independent transmission.
+// scenarioTable runs all feasible paper mechanisms in one scenario: the
+// grid is one trial per mechanism, each an independent transmission. The
+// reproduction tables stay scoped to the paper's six; the full family —
+// extension mechanisms included — is swept by the crossmech experiment.
 func scenarioTable(opt Options, scn core.Scenario) ([]TableRow, error) {
 	payload := opt.payload(opt.bits())
 	var mechs []core.Mechanism
-	for _, m := range core.Mechanisms() {
+	for _, m := range core.PaperMechanisms() {
 		if core.Feasible(m, scn) == nil {
 			mechs = append(mechs, m)
 		}
@@ -102,11 +104,11 @@ func RenderTable(title string, rows []TableRow) string {
 	return tb.String()
 }
 
-// Table6Infeasible lists the cross-VM negative results with reasons
-// (paper §V.C.3: only FileLockEX-style channels survive).
+// Table6Infeasible lists the paper's cross-VM negative results with
+// reasons (paper §V.C.3: only FileLockEX-style channels survive).
 func Table6Infeasible() []string {
 	var out []string
-	for _, m := range core.Mechanisms() {
+	for _, m := range core.PaperMechanisms() {
 		if err := core.Feasible(m, core.CrossVM()); err != nil {
 			out = append(out, err.Error())
 		}

@@ -1,0 +1,50 @@
+package kobj
+
+// Cond models a process-shared POSIX condition variable
+// (pthread_cond_t with PTHREAD_PROCESS_SHARED, itself futex-backed): a
+// bare FIFO wait queue with no state word. A signal with no waiter is
+// lost — condition variables are stateless — which is exactly the
+// discipline the cooperation covert channel exploits: the Spy must
+// already be parked in the wait when the Trojan signals, so the wake
+// instant carries the symbol.
+type Cond struct {
+	name string
+	q    waitQueue
+}
+
+// NewCond creates a condition variable.
+func NewCond(name string) *Cond {
+	return &Cond{name: name}
+}
+
+// Name returns the object name.
+func (c *Cond) Name() string { return c.name }
+
+// Type returns TypeCond.
+func (c *Cond) Type() Type { return TypeCond }
+
+// TryWait always fails: a condition-variable wait has no fast path, the
+// caller parks unconditionally.
+func (c *Cond) TryWait(Waiter) bool { return false }
+
+// Enqueue registers w as blocked in the wait.
+func (c *Cond) Enqueue(w Waiter) { c.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (c *Cond) CancelWait(w Waiter) bool { return c.q.remove(w) }
+
+// WaiterCount reports the number of blocked waiters.
+func (c *Cond) WaiterCount() int { return c.q.len() }
+
+// Signal releases the head waiter (pthread_cond_signal). With an empty
+// queue the signal is lost and nil is returned.
+func (c *Cond) Signal() []Waiter {
+	if w := c.q.pop(); w != nil {
+		return c.q.wakeOne(w)
+	}
+	return nil
+}
+
+// Broadcast releases every queued waiter in FIFO order
+// (pthread_cond_broadcast).
+func (c *Cond) Broadcast() []Waiter { return c.q.drain() }

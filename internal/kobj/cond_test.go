@@ -1,0 +1,111 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondSignalWithoutWaiterIsLost(t *testing.T) {
+	c := NewCond("c")
+	if woken := c.Signal(); len(woken) != 0 {
+		t.Fatalf("signal with empty queue woke %v", woken)
+	}
+	// The lost signal must not latch: a later waiter stays queued.
+	if c.TryWait(tw("a")) {
+		t.Fatal("condvar wait has no fast path")
+	}
+	c.Enqueue(tw("a"))
+	if c.WaiterCount() != 1 {
+		t.Fatal("waiter not queued after a lost signal")
+	}
+}
+
+func TestCondSignalReleasesExactlyOneFIFO(t *testing.T) {
+	c := NewCond("c")
+	ws := waiters(3)
+	for _, w := range ws {
+		c.Enqueue(w)
+	}
+	for i := 0; i < 3; i++ {
+		woken := c.Signal()
+		if len(woken) != 1 || woken[0] != ws[i] {
+			t.Fatalf("signal %d woke %v, want [%v]", i, woken, ws[i])
+		}
+	}
+	if woken := c.Signal(); len(woken) != 0 {
+		t.Fatalf("drained condvar still woke %v", woken)
+	}
+}
+
+func TestCondBroadcastWakeOrder(t *testing.T) {
+	c := NewCond("c")
+	ws := waiters(4)
+	for _, w := range ws {
+		c.Enqueue(w)
+	}
+	woken := c.Broadcast()
+	if len(woken) != 4 {
+		t.Fatalf("broadcast woke %d, want 4", len(woken))
+	}
+	for i, w := range woken {
+		if w != ws[i] {
+			t.Fatalf("wake order %v, want FIFO %v", woken, ws)
+		}
+	}
+	if c.WaiterCount() != 0 {
+		t.Fatal("waiters left after broadcast")
+	}
+	if woken = c.Broadcast(); len(woken) != 0 {
+		t.Fatalf("empty broadcast woke %v", woken)
+	}
+}
+
+func TestCondCancelWait(t *testing.T) {
+	c := NewCond("c")
+	ws := waiters(3)
+	for _, w := range ws {
+		c.Enqueue(w)
+	}
+	if !c.CancelWait(ws[0]) {
+		t.Fatal("CancelWait missed the head waiter")
+	}
+	if woken := c.Signal(); len(woken) != 1 || woken[0] != ws[1] {
+		t.Fatalf("signal after cancel woke %v, want [w1]", woken)
+	}
+}
+
+// Property: for any sequence of signals against a queue of waiters, every
+// signal releases at most one waiter, no waiter is released twice, and
+// releases happen in enqueue order.
+func TestCondNoDoubleRelease(t *testing.T) {
+	f := func(nWaiters, nSignals uint8) bool {
+		c := NewCond("c")
+		n := int(nWaiters%16) + 1
+		ws := waiters(n)
+		for _, w := range ws {
+			c.Enqueue(w)
+		}
+		seen := make(map[Waiter]bool)
+		next := 0
+		for i := 0; i < int(nSignals%32); i++ {
+			woken := c.Signal()
+			if len(woken) > 1 {
+				return false
+			}
+			for _, w := range woken {
+				if seen[w] {
+					return false
+				}
+				if next >= n || w != ws[next] {
+					return false // out of FIFO order
+				}
+				seen[w] = true
+				next++
+			}
+		}
+		return len(seen) <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package kobj
+
+// Futex models a Linux fast userspace mutex: a 32-bit word in shared
+// memory plus the kernel-side wait queue keyed on its address (futex(2)
+// FUTEX_WAIT/FUTEX_WAKE). The covert channel uses it in its lock form —
+// word 0 = free, 1 = held — the same mutual-exclusion shape as the
+// paper's Mutex channel, but on the Linux personality. Like every kobj
+// object it is a pure state machine: blocking and waking are delegated
+// to the OS model layer.
+//
+// The queue is FIFO and release hands the word to the head waiter
+// directly (the fair competition regime the channels require, §V.B):
+// a woken waiter owns the lock, it does not re-contend.
+type Futex struct {
+	name string
+	word int32
+	q    waitQueue
+}
+
+// NewFutex creates an unlocked futex (word 0).
+func NewFutex(name string) *Futex {
+	return &Futex{name: name}
+}
+
+// Name returns the object name (the shared-memory address stands in for
+// it in the real attack; the namespace key models the shared mapping).
+func (f *Futex) Name() string { return f.name }
+
+// Type returns TypeFutex.
+func (f *Futex) Type() Type { return TypeFutex }
+
+// Word returns the current futex word.
+func (f *Futex) Word() int32 { return f.word }
+
+// TryWait is the lock fast path: it takes the word 0→1 if the futex is
+// free and nobody is queued ahead (fair ordering).
+func (f *Futex) TryWait(Waiter) bool {
+	if f.word != 0 || f.q.len() > 0 {
+		return false
+	}
+	f.word = 1
+	return true
+}
+
+// Enqueue registers w as blocked in FUTEX_WAIT.
+func (f *Futex) Enqueue(w Waiter) { f.q.push(w) }
+
+// CancelWait removes w from the queue.
+func (f *Futex) CancelWait(w Waiter) bool { return f.q.remove(w) }
+
+// WaiterCount reports the number of blocked waiters.
+func (f *Futex) WaiterCount() int { return f.q.len() }
+
+// Unlock releases the lock. If waiters are queued the head is woken with
+// the word handed off (it stays 1, owned by the woken waiter); otherwise
+// the word clears to 0. The returned waiters must be woken by the caller,
+// in order.
+func (f *Futex) Unlock() []Waiter {
+	if next := f.q.pop(); next != nil {
+		f.word = 1 // direct handoff to the woken waiter
+		return f.q.wakeOne(next)
+	}
+	f.word = 0
+	return nil
+}
+
+// Wake is the raw FUTEX_WAKE: it releases up to n queued waiters in FIFO
+// order without touching the word. Woken waiters re-run their lock
+// attempt at the OS layer.
+func (f *Futex) Wake(n int) []Waiter {
+	if n > f.q.len() {
+		n = f.q.len()
+	}
+	if n <= 0 {
+		return nil
+	}
+	return f.q.wakeN(n)
+}

@@ -1,0 +1,175 @@
+package kobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFutexLockFastPath(t *testing.T) {
+	f := NewFutex("f")
+	a, b := tw("a"), tw("b")
+	if f.Word() != 0 {
+		t.Fatal("fresh futex word != 0")
+	}
+	if !f.TryWait(a) {
+		t.Fatal("free futex rejected acquire")
+	}
+	if f.Word() != 1 {
+		t.Fatal("acquire did not set the word")
+	}
+	if f.TryWait(b) {
+		t.Fatal("held futex granted to second thread")
+	}
+	f.Enqueue(b)
+	woken := f.Unlock()
+	if len(woken) != 1 || woken[0] != b {
+		t.Fatalf("woken = %v, want [b]", woken)
+	}
+	if f.Word() != 1 {
+		t.Fatal("direct handoff must leave the word held")
+	}
+	if woken = f.Unlock(); len(woken) != 0 {
+		t.Fatalf("empty-queue unlock woke %v", woken)
+	}
+	if f.Word() != 0 {
+		t.Fatal("final unlock did not clear the word")
+	}
+}
+
+func TestFutexFairTryWaitBehindQueue(t *testing.T) {
+	f := NewFutex("f")
+	f.TryWait(tw("a"))
+	f.Enqueue(tw("b"))
+	f.Unlock() // handed to b; word stays 1
+	// Queue someone behind the new holder, then release: a latecomer's
+	// fast path must not jump the queue even in the instant the word is
+	// free.
+	f.Enqueue(tw("c"))
+	if f.TryWait(tw("d")) {
+		t.Fatal("fast path jumped the wait queue")
+	}
+}
+
+func TestFutexFIFOHandoff(t *testing.T) {
+	f := NewFutex("f")
+	ws := waiters(4)
+	f.TryWait(ws[0])
+	for _, w := range ws[1:] {
+		f.Enqueue(w)
+	}
+	for i := 0; i < 3; i++ {
+		woken := f.Unlock()
+		if len(woken) != 1 || woken[0] != ws[i+1] {
+			t.Fatalf("handoff %d went to %v, want %v", i, woken, ws[i+1])
+		}
+	}
+	if f.Unlock(); f.Word() != 0 {
+		t.Fatal("futex still held after all handoffs released")
+	}
+}
+
+func TestFutexRawWakeOrder(t *testing.T) {
+	f := NewFutex("f")
+	ws := waiters(5)
+	for _, w := range ws {
+		f.Enqueue(w)
+	}
+	woken := f.Wake(2)
+	if len(woken) != 2 || woken[0] != ws[0] || woken[1] != ws[1] {
+		t.Fatalf("Wake(2) = %v, want FIFO [w0 w1]", woken)
+	}
+	if f.Word() != 0 {
+		t.Fatal("raw wake must not touch the word")
+	}
+	if woken = f.Wake(10); len(woken) != 3 {
+		t.Fatalf("Wake(10) released %d, want the remaining 3", len(woken))
+	}
+	if woken = f.Wake(1); len(woken) != 0 {
+		t.Fatalf("Wake on empty queue released %v", woken)
+	}
+}
+
+func TestFutexCancelWait(t *testing.T) {
+	f := NewFutex("f")
+	f.TryWait(tw("h"))
+	ws := waiters(3)
+	for _, w := range ws {
+		f.Enqueue(w)
+	}
+	if !f.CancelWait(ws[1]) {
+		t.Fatal("CancelWait missed a queued waiter")
+	}
+	if f.CancelWait(ws[1]) {
+		t.Fatal("CancelWait found an already-removed waiter")
+	}
+	if woken := f.Unlock(); len(woken) != 1 || woken[0] != ws[0] {
+		t.Fatalf("woke %v, want [w0]", woken)
+	}
+	if woken := f.Unlock(); len(woken) != 1 || woken[0] != ws[2] {
+		t.Fatalf("woke %v, want [w2]", woken)
+	}
+}
+
+// Property: under any interleaving of acquire attempts, enqueues and
+// unlocks, the word stays in {0,1}, it is 1 exactly while held or handed
+// off, no waiter is woken twice, and wake order is FIFO.
+func TestFutexHandoffInvariant(t *testing.T) {
+	f := func(script []uint8) bool {
+		fu := NewFutex("f")
+		ws := waiters(4)
+		queued := []Waiter{}
+		held := false
+		for _, op := range script {
+			w := ws[int(op)%len(ws)]
+			switch {
+			case op&0xC0 == 0: // try acquire
+				got := fu.TryWait(w)
+				if got && (held || len(queued) > 0) {
+					return false // jumped the queue or double-granted
+				}
+				if got {
+					held = true
+				}
+			case op&0xC0 == 0x40: // enqueue
+				alreadyQueued := false
+				for _, q := range queued {
+					if q == w {
+						alreadyQueued = true
+					}
+				}
+				if alreadyQueued {
+					continue
+				}
+				fu.Enqueue(w)
+				queued = append(queued, w)
+			default: // unlock
+				woken := fu.Unlock()
+				if len(woken) > 1 {
+					return false
+				}
+				if len(woken) == 1 {
+					if len(queued) == 0 || woken[0] != queued[0] {
+						return false // not FIFO
+					}
+					queued = queued[1:]
+					held = true // direct handoff
+				} else {
+					held = false
+				}
+			}
+			if w := fu.Word(); w != 0 && w != 1 {
+				return false
+			}
+			if (fu.Word() == 1) != held {
+				return false
+			}
+			if fu.WaiterCount() != len(queued) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

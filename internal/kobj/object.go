@@ -30,6 +30,8 @@ const (
 	TypeSemaphore
 	TypeTimer
 	TypeFile
+	TypeFutex
+	TypeCond
 )
 
 func (t Type) String() string {
@@ -44,6 +46,10 @@ func (t Type) String() string {
 		return "WaitableTimer"
 	case TypeFile:
 		return "File"
+	case TypeFutex:
+		return "Futex"
+	case TypeCond:
+		return "Cond"
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}

@@ -1,0 +1,102 @@
+package kobj
+
+import "testing"
+
+// TestObjectInterfaceConformance is the cross-kind contract for the
+// Object interface: every kernel object class — the paper's five plus
+// the extension futex and condvar — must report its name and type, queue
+// waiters FIFO, count them, and cancel exactly the queued ones. This is
+// the kobj-level face of the mechanism conformance suite: a new object
+// kind that misbehaves here breaks its channel in ways the protocol
+// layer cannot see.
+func TestObjectInterfaceConformance(t *testing.T) {
+	cases := []struct {
+		obj      Object
+		typ      Type
+		typeName string
+	}{
+		{NewEvent("o", AutoReset, false), TypeEvent, "Event"},
+		{NewMutex("o", tw("h")), TypeMutex, "Mutex"},
+		{NewSemaphore("o", 0, 4), TypeSemaphore, "Semaphore"},
+		{NewTimer("o", AutoReset), TypeTimer, "WaitableTimer"},
+		{NewFileObject("o", "/f", true), TypeFile, "File"},
+		{func() Object { f := NewFutex("o"); f.TryWait(tw("h")); return f }(), TypeFutex, "Futex"},
+		{NewCond("o"), TypeCond, "Cond"},
+	}
+	for _, tc := range cases {
+		if tc.obj.Name() != "o" {
+			t.Errorf("%v: Name() = %q", tc.typ, tc.obj.Name())
+		}
+		if tc.obj.Type() != tc.typ {
+			t.Errorf("%v: Type() = %v", tc.typ, tc.obj.Type())
+		}
+		if tc.obj.Type().String() != tc.typeName {
+			t.Errorf("%v: Type().String() = %q, want %q", tc.typ, tc.obj.Type().String(), tc.typeName)
+		}
+		// Each case above is constructed unacquirable (unsignalled event,
+		// owned mutex, empty semaphore, unarmed timer, exclusively held
+		// futex, bare condvar) except the free file object, which a first
+		// TryWait acquires.
+		if tc.typ == TypeFile {
+			if !tc.obj.TryWait(tw("holder")) {
+				t.Errorf("%v: free file object rejected TryWait", tc.typ)
+			}
+		}
+		if tc.obj.TryWait(tw("x")) {
+			t.Errorf("%v: TryWait succeeded on an unacquirable object", tc.typ)
+		}
+		ws := waiters(3)
+		for i, w := range ws {
+			tc.obj.Enqueue(w)
+			if tc.obj.WaiterCount() != i+1 {
+				t.Errorf("%v: WaiterCount = %d after %d enqueues", tc.typ, tc.obj.WaiterCount(), i+1)
+			}
+		}
+		if !tc.obj.CancelWait(ws[1]) {
+			t.Errorf("%v: CancelWait missed a queued waiter", tc.typ)
+		}
+		if tc.obj.CancelWait(ws[1]) {
+			t.Errorf("%v: CancelWait found a removed waiter", tc.typ)
+		}
+		if tc.obj.CancelWait(tw("never-queued")) {
+			t.Errorf("%v: CancelWait found a never-queued waiter", tc.typ)
+		}
+		if tc.obj.WaiterCount() != 2 {
+			t.Errorf("%v: WaiterCount = %d after cancel, want 2", tc.typ, tc.obj.WaiterCount())
+		}
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type renders %q", got)
+	}
+	if AutoReset.String() != "auto" || ManualReset.String() != "manual" {
+		t.Error("ResetMode names changed")
+	}
+}
+
+// TestObjectMetadataAccessors pins the per-kind metadata the channels and
+// diagnostics read.
+func TestObjectMetadataAccessors(t *testing.T) {
+	s := NewSemaphore("s", 2, 9)
+	if s.Max() != 9 {
+		t.Errorf("Semaphore.Max = %d", s.Max())
+	}
+	tm := NewTimer("t", ManualReset)
+	g := tm.Generation()
+	if tm.Arm(); tm.Generation() != g+1 {
+		t.Errorf("Arm did not advance the generation (%d → %d)", g, tm.Generation())
+	}
+	ns := NewNamespace("host")
+	if ns.Name() != "host" {
+		t.Errorf("Namespace.Name = %q", ns.Name())
+	}
+	if _, _, err := ns.Create(NewCond("cv")); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Len() != 1 {
+		t.Errorf("Namespace.Len = %d, want 1", ns.Len())
+	}
+	ns.Reset()
+	if ns.Len() != 0 {
+		t.Errorf("Namespace.Len = %d after Reset, want 0", ns.Len())
+	}
+}

@@ -83,6 +83,52 @@ func (p *Proc) Flock(fd int, kind vfs.LockKind, nonblock bool) error {
 	}
 }
 
+// WriteFile buffers pages of data through fd, dirtying them in the page
+// cache and registering them in the filesystem journal. The write itself
+// returns fast (it only touches memory); the cost is deferred to whoever
+// commits the journal — the asymmetry the WriteSync channel exploits.
+func (p *Proc) WriteFile(fd int, pages int) error {
+	f, err := p.file(fd)
+	if err != nil {
+		return err
+	}
+	if !f.Writable() {
+		return vfs.ErrReadOnly
+	}
+	p.exec(timing.OpWrite)
+	in := f.Inode()
+	p.crossInode(in)
+	if p.sys.k.Tracing() {
+		p.sys.k.Tracef(p.sp, "write", "%d %s", pages, in.Path())
+	}
+	p.dom.fs.MarkDirty(in, pages)
+	return nil
+}
+
+// Fsync commits fd's file — and, through the shared journal, every other
+// dirty page in the filesystem — to stable storage, charging the
+// per-page writeback cost. It returns the number of pages flushed. The
+// Spy of the WriteSync channel times this call: a clean journal returns
+// at the base fsync cost, a journal the Trojan just dirtied takes
+// pages × the page-flush cost longer (Sync+Sync's observable).
+func (p *Proc) Fsync(fd int) (int, error) {
+	f, err := p.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	p.exec(timing.OpFsync)
+	in := f.Inode()
+	p.crossInode(in)
+	n := p.dom.fs.SyncJournal()
+	for i := 0; i < n; i++ {
+		p.exec(timing.OpPageFlush)
+	}
+	if p.sys.k.Tracing() {
+		p.sys.k.Tracef(p.sp, "fsync", "flushed=%d %s", n, in.Path())
+	}
+	return n, nil
+}
+
 // CloseFd closes a descriptor; the last close of an open file description
 // releases its lock and wakes promoted waiters.
 func (p *Proc) CloseFd(fd int) error {

@@ -1,0 +1,421 @@
+package osmodel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+func TestFutexHoldBlocksAndHandsOff(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var blockedFor sim.Duration
+	s.Spawn("holder", s.Host(), func(p *Proc) {
+		h, err := p.CreateFutex("fu")
+		if err != nil {
+			t.Errorf("CreateFutex: %v", err)
+			return
+		}
+		if err := p.FutexLock(h); err != nil {
+			t.Errorf("holder lock: %v", err)
+		}
+		p.Sleep(200 * sim.Microsecond)
+		if err := p.FutexUnlock(h); err != nil {
+			t.Errorf("holder unlock: %v", err)
+		}
+	})
+	s.Spawn("contender", s.Host(), func(p *Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		h, err := p.OpenFutex("fu")
+		if err != nil {
+			t.Errorf("OpenFutex: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		if err := p.FutexLock(h); err != nil {
+			t.Errorf("contender lock: %v", err)
+		}
+		blockedFor = p.Timestamp().Sub(start)
+		if err := p.FutexUnlock(h); err != nil {
+			t.Errorf("contender unlock: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if blockedFor < 150*sim.Microsecond || blockedFor > 260*sim.Microsecond {
+		t.Fatalf("contender blocked %v, want ≈ the holder's 200µs hold", blockedFor)
+	}
+}
+
+// TestFutexWakeOrderAcrossProcesses: three contenders blocked on a held
+// futex must be granted the word in arrival (FIFO) order.
+func TestFutexWakeOrderAcrossProcesses(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var order []string
+	s.Spawn("holder", s.Host(), func(p *Proc) {
+		h, _ := p.CreateFutex("fu")
+		if err := p.FutexLock(h); err != nil {
+			t.Errorf("holder: %v", err)
+			return
+		}
+		p.Sleep(500 * sim.Microsecond) // let all contenders queue up
+		if err := p.FutexUnlock(h); err != nil {
+			t.Errorf("holder unlock: %v", err)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("c%d", i)
+		delay := sim.Duration(i+1) * 50 * sim.Microsecond
+		s.Spawn(name, s.Host(), func(p *Proc) {
+			p.Sleep(delay)
+			h, err := p.OpenFutex("fu")
+			if err != nil {
+				t.Errorf("%s open: %v", p.Name(), err)
+				return
+			}
+			if err := p.FutexLock(h); err != nil {
+				t.Errorf("%s lock: %v", p.Name(), err)
+				return
+			}
+			order = append(order, p.Name())
+			p.Sleep(10 * sim.Microsecond)
+			if err := p.FutexUnlock(h); err != nil {
+				t.Errorf("%s unlock: %v", p.Name(), err)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != "c0" || order[1] != "c1" || order[2] != "c2" {
+		t.Fatalf("grant order %v, want FIFO [c0 c1 c2]", order)
+	}
+}
+
+// TestFutexRawWakeDoesNotStealLock: a raw FUTEX_WAKE rouses a blocked
+// waiter but transfers nothing — the waiter re-contends and only enters
+// its critical section once the holder really unlocks. This pins the
+// mutual-exclusion invariant FutexLock's retry loop exists to protect.
+func TestFutexRawWakeDoesNotStealLock(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var acquiredAt, releasedAt sim.Time
+	s.Spawn("holder", s.Host(), func(p *Proc) {
+		h, _ := p.CreateFutex("fu")
+		if err := p.FutexLock(h); err != nil {
+			t.Errorf("holder lock: %v", err)
+			return
+		}
+		p.Sleep(400 * sim.Microsecond)
+		releasedAt = p.Now()
+		if err := p.FutexUnlock(h); err != nil {
+			t.Errorf("holder unlock: %v", err)
+		}
+	})
+	s.Spawn("waiter", s.Host(), func(p *Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		h, err := p.OpenFutex("fu")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := p.FutexLock(h); err != nil {
+			t.Errorf("waiter lock: %v", err)
+			return
+		}
+		acquiredAt = p.Now()
+		if err := p.FutexUnlock(h); err != nil {
+			t.Errorf("waiter unlock: %v", err)
+		}
+	})
+	s.Spawn("prankster", s.Host(), func(p *Proc) {
+		p.Sleep(100 * sim.Microsecond) // waiter is parked, holder mid-hold
+		h, err := p.OpenFutex("fu")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := p.FutexWake(h, 1); err != nil {
+			t.Errorf("raw wake: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if acquiredAt == 0 || releasedAt == 0 {
+		t.Fatal("bodies did not complete")
+	}
+	if acquiredAt < releasedAt {
+		t.Fatalf("waiter acquired at %v, before the holder released at %v — raw wake stole the lock", acquiredAt, releasedAt)
+	}
+}
+
+func TestCondSignalWakesParkedWaiter(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var waited sim.Duration
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		h, err := p.CreateCond("cv")
+		if err != nil {
+			t.Errorf("CreateCond: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		if err := p.CondWait(h); err != nil {
+			t.Errorf("CondWait: %v", err)
+		}
+		waited = p.Timestamp().Sub(start)
+	})
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		p.Sleep(120 * sim.Microsecond)
+		h, err := p.OpenCond("cv")
+		if err != nil {
+			t.Errorf("OpenCond: %v", err)
+			return
+		}
+		if err := p.CondSignal(h); err != nil {
+			t.Errorf("CondSignal: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if waited < 120*sim.Microsecond || waited > 160*sim.Microsecond {
+		t.Fatalf("waiter parked %v, want ≈ the trojan's 120µs sleep + overheads", waited)
+	}
+}
+
+// TestCondBroadcastWakeOrderAcrossProcesses: broadcast must resume every
+// parked waiter, and the wake delivery preserves enqueue order.
+func TestCondBroadcastWakeOrderAcrossProcesses(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		delay := sim.Duration(i+1) * 30 * sim.Microsecond
+		s.Spawn(name, s.Host(), func(p *Proc) {
+			p.Sleep(delay)
+			h, err := p.CreateCond("cv")
+			if err != nil {
+				t.Errorf("%s: %v", p.Name(), err)
+				return
+			}
+			if err := p.CondWait(h); err != nil {
+				t.Errorf("%s wait: %v", p.Name(), err)
+				return
+			}
+			order = append(order, p.Name())
+		})
+	}
+	s.Spawn("caster", s.Host(), func(p *Proc) {
+		p.Sleep(300 * sim.Microsecond)
+		h, err := p.OpenCond("cv")
+		if err != nil {
+			t.Errorf("caster: %v", err)
+			return
+		}
+		if err := p.CondBroadcast(h); err != nil {
+			t.Errorf("broadcast: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != "w0" || order[1] != "w1" || order[2] != "w2" {
+		t.Fatalf("wake order %v, want FIFO [w0 w1 w2]", order)
+	}
+}
+
+// TestCondLostSignalDeadlocks: a signal sent while nobody waits is lost,
+// so a waiter arriving afterwards deadlocks — condvars are stateless,
+// unlike the Event object's latch.
+func TestCondLostSignalDeadlocks(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		h, _ := p.CreateCond("cv")
+		if err := p.CondSignal(h); err != nil { // nobody waiting: lost
+			t.Errorf("signal: %v", err)
+		}
+	})
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		h, err := p.OpenCond("cv")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		_ = p.CondWait(h) // unwound by Release below
+		t.Error("waiter resumed without a signal")
+	})
+	var dl *sim.DeadlockError
+	if err := s.Run(); !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError (lost signal)", err)
+	}
+	s.Release()
+}
+
+// TestResetUnwindsFutexAndCondWaiters mirrors internal/sim's
+// stress-test Reset cases at the syscall layer: processes blocked in
+// FutexLock and CondWait are unwound by Reset (their defers run), and
+// the recycled machine replays a fresh workload exactly like a new one.
+func TestResetUnwindsFutexAndCondWaiters(t *testing.T) {
+	cfg := Config{Profile: timing.Noiseless(timing.Linux, timing.Local), Seed: 3}
+	s := NewSystem(cfg)
+	unwound := 0
+	s.Spawn("futex-holder", s.Host(), func(p *Proc) {
+		defer func() { unwound++ }()
+		h, _ := p.CreateFutex("fu")
+		_ = p.FutexLock(h)
+		p.Sleep(10 * sim.Millisecond) // outlives the run horizon below
+	})
+	s.Spawn("futex-waiter", s.Host(), func(p *Proc) {
+		defer func() { unwound++ }()
+		p.Sleep(10 * sim.Microsecond)
+		h, err := p.OpenFutex("fu")
+		if err != nil {
+			t.Errorf("open futex: %v", err)
+			return
+		}
+		_ = p.FutexLock(h) // blocks forever: the holder never unlocks
+		t.Error("futex waiter resumed after Reset")
+	})
+	s.Spawn("cond-waiter", s.Host(), func(p *Proc) {
+		defer func() { unwound++ }()
+		h, _ := p.CreateCond("cv")
+		_ = p.CondWait(h) // nobody will ever signal
+		t.Error("cond waiter resumed after Reset")
+	})
+	s.Spawn("stopper", s.Host(), func(p *Proc) {
+		p.Sleep(1 * sim.Millisecond)
+		p.System().Kernel().Stop()
+	})
+	if err := s.Run(); !errors.Is(err, sim.ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+
+	// Reset must unwind the two blocked waiters and the mid-sleep holder
+	// (the stopper finished on its own), then replay cleanly.
+	s.Reset(cfg)
+	if unwound != 3 {
+		t.Fatalf("unwound %d bodies, want 3", unwound)
+	}
+	replay := func(sys *System) sim.Duration {
+		var waited sim.Duration
+		sys.Spawn("spy", sys.Host(), func(p *Proc) {
+			h, _ := p.CreateCond("cv2")
+			start := p.Timestamp()
+			if err := p.CondWait(h); err != nil {
+				t.Errorf("replay wait: %v", err)
+			}
+			waited = p.Timestamp().Sub(start)
+		})
+		sys.Spawn("trojan", sys.Host(), func(p *Proc) {
+			p.Sleep(80 * sim.Microsecond)
+			h, err := p.OpenCond("cv2")
+			if err != nil {
+				t.Errorf("replay open: %v", err)
+				return
+			}
+			if err := p.CondSignal(h); err != nil {
+				t.Errorf("replay signal: %v", err)
+			}
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatalf("replay Run: %v", err)
+		}
+		return waited
+	}
+	got := replay(s)
+	want := replay(NewSystem(cfg))
+	if got != want {
+		t.Fatalf("recycled machine replayed %v, fresh machine %v", got, want)
+	}
+	s.Release()
+}
+
+// TestWriteFsyncJournal: writes dirty the shared journal and the next
+// fsync — on any file — pays for them; a second fsync is clean.
+func TestWriteFsyncJournal(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	var dirtyCost, cleanCost sim.Duration
+	s.Spawn("trojan", s.Host(), func(p *Proc) {
+		if _, err := p.CreateHostFile("/t.dat", 4096, false, false); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		fd, err := p.OpenFile("/t.dat", true)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := p.WriteFile(fd, 8); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if got := p.System().HostFS().DirtyPages(); got != 8 {
+			t.Errorf("journal backlog = %d, want 8", got)
+		}
+	})
+	s.Spawn("spy", s.Host(), func(p *Proc) {
+		p.Sleep(100 * sim.Microsecond)
+		if _, err := p.CreateHostFile("/s.dat", 4096, false, false); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		fd, err := p.OpenFile("/s.dat", true)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		start := p.Timestamp()
+		n, err := p.Fsync(fd)
+		if err != nil || n != 8 {
+			t.Errorf("first fsync flushed %d (err=%v), want 8 (the trojan's pages)", n, err)
+		}
+		dirtyCost = p.Timestamp().Sub(start)
+
+		start = p.Timestamp()
+		if n, err := p.Fsync(fd); err != nil || n != 0 {
+			t.Errorf("second fsync flushed %d (err=%v), want clean journal", n, err)
+		}
+		cleanCost = p.Timestamp().Sub(start)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dirtyCost <= cleanCost {
+		t.Fatalf("dirty fsync %v not above clean fsync %v", dirtyCost, cleanCost)
+	}
+	// Noiseless: exactly 8 page flushes apart.
+	prof := timing.Noiseless(timing.Linux, timing.Local)
+	if want := 8 * prof.OpCost[timing.OpPageFlush]; dirtyCost-cleanCost != want {
+		t.Fatalf("dirty-clean gap = %v, want %v (8 page flushes)", dirtyCost-cleanCost, want)
+	}
+}
+
+// TestWriteFileRejectsReadOnly: the journal cannot be dirtied through a
+// read-only descriptor or file.
+func TestWriteFileRejectsReadOnly(t *testing.T) {
+	s := newNoiselessSystem(t, timing.Linux, timing.Local)
+	s.Spawn("p", s.Host(), func(p *Proc) {
+		if _, err := p.CreateHostFile("/ro.dat", 4096, true, false); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		fd, err := p.OpenFile("/ro.dat", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := p.WriteFile(fd, 4); !errors.Is(err, vfs.ErrReadOnly) {
+			t.Errorf("WriteFile through read-only descriptor: err=%v, want ErrReadOnly", err)
+		}
+		if _, err := p.Fsync(99); !errors.Is(err, ErrBadFd) {
+			t.Errorf("Fsync on bad fd: err=%v, want ErrBadFd", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -79,6 +79,17 @@ func windowsLocal() Profile {
 		OpClose:        sim.Micro(1.5),
 		OpRead:         sim.Micro(3.0),
 		OpBarrier:      sim.Micro(1.2),
+		// Extension mechanisms (the family beyond the paper's six). Windows
+		// approximations of the Linux-native primitives: WaitOnAddress /
+		// keyed events for futex, SRW-backed condition variables, and
+		// FlushFileBuffers with NTFS-journal writeback.
+		OpFutexWait:  sim.Micro(2.6),
+		OpFutexWake:  sim.Micro(3.0),
+		OpCondWait:   sim.Micro(2.4),
+		OpCondSignal: sim.Micro(2.6),
+		OpWrite:      sim.Micro(3.4),
+		OpFsync:      sim.Micro(9.0),
+		OpPageFlush:  sim.Micro(13.0),
 	}
 	return p
 }
@@ -132,6 +143,17 @@ func linuxLocal() Profile {
 		OpClose:        sim.Micro(1.2),
 		OpRead:         sim.Micro(2.6),
 		OpBarrier:      sim.Micro(11.0),
+		// Extension mechanisms: native futex(2), futex-backed
+		// process-shared pthread condvars, and ext4's shared-journal fsync
+		// (the Sync+Sync / Write+Sync observable: syncing one file writes
+		// back every dirty page in the journal at ~12µs per SSD page).
+		OpFutexWait:  sim.Micro(2.0),
+		OpFutexWake:  sim.Micro(2.4),
+		OpCondWait:   sim.Micro(2.2),
+		OpCondSignal: sim.Micro(2.4),
+		OpWrite:      sim.Micro(3.0),
+		OpFsync:      sim.Micro(7.5),
+		OpPageFlush:  sim.Micro(12.0),
 	}
 	return p
 }

@@ -33,6 +33,13 @@ const (
 	OpClose                  // close a handle / fd
 	OpRead                   // read a (pseudo-)file
 	OpBarrier                // one side of the fine-grained inter-bit barrier
+	OpFutexWait              // futex(2) FUTEX_WAIT entry
+	OpFutexWake              // futex(2) FUTEX_WAKE
+	OpCondWait               // pthread_cond_wait entry (mutex drop included)
+	OpCondSignal             // pthread_cond_signal
+	OpWrite                  // buffered write dirtying page-cache pages
+	OpFsync                  // fsync(2) base cost on a clean journal
+	OpPageFlush              // writing one dirty page back during fsync
 	numOps
 )
 
@@ -55,6 +62,13 @@ var opNames = [...]string{
 	OpClose:        "close",
 	OpRead:         "read",
 	OpBarrier:      "barrier",
+	OpFutexWait:    "futexWait",
+	OpFutexWake:    "futexWake",
+	OpCondWait:     "condWait",
+	OpCondSignal:   "condSignal",
+	OpWrite:        "write",
+	OpFsync:        "fsync",
+	OpPageFlush:    "pageFlush",
 }
 
 func (o Op) String() string {

@@ -32,12 +32,19 @@ func (f *File) Writable() bool { return f.write }
 func (f *File) WaiterName() string { return f.inode.path }
 
 // FS is the system-wide VFS state: the i-node table and the open-file
-// table.
+// table, plus the filesystem journal's dirty-page ledger. The journal is
+// deliberately shared across every file (ext4's single JBD2 journal):
+// fsync on one file writes back all pending pages, which is the
+// cross-file interference the WriteSync covert channel turns into a
+// signal (Sync+Sync, arXiv:2309.07657; Write+Sync, arXiv:2312.11501).
 type FS struct {
 	nextIno  uint64
 	nextFile uint64
 	inodes   map[string]*Inode
 	files    map[uint64]*File
+
+	dirtyPages  int
+	dirtyInodes []*Inode // inodes with dirty > 0, cleared on SyncJournal
 }
 
 // NewFS creates an empty filesystem.
@@ -55,6 +62,9 @@ func (fs *FS) Reset() {
 	fs.nextIno, fs.nextFile = 0, 0
 	clear(fs.inodes)
 	clear(fs.files)
+	fs.dirtyPages = 0
+	clear(fs.dirtyInodes)
+	fs.dirtyInodes = fs.dirtyInodes[:0]
 }
 
 // Create makes a new file. readOnly files reject writable opens —
@@ -131,6 +141,42 @@ func (fs *FS) Close(f *File) ([]Waiter, error) {
 		return f.inode.Unlock(f), nil
 	}
 	return nil, nil
+}
+
+// MarkDirty records pages of in as dirtied in the page cache and pending
+// in the journal. Pages are abstract units here; only their count shapes
+// the writeback cost.
+func (fs *FS) MarkDirty(in *Inode, pages int) {
+	if pages <= 0 {
+		return
+	}
+	if in.dirty == 0 {
+		fs.dirtyInodes = append(fs.dirtyInodes, in)
+	}
+	in.dirty += pages
+	fs.dirtyPages += pages
+}
+
+// DirtyPages reports the journal's pending writeback backlog.
+func (fs *FS) DirtyPages() int { return fs.dirtyPages }
+
+// SyncJournal commits the whole journal: every dirty page in the
+// filesystem — not just the fsynced file's — is written back, and the
+// number of pages flushed is returned so the OS layer can charge the
+// per-page cost. The dirty-inode list is reused across commits, so the
+// per-bit fsync path does not allocate.
+func (fs *FS) SyncJournal() int {
+	n := fs.dirtyPages
+	if n == 0 {
+		return 0
+	}
+	for i, in := range fs.dirtyInodes {
+		in.dirty = 0
+		fs.dirtyInodes[i] = nil
+	}
+	fs.dirtyInodes = fs.dirtyInodes[:0]
+	fs.dirtyPages = 0
+	return n
 }
 
 // OpenFiles reports the size of the system open-file table.

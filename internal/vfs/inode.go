@@ -70,6 +70,12 @@ type Inode struct {
 
 	links int // open file-table entries referring to this inode
 
+	// dirty counts this file's page-cache pages awaiting writeback. The
+	// filesystem journal (FS.MarkDirty/SyncJournal) aggregates them: an
+	// fsync on any file flushes them all, the ext4 shared-journal effect
+	// the WriteSync channel measures.
+	dirty int
+
 	fair      bool // fair (FIFO) lock competition; channels require this
 	exclusive *File
 	shared    map[*File]bool
@@ -104,6 +110,9 @@ func (in *Inode) Mandatory() bool { return in.mandatory }
 
 // Links reports how many open file descriptions refer to this inode.
 func (in *Inode) Links() int { return in.links }
+
+// Dirty reports this file's page-cache pages awaiting writeback.
+func (in *Inode) Dirty() int { return in.dirty }
 
 // SetFair switches between fair (FIFO, default) and unfair lock
 // competition. The paper (§V.B) observes MES channels only work under fair

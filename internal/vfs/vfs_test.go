@@ -323,3 +323,68 @@ func TestFlockFIFOProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJournalDirtyAndSync(t *testing.T) {
+	fs := NewFS()
+	a, err := fs.Create("/a.dat", 4096, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Create("/b.dat", 4096, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.DirtyPages() != 0 {
+		t.Fatal("fresh filesystem has a dirty journal")
+	}
+	fs.MarkDirty(a, 5)
+	fs.MarkDirty(b, 3)
+	fs.MarkDirty(a, 2)
+	fs.MarkDirty(a, 0)  // no-op
+	fs.MarkDirty(b, -4) // no-op
+	if fs.DirtyPages() != 10 {
+		t.Fatalf("journal backlog = %d, want 10", fs.DirtyPages())
+	}
+	if a.Dirty() != 7 || b.Dirty() != 3 {
+		t.Fatalf("per-inode dirty = %d/%d, want 7/3", a.Dirty(), b.Dirty())
+	}
+	// One commit flushes the whole journal — every file's pages, not just
+	// the syncing file's (the WriteSync channel's observable).
+	if n := fs.SyncJournal(); n != 10 {
+		t.Fatalf("SyncJournal flushed %d, want 10", n)
+	}
+	if fs.DirtyPages() != 0 || a.Dirty() != 0 || b.Dirty() != 0 {
+		t.Fatal("journal not clean after commit")
+	}
+	if n := fs.SyncJournal(); n != 0 {
+		t.Fatalf("clean commit flushed %d, want 0", n)
+	}
+	// The dirty-inode scratch list is reused: re-dirtying after a commit
+	// accumulates correctly.
+	fs.MarkDirty(b, 4)
+	if n := fs.SyncJournal(); n != 4 {
+		t.Fatalf("second cycle flushed %d, want 4", n)
+	}
+}
+
+func TestJournalResetClears(t *testing.T) {
+	fs := NewFS()
+	in, err := fs.Create("/x.dat", 4096, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkDirty(in, 6)
+	fs.Reset()
+	if fs.DirtyPages() != 0 {
+		t.Fatalf("Reset left %d dirty pages in the journal", fs.DirtyPages())
+	}
+	// A recycled filesystem must account a fresh cycle from zero.
+	in2, err := fs.Create("/x.dat", 4096, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkDirty(in2, 2)
+	if n := fs.SyncJournal(); n != 2 {
+		t.Fatalf("post-Reset commit flushed %d, want 2", n)
+	}
+}

@@ -25,11 +25,14 @@ func TestFacadeSendRoundTrip(t *testing.T) {
 
 func TestFacadeMechanisms(t *testing.T) {
 	ms := mes.Mechanisms()
-	if len(ms) != 6 {
-		t.Fatalf("mechanisms = %d", len(ms))
+	if len(ms) != 9 {
+		t.Fatalf("mechanisms = %d, want 9", len(ms))
 	}
-	if ms[0] != mes.Flock || ms[4] != mes.Event {
+	if ms[0] != mes.Flock || ms[4] != mes.Event || ms[6] != mes.Futex || ms[8] != mes.WriteSync {
 		t.Fatalf("order changed: %v", ms)
+	}
+	if ps := mes.PaperMechanisms(); len(ps) != 6 || ps[0] != mes.Flock || ps[5] != mes.Timer {
+		t.Fatalf("paper mechanisms = %v", ps)
 	}
 }
 
