@@ -9,18 +9,26 @@
 //	mesbench -all -quick
 //	mesbench -all -workers 8
 //	mesbench -exp fig9a -cpuprofile cpu.pprof -memprofile mem.pprof
-//	mesbench -benchjson BENCH_PR2.json [-benchbaseline OLD.json]
+//	mesbench -benchjson BENCH_PR5.json [-benchbaseline OLD.json]
+//	mesbench -perfcheck BENCH_PR5.json
 //
-// Experiment parameter grids fan out across a worker pool (internal/runner);
-// -workers bounds the pool and defaults to GOMAXPROCS. Output is
-// bit-identical for any worker count. Interrupting (Ctrl-C) cancels the
-// sweep in flight.
+// Experiment parameter grids fan out across a worker pool (internal/runner)
+// with worker-affine trial sessions (core.SessionCache): each worker pins
+// one warmed simulated machine per channel substrate and consecutive cells
+// only reset and reseed it. -workers bounds the pool and defaults to
+// GOMAXPROCS. Output is bit-identical for any worker count, with sessions
+// or machine pooling on or off. Interrupting (Ctrl-C) cancels the sweep in
+// flight.
 //
 // -benchjson runs the performance-trajectory measurements (raw event-core
-// throughput, one full transmission, the Fig. 9 sweep at workers=1 and
-// workers=GOMAXPROCS) and writes them as JSON; -benchbaseline embeds a
+// throughput, one full transmission, one steady-state session trial, the
+// Fig. 9 sweep at workers=1 and workers=GOMAXPROCS, and the full quick
+// registry's wall-clock) and writes them as JSON; -benchbaseline embeds a
 // previously written file as the "before" column, which is how each PR's
-// BENCH_PR<n>.json records its speedup.
+// BENCH_PR<n>.json records its speedup. -perfcheck re-measures the two
+// regression gates against a checked-in file: steady-state trials must
+// stay allocation-free and the quick registry within 15% of its recorded
+// wall-clock after normalizing for the machine's event-core speed.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"testing"
 	"time"
@@ -38,10 +47,19 @@ import (
 	"mes/internal/core"
 	"mes/internal/detect"
 	"mes/internal/experiments"
+	"mes/internal/runner"
 	"mes/internal/sim"
 )
 
 func main() {
+	// mesbench is a batch regenerator: its steady-state heap is a few MB
+	// of pooled simulation machinery, so the default GOGC=100 runs a
+	// collection every few MB of short-lived render garbage for no memory
+	// benefit. Back off the GC unless the operator asked for a specific
+	// setting.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 	// All work happens in realMain so its defers — notably the pprof
 	// writers — run before the process exits, even on failure paths.
 	os.Exit(realMain())
@@ -58,6 +76,7 @@ func realMain() int {
 		workers    = flag.Int("workers", 0, "parallel trials per experiment sweep (0 = GOMAXPROCS; any value yields identical output)")
 		benchJSON  = flag.String("benchjson", "", "write performance-trajectory measurements to this JSON file and exit")
 		benchBase  = flag.String("benchbaseline", "", "embed this earlier -benchjson file as the before column")
+		perfCheck  = flag.String("perfcheck", "", "re-measure the session-trial allocation and quick-registry gates against this measurement file and exit non-zero on regression")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -94,6 +113,14 @@ func realMain() int {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, *benchBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	if *perfCheck != "" {
+		if err := runPerfCheck(*perfCheck); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -158,6 +185,14 @@ type benchResults struct {
 	ContextSwitchNsPerOp float64 `json:"context_switch_ns_per_op,omitempty"`
 	DetectEntriesPerSec  float64 `json:"detect_entries_per_sec,omitempty"`
 	DetectAllocsPerScan  int64   `json:"detect_allocs_per_scan,omitempty"`
+	// mes-bench/v3: the batched trial-session engine — one steady-state
+	// session trial (core.Session.Run after warm-up; its allocation count
+	// must be zero) and the full quick registry's in-process wall-clock
+	// (every experiment, caches cold — the `-all -quick` number minus
+	// process startup).
+	SessionTrialNsPerOp    int64   `json:"session_trial_ns_per_op,omitempty"`
+	TrialAllocsSteadyState float64 `json:"trial_allocs_steady_state"`
+	RegistryQuickMs        float64 `json:"registry_quick_ms,omitempty"`
 }
 
 // benchFile is the on-disk BENCH_PR<n>.json shape.
@@ -170,16 +205,20 @@ type benchFile struct {
 }
 
 // benchSchemas are the accepted measurement-file revisions: v2 added the
-// context-switch and detector rows. Older files remain valid baselines —
-// their new-row columns read as zero ("not measured").
-var benchSchemas = map[string]bool{"mes-bench/v1": true, "mes-bench/v2": true}
+// context-switch and detector rows, v3 the trial-session and quick-
+// registry rows. Older files remain valid baselines — their new-row
+// columns read as zero ("not measured").
+var benchSchemas = map[string]bool{"mes-bench/v1": true, "mes-bench/v2": true, "mes-bench/v3": true}
+
+// benchSchema is the revision this binary writes.
+const benchSchema = "mes-bench/v3"
 
 // writeBenchJSON runs the trajectory measurements and writes file. If
 // baseline names an earlier measurement file, its "after" snapshot is
 // embedded as this file's "before".
 func writeBenchJSON(file, baseline string) error {
 	out := benchFile{
-		Schema:     "mes-bench/v2",
+		Schema:     benchSchema,
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -200,15 +239,7 @@ func writeBenchJSON(file, baseline string) error {
 
 	// Raw event-core throughput: the SpawnBenchLoad workload, where every
 	// simulated sleep pays the full scheduler hot path.
-	kernel := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		k := sim.NewKernel()
-		sim.SpawnBenchLoad(k, 4, b.N)
-		b.ResetTimer()
-		if err := k.Run(); err != nil {
-			b.Fatal(err)
-		}
-	})
+	kernel := measureKernelBench()
 	if kernel.N == 0 {
 		return fmt.Errorf("kernel benchmark failed (zero iterations); run `go test -bench BenchmarkKernelEvents ./internal/sim` for the failure")
 	}
@@ -267,10 +298,22 @@ func writeBenchJSON(file, baseline string) error {
 	out.After.TransmissionNsPerOp = trans.NsPerOp()
 	out.After.TransmissionAllocsPerOp = trans.AllocsPerOp()
 
+	// One steady-state session trial — the batched sweep-cell unit (same
+	// workload as BenchmarkSessionTrials) — plus its allocation count,
+	// which the perf smoke pins at zero.
+	sessNs, sessAllocs, err := measureSessionTrial(true)
+	if err != nil {
+		return err
+	}
+	out.After.SessionTrialNsPerOp, out.After.TrialAllocsSteadyState = sessNs, sessAllocs
+
 	// The Fig. 9 sweep (42 independent transmissions) at one worker and at
 	// GOMAXPROCS workers: the registry-level wall-clock the parallel runner
-	// and the event core jointly determine.
+	// and the event core jointly determine. Caches are cleared per
+	// measurement so the second worker count (and the registry measurement
+	// below) never times another run's memoized trials.
 	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		experiments.ResetCaches()
 		start := time.Now()
 		if _, err := experiments.Fig9(experiments.Options{Bits: 2000, Seed: 1, Workers: w}); err != nil {
 			return err
@@ -286,6 +329,14 @@ func writeBenchJSON(file, baseline string) error {
 		}
 	}
 
+	// The full quick registry, caches cold: the in-process wall-clock of
+	// `mesbench -all -quick`.
+	registryMs, err := measureRegistryQuick()
+	if err != nil {
+		return err
+	}
+	out.After.RegistryQuickMs = registryMs
+
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -294,11 +345,153 @@ func writeBenchJSON(file, baseline string) error {
 	if err := os.WriteFile(file, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.0f events/s, %.2f allocs/event, switch %.0fns, transmission %dns/%d allocs, detect %.0f entries/s, fig9 %0.0fms (w=1) / %0.0fms (w=%d)\n",
+	fmt.Printf("wrote %s: %.0f events/s, %.2f allocs/event, switch %.0fns, transmission %dns/%d allocs, session trial %dns/%.0f allocs, detect %.0f entries/s, fig9 %0.0fms (w=1) / %0.0fms (w=%d), registry quick %.0fms\n",
 		file, out.After.KernelEventsPerSec, out.After.KernelAllocsPerEvent,
 		out.After.ContextSwitchNsPerOp,
 		out.After.TransmissionNsPerOp, out.After.TransmissionAllocsPerOp,
+		out.After.SessionTrialNsPerOp, out.After.TrialAllocsSteadyState,
 		out.After.DetectEntriesPerSec,
-		out.After.Fig9Workers1Ms, out.After.Fig9WorkersNMs, runtime.GOMAXPROCS(0))
+		out.After.Fig9Workers1Ms, out.After.Fig9WorkersNMs, runtime.GOMAXPROCS(0),
+		out.After.RegistryQuickMs)
+	return nil
+}
+
+// measureKernelBench runs the raw event-core workload (the same shape as
+// BenchmarkKernelEvents). writeBenchJSON records it and runPerfCheck
+// re-measures it as the machine-speed proxy, so both must measure the
+// identical workload.
+func measureKernelBench() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		sim.SpawnBenchLoad(k, 4, b.N)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// measureSessionTrial counts a steady-state session trial's per-trial
+// heap allocations on the standard benchmark workload (GC disabled during
+// the count, exactly like the TestSessionAllocsSteadyStateZero gate) and,
+// when timed is set, also measures its wall-clock. runPerfCheck only
+// needs the allocation gate and skips the timing loop.
+func measureSessionTrial(timed bool) (nsPerOp int64, allocsPerTrial float64, err error) {
+	s, err := core.NewSession(core.BenchConfig())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Close()
+	trial := 0
+	run := func() error {
+		trial++
+		_, err := s.Run(runner.TrialSeed(1, trial))
+		return err
+	}
+	// Warm-up: trial 1 builds the machine, trial 2 rebuilds the recycled
+	// coroutines.
+	for i := 0; i < 2; i++ {
+		if err := run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocsPerTrial = testing.AllocsPerRun(20, func() {
+		if e := run(); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !timed {
+		return 0, allocsPerTrial, nil
+	}
+	const trials = 200
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		if err := run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / trials, allocsPerTrial, nil
+}
+
+// measureRegistryQuick renders every registry experiment in Quick mode
+// with cold caches — the in-process equivalent of `mesbench -all -quick` —
+// and returns the wall-clock in milliseconds (best of three, so a noisy
+// neighbour on a shared box does not masquerade as a regression).
+func measureRegistryQuick() (float64, error) {
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		experiments.ResetCaches()
+		start := time.Now()
+		for _, e := range experiments.Registry() {
+			if _, err := e.Run(experiments.Options{Quick: true, Seed: 1}); err != nil {
+				return 0, fmt.Errorf("registry %s: %w", e.Name, err)
+			}
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// runPerfCheck re-measures the two PR 5 perf gates against a checked-in
+// measurement file: steady-state session trials must stay at zero heap
+// allocations, and the quick registry must not be more than 15% slower
+// than the baseline's registry_quick_ms (skipped for pre-v3 baselines,
+// which did not record it). `make perf-smoke` runs this in CI.
+func runPerfCheck(file string) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", file, err)
+	}
+	if !benchSchemas[base.Schema] {
+		return fmt.Errorf("baseline %s: schema %q is not a mes-bench measurement file", file, base.Schema)
+	}
+	_, allocs, err := measureSessionTrial(false)
+	if err != nil {
+		return err
+	}
+	if allocs > 0 {
+		return fmt.Errorf("perfcheck: steady-state session trial allocates %.1f/op, want 0", allocs)
+	}
+	if base.After.RegistryQuickMs <= 0 {
+		fmt.Printf("perfcheck ok: 0 allocs/trial; baseline %s predates registry_quick_ms, wall-clock gate skipped\n", file)
+		return nil
+	}
+	ms, err := measureRegistryQuick()
+	if err != nil {
+		return err
+	}
+	// The baseline was measured on one specific machine; CI runners and
+	// contributor laptops run at different speeds. Normalize by the raw
+	// event-core throughput — re-measured here, recorded there — so the
+	// gate tracks "registry work per kernel event", which a sweep-layer
+	// regression moves and a slower machine does not. (The trade-off: a
+	// regression that slows the event core itself proportionally is
+	// invisible to this ratio — that path has its own gates: 0
+	// allocs/event and the trajectory file.)
+	scale := 1.0
+	if base.After.KernelNsPerEvent > 0 {
+		if kernel := measureKernelBench(); kernel.N > 0 {
+			scale = float64(kernel.T.Nanoseconds()) / float64(kernel.N) / base.After.KernelNsPerEvent
+		}
+	}
+	limit := base.After.RegistryQuickMs * scale * 1.15
+	if ms > limit {
+		return fmt.Errorf("perfcheck: quick registry took %.0fms, more than 15%% over the checked-in %.0fms baseline (machine-speed scale %.2f, limit %.0fms)",
+			ms, base.After.RegistryQuickMs, scale, limit)
+	}
+	fmt.Printf("perfcheck ok: 0 allocs/trial, registry quick %.0fms (baseline %.0fms, machine-speed scale %.2f, limit %.0fms)\n",
+		ms, base.After.RegistryQuickMs, scale, limit)
 	return nil
 }

@@ -70,38 +70,84 @@
 //   - A running process that would be the very next thing popped — no
 //     queued event strictly earlier, no tie — just advances the clock and
 //     keeps running: no event, no context switch at all.
-//   - Simulated machines and per-transmission link state are pooled across
-//     trials (internal/runner.Pool, osmodel.System.Reset), so sweep cells
-//     reuse the kernel's event queue, coroutines, namespaces, filesystem
-//     tables and protocol trampolines. One pooled transmission performs
-//     ten heap allocations — the caller-owned Result data plus the
-//     per-run kernel object and sender/receiver pair (the perf smoke in
-//     `make ci` pins both this budget and the kernel's 0 allocs/event).
+//   - Dispatching itself migrates (PR 5): while Kernel.Run drives the
+//     simulation, a process that blocks keeps the scheduler loop running
+//     on its own goroutine and switches straight to the next runnable
+//     process, so the block→wake ping-pong every channel symbol performs
+//     costs one coroutine switch instead of the two a round trip through
+//     the kernel goroutine paid. Events for a process an active resume
+//     chain is standing on unwind cooperatively to their target; body
+//     panics are captured by the innocent host and re-raised from Run
+//     with their original value.
+//   - Sweep trials run in batched sessions (core.Session, PR 5): a
+//     session pins one simulated machine, link, kernel-object pair and
+//     rendezvous for a sweep cell's lifetime, and consecutive trials only
+//     reset and reseed it. Kernel objects, i-nodes, open-file entries and
+//     isolation domains are retired to typed free pools on reset and
+//     reinitialized in place by the next trial's creates; handle and fd
+//     tables are dense slices with cached boundary-crossing bits; the
+//     symbol sequence, latency scratch, decoder and result storage are
+//     all session-owned and grow-once. A steady-state session trial
+//     performs zero heap allocations; the one-shot core.Run path (now the
+//     session engine's special case) performs five — the caller-owned
+//     Result data (budgeted at ≤6 by the perf smoke). The experiments
+//     layer gives every sweep worker its own
+//     session per channel substrate (core.SessionCache via
+//     runner.MapWith) and memoizes completed trials across sweeps by full
+//     effective config, so registry entries that measure the same cell
+//     (crossmech's paper rows are Table IV/V's) compute it once.
 //   - Gaussian noise draws (timing.Profile.Cost's per-op jitter, §V.C)
 //     bank the second Box–Muller deviate per RNG, halving the
-//     Log/Sqrt/Sincos work per draw.
+//     Log/Sqrt/Sincos work per draw; per-op jitter sigmas are precomputed
+//     into the calibrated profiles.
 //
 // Outputs stay deterministic through all of this because ordering is a
 // total order on (time, sequence): the hand-rolled heap pops the same
-// sequence as the reference heap, the inline fast path only ever runs the
-// event the queue would have popped next (ties always go through the
-// queue, preserving FIFO), coroutine resume order is exactly the old
-// dispatch order, and a Reset machine is indistinguishable from a fresh
-// one — the registry tests assert byte-identical output across worker
-// counts and with pooling on or off.
+// sequence as the reference heap, the inline fast path and the migrating
+// host loop only ever run the event the queue would have popped next
+// (ties always go through the queue, preserving FIFO), and a reset
+// machine — sessions included — is indistinguishable from a fresh one.
+// The registry tests assert byte-identical output across the full cube of
+// worker counts × machine pooling × trial sessions, and
+// core.Session-level tests pin per-trial equality with the one-shot path,
+// including across mid-session deadlocks.
+//
+// PR 5 before → after on the 1-core reference container (BENCH_PR5.json):
+//
+//	kernel events/s            5.59M → 7.18M   (1.28×)
+//	context switch round trip  181ns → 137ns   (1.32×)
+//	one Event transmission     797µs/10 allocs → 698µs/5 allocs (one-shot)
+//	one steady-state trial     — → 715µs/0 allocs (core.Session)
+//	Fig. 9 sweep (workers=1)   36.7ms → 28.4ms (1.29×)
+//	full `-all -quick` registry ~195ms → ~135ms (~1.45×)
+//
+// The remaining per-symbol cost is ~30% libm (the calibrated noise model's
+// Log/Sqrt/Sincos/Exp draws, pinned bit-for-bit by the determinism
+// contract) and one coroutine switch per protocol handoff, which is the
+// architectural floor.
+//
+// Use core.Session / RunTrials (facade: NewSession, SendTrials) when
+// replaying one mechanism+scenario substrate many times — Monte-Carlo
+// cells, parameter grids, throughput services; its Results borrow session
+// buffers and are valid until the next trial. Use one-shot Run/Send for
+// isolated transmissions or whenever the caller must keep the full Result
+// (its slices are caller-owned), e.g. traced detector runs.
 //
 // To profile, run the experiment driver with the pprof flags:
 //
 //	go run ./cmd/mesbench -exp fig9a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	go tool pprof cpu.pprof
 //
-// and track the trajectory numbers with `make bench-json` (see
-// BENCH_PR3.json): raw kernel events/sec, the context-switch round trip,
-// per-transmission ns and allocs, the detector's trace-scan rate, and the
-// Fig. 9 sweep wall-clock at one worker and at GOMAXPROCS. On the 1-core
-// reference container the coroutine rewrite took the kernel from 2.17M to
-// 5.65M events/s and one Event transmission from 1.67ms/49 allocs to
-// 0.83ms/10 allocs.
+// and track the trajectory numbers with `make bench-json` (see the
+// BENCH_PR<n>.json series): raw kernel events/sec, the context-switch
+// round trip, per-transmission and per-session-trial ns and allocs, the
+// detector's trace-scan rate, the Fig. 9 sweep wall-clock, and (since
+// schema v3) the full quick registry's wall-clock with cold caches plus
+// the steady-state trial allocation count, both gated by `make
+// perf-smoke`. Trajectory so far on this container: kernel 0.89M → 2.17M
+// (PR 2) → 5.65M (PR 3) → 7.18M events/s (PR 5); one transmission 9.12ms/
+// 18166 allocs → 1.67ms/49 → 0.83ms/10 → 0.70ms/5 one-shot and 0 allocs
+// in a session.
 //
 // Quick start:
 //
@@ -166,6 +212,20 @@ type Bits = codec.Bits
 
 // Send runs one covert transmission and decodes the Spy's observations.
 func Send(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Session pins one simulated machine and channel substrate across many
+// trials; see core.Session for the batching and Result-ownership
+// contract.
+type Session = core.Session
+
+// NewSession opens a trial session for cfg's mechanism and scenario.
+func NewSession(cfg Config) (*Session, error) { return core.NewSession(cfg) }
+
+// SendTrials replays cfg under one pinned session, once per seed; visit
+// receives each trial's borrowed Result (valid only during the call).
+func SendTrials(cfg Config, seeds []uint64, visit func(trial int, res *Result) error) error {
+	return core.RunTrials(cfg, seeds, visit)
+}
 
 // TextBits encodes UTF-8 text for transmission.
 func TextBits(s string) Bits { return codec.FromString(s) }

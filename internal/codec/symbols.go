@@ -40,20 +40,27 @@ func AppendPack(dst []int, b Bits, bitsPerSymbol int) ([]int, error) {
 // Unpack expands symbols back to bits (MSB first), producing
 // len(syms)*bitsPerSymbol bits; the caller trims padding.
 func Unpack(syms []int, bitsPerSymbol int) (Bits, error) {
+	return AppendUnpack(make(Bits, 0, len(syms)*bitsPerSymbol), syms, bitsPerSymbol)
+}
+
+// AppendUnpack is Unpack appending into dst: allocation-free when dst has
+// capacity for len(syms)*bitsPerSymbol more bits. On a symbol-range error
+// dst may have been partially extended; the returned slice is only
+// meaningful when err is nil.
+func AppendUnpack(dst Bits, syms []int, bitsPerSymbol int) (Bits, error) {
 	if bitsPerSymbol < 1 || bitsPerSymbol > 16 {
 		return nil, fmt.Errorf("codec: bitsPerSymbol %d out of range [1,16]", bitsPerSymbol)
 	}
 	max := 1<<uint(bitsPerSymbol) - 1
-	b := make(Bits, 0, len(syms)*bitsPerSymbol)
 	for _, s := range syms {
 		if s < 0 || s > max {
 			return nil, fmt.Errorf("codec: symbol %d out of range [0,%d]", s, max)
 		}
 		for j := bitsPerSymbol - 1; j >= 0; j-- {
-			b = append(b, byte((s>>uint(j))&1))
+			dst = append(dst, byte((s>>uint(j))&1))
 		}
 	}
-	return b, nil
+	return dst, nil
 }
 
 // SyncSymbols builds the synchronization preamble in symbol space: an

@@ -346,6 +346,7 @@ func (r *fileLockReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
 // --- flock (contention, Linux; Protocol 1) ---
 
 type flockSender struct {
+	name string
 	path string
 	par  Params
 	fd   int
@@ -374,6 +375,7 @@ func (s *flockSender) send(p *osmodel.Proc, sym int) error {
 }
 
 type flockReceiver struct {
+	name string
 	path string
 	fd   int
 }
@@ -527,6 +529,7 @@ func (r *condReceiver) measure(p *osmodel.Proc) (sim.Duration, error) {
 const writeSyncPagesPerBit = 12
 
 type writeSyncSender struct {
+	name string
 	path string
 	par  Params
 	fd   int
@@ -554,6 +557,7 @@ func (s *writeSyncSender) send(p *osmodel.Proc, sym int) error {
 }
 
 type writeSyncReceiver struct {
+	name string
 	path string
 	fd   int
 }
@@ -596,15 +600,79 @@ func newPair(m Mechanism, par Params, name string) (sender, receiver, error) {
 			&fileLockReceiver{name: name, path: path}, nil
 	case Flock:
 		path := "/share/" + name + ".txt"
-		return &flockSender{path: path, par: par}, &flockReceiver{path: path}, nil
+		return &flockSender{name: name, path: path, par: par},
+			&flockReceiver{name: name, path: path}, nil
 	case Futex:
 		return &futexSender{name: name, par: par}, &futexReceiver{name: name}, nil
 	case CondVar:
 		return &condSender{name: name, par: par}, &condReceiver{name: name}, nil
 	case WriteSync:
-		return &writeSyncSender{path: "/share/" + name + "_t.dat", par: par},
-			&writeSyncReceiver{path: "/share/" + name + "_s.dat"}, nil
+		return &writeSyncSender{name: name, path: "/share/" + name + "_t.dat", par: par},
+			&writeSyncReceiver{name: name, path: "/share/" + name + "_s.dat"}, nil
 	default:
 		return nil, nil, errors.New("core: unknown mechanism")
+	}
+}
+
+// rebindable lets a pooled link (or a trial session) retarget its cached
+// sender/receiver pair at a new run's parameters and object name without
+// rebuilding the pair. Implementations must leave the structure exactly as
+// newPair would have built it; per-run handles and descriptors are
+// overwritten by setup anyway. Path-backed pairs only rebuild their path
+// strings when the name actually changed, keeping replayed configurations
+// allocation-free.
+type rebindable interface {
+	rebind(par Params, name string)
+}
+
+func (s *eventSender) rebind(par Params, name string)   { s.name, s.par = name, par }
+func (r *eventReceiver) rebind(_ Params, name string)   { r.name = name }
+func (s *timerSender) rebind(par Params, name string)   { s.name, s.par = name, par }
+func (r *timerReceiver) rebind(_ Params, name string)   { r.name = name }
+func (s *mutexSender) rebind(par Params, name string)   { s.name, s.par = name, par }
+func (r *mutexReceiver) rebind(_ Params, name string)   { r.name = name }
+func (s *semSender) rebind(par Params, name string)     { s.name, s.par = name, par }
+func (r *semReceiver) rebind(_ Params, name string)     { r.name = name }
+func (s *futexSender) rebind(par Params, name string)   { s.name, s.par = name, par }
+func (r *futexReceiver) rebind(_ Params, name string)   { r.name = name }
+func (s *condSender) rebind(par Params, name string)    { s.name, s.par = name, par }
+func (r *condReceiver) rebind(_ Params, name string)    { r.name = name }
+
+func (s *fileLockSender) rebind(par Params, name string) {
+	s.par = par
+	if s.name != name {
+		s.name, s.path = name, "/host/"+name+".txt"
+	}
+}
+
+func (r *fileLockReceiver) rebind(_ Params, name string) {
+	if r.name != name {
+		r.name, r.path = name, "/host/"+name+".txt"
+	}
+}
+
+func (s *flockSender) rebind(par Params, name string) {
+	s.par = par
+	if s.name != name {
+		s.name, s.path = name, "/share/"+name+".txt"
+	}
+}
+
+func (r *flockReceiver) rebind(_ Params, name string) {
+	if r.name != name {
+		r.name, r.path = name, "/share/"+name+".txt"
+	}
+}
+
+func (s *writeSyncSender) rebind(par Params, name string) {
+	s.par = par
+	if s.name != name {
+		s.name, s.path = name, "/share/"+name+"_t.dat"
+	}
+}
+
+func (r *writeSyncReceiver) rebind(_ Params, name string) {
+	if r.name != name {
+		r.name, r.path = name, "/share/"+name+"_s.dat"
 	}
 }

@@ -28,11 +28,21 @@ var errDecoder = errors.New("core: decoder calibration failed")
 // their measured latencies. The preamble must exercise both symbol 0 and
 // symbol m-1.
 func CalibrateDecoder(m int, syncSyms []int, lat []sim.Duration) (*Decoder, error) {
+	d := &Decoder{}
+	if err := d.calibrate(m, syncSyms, lat); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// calibrate fits the decoder in place — the allocation-free form session
+// trials reuse across runs.
+func (d *Decoder) calibrate(m int, syncSyms []int, lat []sim.Duration) error {
 	if m < 2 {
-		return nil, fmt.Errorf("%w: alphabet size %d", errDecoder, m)
+		return fmt.Errorf("%w: alphabet size %d", errDecoder, m)
 	}
 	if len(syncSyms) > len(lat) {
-		return nil, fmt.Errorf("%w: %d sync symbols but %d measurements", errDecoder, len(syncSyms), len(lat))
+		return fmt.Errorf("%w: %d sync symbols but %d measurements", errDecoder, len(syncSyms), len(lat))
 	}
 	// Typical preambles are 8 symbols, so the level samples fit in
 	// stack-friendly fixed buffers; longer preambles spill to the heap via
@@ -49,20 +59,17 @@ func CalibrateDecoder(m int, syncSyms []int, lat []sim.Duration) (*Decoder, erro
 		}
 	}
 	if len(los) == 0 || len(his) == 0 {
-		return nil, fmt.Errorf("%w: preamble must contain symbols 0 and %d", errDecoder, m-1)
+		return fmt.Errorf("%w: preamble must contain symbols 0 and %d", errDecoder, m-1)
 	}
 	// Medians, not means: a single outlier measurement in the short
 	// preamble must not skew the thresholds for the whole round.
 	lo := median(los)
 	hi := median(his)
 	if hi-lo < 2 { // µs: below measurement noise, not a usable channel
-		return nil, fmt.Errorf("%w: levels not separated (lo=%.2fµs hi=%.2fµs); channel carries no signal", errDecoder, lo, hi)
+		return fmt.Errorf("%w: levels not separated (lo=%.2fµs hi=%.2fµs); channel carries no signal", errDecoder, lo, hi)
 	}
-	return &Decoder{
-		m:       m,
-		level0:  lo,
-		spacing: (hi - lo) / float64(m-1),
-	}, nil
+	d.m, d.level0, d.spacing = m, lo, (hi-lo)/float64(m-1)
+	return nil
 }
 
 // median sorts v in place and returns its median.
@@ -102,9 +109,14 @@ func (d *Decoder) Decode(lat sim.Duration) int {
 
 // DecodeAll maps a latency series to symbols.
 func (d *Decoder) DecodeAll(lat []sim.Duration) []int {
-	out := make([]int, len(lat))
-	for i, l := range lat {
-		out[i] = d.Decode(l)
+	return d.AppendDecodeAll(make([]int, 0, len(lat)), lat)
+}
+
+// AppendDecodeAll is DecodeAll appending into dst: allocation-free when
+// dst has capacity for len(lat) more symbols.
+func (d *Decoder) AppendDecodeAll(dst []int, lat []sim.Duration) []int {
+	for _, l := range lat {
+		dst = append(dst, d.Decode(l))
 	}
-	return out
+	return dst
 }

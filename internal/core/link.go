@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"mes/internal/codec"
@@ -82,14 +83,22 @@ type Result struct {
 }
 
 // link carries the shared state of one transmission run. Links are pooled
-// across Runs (see links): the structure, its profile copy and the two
-// process-body trampolines are recycled, while the per-run slices handed
-// to the Result (SentSyms, Latencies) are always freshly allocated.
+// across Runs (see links) and retain everything a replayed configuration
+// needs — the symbol sequence, the latency scratch buffer, the
+// sender/receiver pair, the rendezvous structure, the profile copy and the
+// two process-body trampolines — so a steady-state trial rebuilds nothing.
+//
+// Ownership of the slices a Result exposes: SentSyms aliases l.syms, which
+// is immutable once built — the link replaces it wholesale (never mutates
+// it in place) when a run's symbols differ from the previous run's, so
+// Results handed out earlier keep their own consistent copy. Latencies
+// differ every run and are cloned out of the scratch buffer at decode
+// time (sessions borrow the scratch instead; see session.go).
 type link struct {
 	cfg     Config
 	par     Params
 	m       int
-	syms    []int
+	syms    []int // immutable handed-out symbol sequence (see above)
 	syncLen int
 
 	prof      timing.Profile
@@ -101,10 +110,19 @@ type link struct {
 	misses    int
 	uncontend sim.Duration // redraw value for missed acquisitions
 
-	// Per-run channel machinery, reassigned by Run.
+	// symsBuf/latBuf are the retained scratch buffers behind syms and lat:
+	// grow-once, resliced per run.
+	symsBuf []int
+	latBuf  []sim.Duration
+
+	// Per-run channel machinery. The sender/receiver pair is cached per
+	// mechanism (pairMech) and rebound to the run's parameters and object
+	// name; the rendezvous is embedded (rvStore) and re-initialized.
 	snd        sender
 	rcv        receiver
+	pairMech   Mechanism
 	rv         *osmodel.Rendezvous
+	rvStore    osmodel.Rendezvous
 	contention bool
 	setupDelay sim.Duration
 
@@ -114,10 +132,16 @@ type link struct {
 	trojanFn func(*osmodel.Proc)
 
 	// name memoizes the per-(mechanism, seed) object name, saving the
-	// fmt.Sprintf when a pooled link replays the same configuration.
-	name     string
-	nameMech Mechanism
-	nameSeed uint64
+	// fmt.Sprintf when a pooled link replays the same configuration;
+	// sharePath is the flock shared-file path derived from it. Session
+	// links set pinName: the name is derived once from the first trial and
+	// kept for the session's lifetime (each session owns a private machine,
+	// so names cannot collide, and object names never influence a Result).
+	name      string
+	nameMech  Mechanism
+	nameSeed  uint64
+	sharePath string
+	pinName   bool
 }
 
 // links pools link structures across transmissions, like systems pools
@@ -187,16 +211,109 @@ func (l *link) runTrojan(p *osmodel.Proc) {
 	}
 }
 
-// release clears the per-run state and returns the link to the pool. The
-// result-owned slices were handed off; dropping our references — including
-// the config's payload and trace — keeps the pooled structure from
-// retaining caller data.
+// release clears the per-run state and returns the link to the pool.
+// Dropping the config (payload, trace) and the rendezvous's system binding
+// keeps the pooled structure from retaining caller data or pinning a
+// machine; the buffers, the cached pair and the immutable syms slice stay
+// for the next run.
 func (l *link) release() {
 	l.cfg = Config{}
-	l.syms, l.lat = nil, nil
-	l.snd, l.rcv, l.rv = nil, nil, nil
+	l.lat = nil // latBuf keeps the capacity
+	l.rv = nil
+	l.rvStore.Init(nil)
 	l.trojanErr, l.spyErr = nil, nil
 	links.Put(l)
+}
+
+// bindSymbols (re)builds the run's symbol sequence — one warm-up symbol
+// that absorbs the Trojan's setup latency so the first preamble
+// measurement reflects steady-state timing, the sync preamble, then the
+// packed payload — into the retained scratch buffer. The immutable
+// handed-out copy (l.syms) is replaced only when the contents actually
+// changed, so replayed configurations share one allocation across runs.
+// The latency buffer is resliced to empty.
+func (l *link) bindSymbols() error {
+	need := 1 + l.syncLen + codec.PackedLen(len(l.cfg.Payload), l.par.bps())
+	buf := l.symsBuf[:0]
+	if cap(buf) < need {
+		buf = make([]int, 0, need)
+	}
+	buf = append(buf, 0)
+	buf = codec.AppendSyncSymbols(buf, l.syncLen, l.par.bps())
+	var err error
+	buf, err = codec.AppendPack(buf, l.cfg.Payload, l.par.bps())
+	if err != nil {
+		return err
+	}
+	l.symsBuf = buf
+	if !slices.Equal(l.syms, buf) {
+		l.syms = slices.Clone(buf)
+	}
+	if cap(l.latBuf) < len(l.syms) {
+		l.latBuf = make([]sim.Duration, 0, len(l.syms))
+	}
+	l.lat = l.latBuf[:0]
+	return nil
+}
+
+// bindPair points the link's cached sender/receiver pair at the run's
+// mechanism, parameters and object name, building a fresh pair only when
+// the mechanism changed since the previous run on this link.
+func (l *link) bindPair() error {
+	if l.snd != nil && l.pairMech == l.cfg.Mechanism {
+		l.snd.(rebindable).rebind(l.par, l.name)
+		l.rcv.(rebindable).rebind(l.par, l.name)
+		return nil
+	}
+	snd, rcv, err := newPair(l.cfg.Mechanism, l.par, l.name)
+	if err != nil {
+		return err
+	}
+	l.snd, l.rcv, l.pairMech = snd, rcv, l.cfg.Mechanism
+	return nil
+}
+
+// arm prepares the link's run on sys — domains, object name, channel pair,
+// the flock shared file, rendezvous — and spawns the two processes. The
+// caller releases sys on error.
+func (l *link) arm(sys *osmodel.System) error {
+	cfg := &l.cfg
+	trojanDom, spyDom := domainsFor(sys, cfg.Mechanism, cfg.Scenario)
+
+	if l.name == "" || (!l.pinName && (l.nameMech != cfg.Mechanism || l.nameSeed != cfg.Seed)) {
+		l.name = fmt.Sprintf("mes_%v_%d", cfg.Mechanism, cfg.Seed)
+		l.nameMech, l.nameSeed = cfg.Mechanism, cfg.Seed
+		if cfg.Mechanism == Flock {
+			l.sharePath = "/share/" + l.name + ".txt"
+		}
+	}
+	if err := l.bindPair(); err != nil {
+		return err
+	}
+	if cfg.Mechanism == Flock {
+		in, err := sys.CreateSharedFile(l.sharePath, 64, true, true)
+		if err != nil {
+			return err
+		}
+		in.SetFair(!cfg.UnfairCompetition)
+	}
+	l.uncontend = uncontendedEstimate(&l.prof, cfg.Mechanism)
+
+	l.contention = cfg.Mechanism.Kind() == Contention
+	l.rv = nil
+	if l.contention && !cfg.DisableInterBitSync {
+		l.rvStore.Init(sys)
+		l.rv = &l.rvStore
+	}
+
+	l.setupDelay = cfg.SetupDelay
+	if l.setupDelay == 0 {
+		l.setupDelay = 200 * sim.Microsecond
+	}
+
+	sys.Spawn("spy", spyDom, l.spyFn)
+	sys.Spawn("trojan", trojanDom, l.trojanFn)
+	return nil
 }
 
 // BenchConfig is the standard single-transmission workload behind the
@@ -213,31 +330,47 @@ func BenchConfig() Config {
 	}
 }
 
-// Run simulates a complete transmission and decodes the Spy's view.
-func Run(cfg Config) (*Result, error) {
+// prepare validates cfg and resolves the derived transmission parameters.
+// Run and the session engine share it so a Session trial accepts and
+// rejects exactly the configurations the one-shot path would.
+func prepare(cfg *Config) (par Params, syncLen int, err error) {
 	if len(cfg.Payload) == 0 {
-		return nil, errors.New("core: empty payload")
+		return par, 0, errors.New("core: empty payload")
 	}
 	if err := Feasible(cfg.Mechanism, cfg.Scenario); err != nil {
-		return nil, err
+		return par, 0, err
 	}
-	par := cfg.Params
+	par = cfg.Params
 	if par == (Params{}) {
 		par = DefaultParams(cfg.Mechanism, cfg.Scenario.Isolation)
 	}
 	if par.bps() > 1 && cfg.Mechanism.Kind() != Cooperation {
-		return nil, fmt.Errorf("core: multi-bit symbols require a cooperation channel (paper §VI); %v is %v",
+		return par, 0, fmt.Errorf("core: multi-bit symbols require a cooperation channel (paper §VI); %v is %v",
 			cfg.Mechanism, cfg.Mechanism.Kind())
 	}
 	if cfg.UnfairCompetition && cfg.Mechanism != Flock {
-		return nil, errors.New("core: unfair-competition mode is modeled on the flock mechanism")
+		return par, 0, errors.New("core: unfair-competition mode is modeled on the flock mechanism")
 	}
-	syncLen := cfg.SyncLen
+	syncLen = cfg.SyncLen
 	if syncLen == 0 {
 		syncLen = 8
 	}
 	if syncLen < 2 {
-		return nil, errors.New("core: sync preamble needs at least 2 symbols")
+		return par, 0, errors.New("core: sync preamble needs at least 2 symbols")
+	}
+	return par, syncLen, nil
+}
+
+// Run simulates a complete transmission and decodes the Spy's view. It is
+// the one-shot special case of the session engine (see Session): a pooled
+// link and machine are checked out, run once, and returned, with the
+// Result's slices handed to the caller. Sweeps that replay one channel
+// substrate many times should use Session/RunTrials instead, which pin the
+// machine and buffers across trials.
+func Run(cfg Config) (*Result, error) {
+	par, syncLen, err := prepare(&cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	l, ok := links.Get()
@@ -246,18 +379,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	l.cfg, l.par, l.m, l.syncLen = cfg, par, par.M(), syncLen
 	l.payStart, l.payEnd, l.misses = 0, 0, 0
-	var err error
-
-	// A single warm-up symbol absorbs the Trojan's setup latency so the
-	// first preamble measurement reflects steady-state timing.
-	l.syms = make([]int, 0, 1+syncLen+codec.PackedLen(len(cfg.Payload), par.bps()))
-	l.syms = append(l.syms, 0)
-	l.syms = codec.AppendSyncSymbols(l.syms, syncLen, par.bps())
-	l.syms, err = codec.AppendPack(l.syms, cfg.Payload, par.bps())
-	if err != nil {
+	if err := l.bindSymbols(); err != nil {
 		return nil, err
 	}
-	l.lat = make([]sim.Duration, 0, len(l.syms))
 
 	l.prof = timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	if cfg.Noiseless {
@@ -274,41 +398,10 @@ func Run(cfg Config) (*Result, error) {
 	if sys == nil {
 		sys = osmodel.NewSystem(syscfg)
 	}
-	trojanDom, spyDom := domainsFor(sys, cfg.Mechanism, cfg.Scenario)
-
-	if l.name == "" || l.nameMech != cfg.Mechanism || l.nameSeed != cfg.Seed {
-		l.name = fmt.Sprintf("mes_%v_%d", cfg.Mechanism, cfg.Seed)
-		l.nameMech, l.nameSeed = cfg.Mechanism, cfg.Seed
-	}
-	l.snd, l.rcv, err = newPair(cfg.Mechanism, par, l.name)
-	if err != nil {
+	if err := l.arm(sys); err != nil {
 		sys.Release() // drop the machine without leaving parked coroutines
 		return nil, err
 	}
-	if cfg.Mechanism == Flock {
-		path := "/share/" + l.name + ".txt"
-		in, err := sys.CreateSharedFile(path, 64, true, true)
-		if err != nil {
-			sys.Release()
-			return nil, err
-		}
-		in.SetFair(!cfg.UnfairCompetition)
-	}
-	l.uncontend = uncontendedEstimate(&l.prof, cfg.Mechanism)
-
-	l.contention = cfg.Mechanism.Kind() == Contention
-	l.rv = nil
-	if l.contention && !cfg.DisableInterBitSync {
-		l.rv = osmodel.NewRendezvous(sys)
-	}
-
-	l.setupDelay = cfg.SetupDelay
-	if l.setupDelay == 0 {
-		l.setupDelay = 200 * sim.Microsecond
-	}
-
-	sys.Spawn("spy", spyDom, l.spyFn)
-	sys.Spawn("trojan", trojanDom, l.trojanFn)
 
 	runErr := sys.Run()
 	switch {
@@ -334,11 +427,13 @@ func Run(cfg Config) (*Result, error) {
 	if l.spyErr != nil {
 		return nil, fmt.Errorf("core: spy failed: %w", l.spyErr)
 	}
-	var dl *sim.DeadlockError
-	if runErr != nil && !errors.As(runErr, &dl) {
-		return nil, runErr
-	}
 	if runErr != nil {
+		// Scoped so the errors.As target only heap-escapes on this cold
+		// path, keeping steady-state trials allocation-free.
+		var dl *sim.DeadlockError
+		if !errors.As(runErr, &dl) {
+			return nil, runErr
+		}
 		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
 	}
 	res, err := l.decode()
@@ -392,23 +487,38 @@ func (l *link) observe(p *osmodel.Proc, m, prevM sim.Duration) sim.Duration {
 	return m
 }
 
-// decode calibrates from the preamble and assembles the result.
+// decode calibrates from the preamble and assembles a caller-owned result
+// for the one-shot path: the latencies are cloned out of the link's
+// scratch buffer, decode storage is freshly allocated, and SentSyms shares
+// the link's immutable symbol sequence.
 func (l *link) decode() (*Result, error) {
-	res := &Result{
-		Mechanism: l.cfg.Mechanism,
-		Scenario:  l.cfg.Scenario,
-		Params:    l.par,
-		SentSyms:  l.syms,
-		Latencies: l.lat,
-		Elapsed:   l.payEnd.Sub(l.payStart),
+	res := &Result{Latencies: slices.Clone(l.lat)}
+	payload := len(l.lat) - 1 - l.syncLen
+	if payload < 0 {
+		payload = 0
 	}
+	_, _, err := l.assemble(res, &Decoder{},
+		make([]int, 0, payload), make(codec.Bits, 0, payload*l.par.bps()))
+	return res, err
+}
+
+// assemble fills res from the link's completed run: it calibrates dec from
+// the preamble, verifies the sync round, decodes the payload appending
+// into decodedBuf/bitsBuf (so the caller controls their ownership — fresh
+// exact-size buffers on the one-shot path, session-retained scratch on the
+// session path), and computes the error metrics. The possibly grown
+// buffers are returned for the caller to retain; res.Latencies is the
+// caller's to set.
+func (l *link) assemble(res *Result, dec *Decoder, decodedBuf []int, bitsBuf codec.Bits) ([]int, codec.Bits, error) {
+	res.Mechanism, res.Scenario, res.Params = l.cfg.Mechanism, l.cfg.Scenario, l.par
+	res.SentSyms = l.syms
+	res.Elapsed = l.payEnd.Sub(l.payStart)
 	if len(l.lat) != len(l.syms) {
-		return res, fmt.Errorf("core: received %d measurements for %d symbols", len(l.lat), len(l.syms))
+		return decodedBuf, bitsBuf, fmt.Errorf("core: received %d measurements for %d symbols", len(l.lat), len(l.syms))
 	}
 	const warmup = 1
-	dec, err := CalibrateDecoder(l.m, l.syms[warmup:warmup+l.syncLen], l.lat[warmup:warmup+l.syncLen])
-	if err != nil {
-		return res, err
+	if err := dec.calibrate(l.m, l.syms[warmup:warmup+l.syncLen], l.lat[warmup:warmup+l.syncLen]); err != nil {
+		return decodedBuf, bitsBuf, err
 	}
 	res.Decoder = dec
 
@@ -420,18 +530,20 @@ func (l *link) decode() (*Result, error) {
 		}
 	}
 
-	res.DecodedSyms = dec.DecodeAll(l.lat[warmup+l.syncLen:])
-	bits, err := codec.Unpack(res.DecodedSyms, l.par.bps())
+	decodedBuf = dec.AppendDecodeAll(decodedBuf[:0], l.lat[warmup+l.syncLen:])
+	res.DecodedSyms = decodedBuf
+	bitsBuf, err := codec.AppendUnpack(bitsBuf[:0], decodedBuf, l.par.bps())
 	if err != nil {
-		return res, err
+		return decodedBuf, bitsBuf, err
 	}
+	bits := bitsBuf
 	if len(bits) > len(l.cfg.Payload) {
 		bits = bits[:len(l.cfg.Payload)] // trim symbol padding
 	}
 	res.ReceivedBits = bits
 	res.BitErrors, res.BER = metrics.BER(l.cfg.Payload, bits)
 	res.TRKbps = metrics.TRKbps(len(l.cfg.Payload), res.Elapsed)
-	return res, nil
+	return decodedBuf, bitsBuf, nil
 }
 
 // domainsFor places the Trojan and Spy per the scenario.

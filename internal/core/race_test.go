@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates — allocation-budget
+// assertions are meaningless there.
+const raceEnabled = true

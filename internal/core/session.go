@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"mes/internal/codec"
+	"mes/internal/osmodel"
+	"mes/internal/sim"
+	"mes/internal/timing"
+)
+
+// reuseSessions gates the trial-session engine behind the experiment
+// sweeps (default on). When off, SessionCache.Run degrades to the one-shot
+// Run path; outputs are identical either way — the registry determinism
+// test flips this (together with machine pooling and the worker count) to
+// prove it.
+var reuseSessions atomic.Bool
+
+func init() { reuseSessions.Store(true) }
+
+// SetTrialSessions toggles worker-affine trial sessions in SessionCache.
+// Production callers should leave it on; it exists so determinism tests
+// can prove session-on and session-off sweeps render byte-identical
+// output.
+func SetTrialSessions(on bool) { reuseSessions.Store(on) }
+
+// Session pins one simulated machine, link, kernel-object pair and
+// rendezvous for the lifetime of a sweep cell. Consecutive trials reset
+// and reseed the pinned machine instead of tearing it down: the kernel's
+// event queue and coroutines, the namespace's kernel objects, the VFS
+// i-nodes and open-file entries, the flock shared file, the
+// sender/receiver pair and the symbol/latency buffers are all reused in
+// place, so a steady-state trial performs zero heap allocations while
+// producing output byte-identical to the one-shot Run path.
+//
+// Result ownership: the *Result returned by Run/RunConfig borrows the
+// session's buffers and is valid only until the session's next trial.
+// Callers must extract (or copy) what they keep before running the next
+// trial. One exception is SentSyms, which is immutable and replaced — not
+// overwritten — when a trial's symbols differ.
+//
+// A Session is not safe for concurrent use; the sweep layer gives each
+// worker its own (see SessionCache and runner.MapWith).
+type Session struct {
+	base Config
+	l    *link
+	sys  *osmodel.System
+
+	// Reused result storage (see the ownership note above).
+	res     Result
+	dec     Decoder
+	decoded []int
+	bits    codec.Bits
+
+	closed bool
+}
+
+// NewSession validates cfg and builds a session pinned to its mechanism
+// and scenario. cfg.Seed is only a default — each trial passes its own —
+// and the machine is acquired lazily on the first trial (from the shared
+// machine pool when available).
+func NewSession(cfg Config) (*Session, error) {
+	if _, _, err := prepare(&cfg); err != nil {
+		return nil, err
+	}
+	s := &Session{base: cfg, l: newLink()}
+	// The session owns its link outright: its buffers back the Results
+	// handed to the caller, so it must never enter the shared link pool.
+	s.l.pinName = true
+	return s, nil
+}
+
+// Run executes one trial with the given seed (runner.TrialSeed derives
+// per-trial seeds for sweep grids) and the session's base configuration.
+// The returned Result borrows session buffers — see the Session ownership
+// note.
+func (s *Session) Run(seed uint64) (*Result, error) {
+	cfg := s.base
+	cfg.Seed = seed
+	return s.RunConfig(cfg)
+}
+
+// RunConfig executes one trial with an explicit configuration, which must
+// keep the session's mechanism and scenario but may vary everything else
+// (parameters, payload, seed, sync length, ablation flags, trace). Sweeps
+// use this to replay one channel substrate across a parameter grid.
+func (s *Session) RunConfig(cfg Config) (*Result, error) {
+	if s.closed {
+		return nil, errors.New("core: session is closed")
+	}
+	if cfg.Mechanism != s.base.Mechanism || cfg.Scenario != s.base.Scenario {
+		return nil, fmt.Errorf("core: session is pinned to %v/%v", s.base.Mechanism, s.base.Scenario)
+	}
+	par, syncLen, err := prepare(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	l := s.l
+	l.cfg, l.par, l.m, l.syncLen = cfg, par, par.M(), syncLen
+	l.payStart, l.payEnd, l.misses = 0, 0, 0
+	l.trojanErr, l.spyErr = nil, nil
+	if err := l.bindSymbols(); err != nil {
+		return nil, err
+	}
+
+	l.prof = timing.ProfileFor(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+	if cfg.Noiseless {
+		l.prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
+	}
+	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace}
+	switch {
+	case s.sys != nil:
+		// The pinned machine: reset in place and reseed. This is the whole
+		// point of the session — trials 2..n rebuild nothing.
+		s.sys.Reset(syscfg)
+	default:
+		if reuseSystems.Load() {
+			if pooled, ok := systems.Get(); ok {
+				pooled.Reset(syscfg)
+				s.sys = pooled
+			}
+		}
+		if s.sys == nil {
+			s.sys = osmodel.NewSystem(syscfg)
+		}
+	}
+	if err := l.arm(s.sys); err != nil {
+		// arm fails before any process ran; the machine stays pinned and
+		// the next trial's Reset restores it.
+		return nil, err
+	}
+
+	runErr := s.sys.Run()
+	if runErr != nil {
+		// Deadlocked or stopped: unwind the blocked coroutines so nothing
+		// retains this trial's state. The released machine stays pinned to
+		// the session — Release leaves it equivalent to a fresh NewSystem,
+		// so the next trial's Reset replays exactly like a fresh machine
+		// and earlier trials are not poisoned.
+		s.sys.Release()
+	}
+	if l.trojanErr != nil {
+		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
+	}
+	if l.spyErr != nil {
+		return nil, fmt.Errorf("core: spy failed: %w", l.spyErr)
+	}
+	if runErr != nil {
+		// Scoped so the errors.As target only heap-escapes on this cold
+		// path, keeping steady-state trials allocation-free.
+		var dl *sim.DeadlockError
+		if !errors.As(runErr, &dl) {
+			return nil, runErr
+		}
+		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
+	}
+
+	res := &s.res
+	*res = Result{Latencies: l.lat}
+	s.decoded, s.bits, err = l.assemble(res, &s.dec, s.decoded, s.bits)
+	return res, err
+}
+
+// Close returns the session's machine to the shared pool (or releases it
+// when machine pooling is off). The last trial's Result remains readable —
+// its buffers belong to the session's private link, which is never pooled —
+// but the session must not run further trials.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.sys == nil {
+		return
+	}
+	if reuseSystems.Load() {
+		s.sys.Detach()
+		systems.Put(s.sys)
+	} else {
+		s.sys.Release()
+	}
+	s.sys = nil
+}
+
+// RunTrials runs one trial per seed over a single pinned session — the
+// batched form of Run for Monte-Carlo cells that replay one configuration
+// under many noise streams. visit receives each trial's borrowed Result
+// and must extract what it keeps before returning; a trial or visit error
+// aborts the batch.
+func RunTrials(cfg Config, seeds []uint64, visit func(trial int, res *Result) error) error {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for i, seed := range seeds {
+		res, err := s.Run(seed)
+		if err != nil {
+			return fmt.Errorf("core: trial %d (seed %d): %w", i, seed, err)
+		}
+		if err := visit(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sessionKey identifies the channel substrate a session pins.
+type sessionKey struct {
+	mech      Mechanism
+	scn       Scenario
+	noiseless bool
+}
+
+// sessionCacheCap bounds how many sessions one worker holds — the full
+// mechanism family times the scenarios a sweep mixes fits comfortably;
+// anything beyond falls back to the one-shot path.
+const sessionCacheCap = 32
+
+// SessionCache holds one worker's sessions, keyed by (mechanism, scenario,
+// noiselessness): sweep cells that share a channel substrate reuse one
+// pinned machine and link even when their parameters, payloads and seeds
+// differ. Map workers own exactly one cache each (runner.MapWith), so the
+// borrowed-Result contract holds naturally: each trial's result is
+// consumed on its worker before that worker starts its next trial.
+type SessionCache struct {
+	sessions map[sessionKey]*Session
+}
+
+// NewSessionCache builds an empty per-worker cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{sessions: make(map[sessionKey]*Session)}
+}
+
+// Run executes cfg on the worker's session for its substrate, creating the
+// session on first use. With sessions disabled (SetTrialSessions(false)),
+// the cache full, or a trace attached it degrades to the one-shot Run —
+// same output, caller-owned Result. (Traced runs bypass sessions because
+// a session pins its kernel-object names to its first trial; Results are
+// unaffected, but a trace's recorded resource names would then depend on
+// which path ran.) The borrowed-Result contract of Session.RunConfig
+// applies.
+func (c *SessionCache) Run(cfg Config) (*Result, error) {
+	if !reuseSessions.Load() || cfg.Trace != nil {
+		return Run(cfg)
+	}
+	key := sessionKey{mech: cfg.Mechanism, scn: cfg.Scenario, noiseless: cfg.Noiseless}
+	s := c.sessions[key]
+	if s == nil {
+		if len(c.sessions) >= sessionCacheCap {
+			return Run(cfg)
+		}
+		var err error
+		s, err = NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.sessions[key] = s
+	}
+	return s.RunConfig(cfg)
+}
+
+// Close closes every session, handing their machines back to the shared
+// machine pool so the next sweep's sessions (on any worker) amortize the
+// same warmed structures.
+func (c *SessionCache) Close() {
+	for key, s := range c.sessions {
+		s.Close()
+		delete(c.sessions, key)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/runner"
+	"mes/internal/sim"
+)
+
+// sessionTestPayload is a small fixed payload for session tests.
+func sessionTestPayload(bits int) codec.Bits {
+	return codec.Random(sim.NewRNG(41), bits)
+}
+
+// TestSessionMatchesRunByteForByte is the session engine's core contract:
+// every trial of a pinned session produces exactly the Result the one-shot
+// Run path produces for the same configuration — across seeds, payloads
+// and parameter changes, and across both a cooperation and a contention
+// (shared-file) mechanism.
+func TestSessionMatchesRunByteForByte(t *testing.T) {
+	for _, mech := range []Mechanism{Event, Flock} {
+		base := Config{
+			Mechanism: mech,
+			Scenario:  Local(),
+			Payload:   sessionTestPayload(300),
+		}
+		s, err := NewSession(base)
+		if err != nil {
+			t.Fatalf("%v: NewSession: %v", mech, err)
+		}
+		trials := []Config{
+			{Mechanism: mech, Scenario: Local(), Payload: base.Payload, Seed: 3},
+			{Mechanism: mech, Scenario: Local(), Payload: base.Payload, Seed: runner.TrialSeed(3, 1)},
+			// A different payload and explicit params mid-session.
+			{Mechanism: mech, Scenario: Local(), Payload: sessionTestPayload(200),
+				Params: DefaultParams(mech, 0), Seed: 5},
+			// Back to the first shape: the session must replay it exactly.
+			{Mechanism: mech, Scenario: Local(), Payload: base.Payload, Seed: 3},
+		}
+		for i, cfg := range trials {
+			got, err := s.RunConfig(cfg)
+			if err != nil {
+				t.Fatalf("%v trial %d: session: %v", mech, i, err)
+			}
+			// Clone the borrowed slices before the reference Run recycles
+			// pooled state.
+			gotLat := slices.Clone(got.Latencies)
+			gotBits := slices.Clone(got.ReceivedBits)
+			gotSyms := got.SentSyms // immutable: safe to hold
+			gotBER, gotTR, gotSync := got.BER, got.TRKbps, got.SyncOK
+
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v trial %d: one-shot: %v", mech, i, err)
+			}
+			if !slices.Equal(gotLat, want.Latencies) {
+				t.Errorf("%v trial %d: latencies diverge from the one-shot path", mech, i)
+			}
+			if !slices.Equal(gotSyms, want.SentSyms) {
+				t.Errorf("%v trial %d: sent symbols diverge", mech, i)
+			}
+			if !slices.Equal(gotBits, want.ReceivedBits) {
+				t.Errorf("%v trial %d: received bits diverge", mech, i)
+			}
+			if gotBER != want.BER || gotTR != want.TRKbps || gotSync != want.SyncOK {
+				t.Errorf("%v trial %d: metrics diverge: session (BER=%v TR=%v sync=%v) vs run (BER=%v TR=%v sync=%v)",
+					mech, i, gotBER, gotTR, gotSync, want.BER, want.TRKbps, want.SyncOK)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestSessionRejectsForeignSubstrate pins the session's scope: trials may
+// vary parameters, payloads, seeds and flags, but not the mechanism or
+// scenario the session's machine and kernel objects were built for.
+func TestSessionRejectsForeignSubstrate(t *testing.T) {
+	s, err := NewSession(Config{Mechanism: Event, Scenario: Local(), Payload: sessionTestPayload(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.RunConfig(Config{Mechanism: Mutex, Scenario: Local(), Payload: sessionTestPayload(64), Seed: 1}); err == nil {
+		t.Error("session accepted a trial for a different mechanism")
+	}
+	if _, err := s.RunConfig(Config{Mechanism: Event, Scenario: CrossSandbox(), Payload: sessionTestPayload(64), Seed: 1}); err == nil {
+		t.Error("session accepted a trial for a different scenario")
+	}
+	s.Close()
+	if _, err := s.Run(1); err == nil {
+		t.Error("closed session accepted a trial")
+	}
+}
+
+// TestSessionDeadlockedTrialDoesNotPoison is the mid-session error path:
+// a trial that deadlocks (the §V.B unfair-competition ablation starves
+// the channel) must release the machine — no goroutines may accumulate
+// across failing trials — and subsequent trials on the same session must
+// replay exactly like fresh one-shot runs.
+func TestSessionDeadlockedTrialDoesNotPoison(t *testing.T) {
+	payload := sessionTestPayload(200)
+	fair := Config{Mechanism: Flock, Scenario: Local(), Payload: payload, Seed: 7}
+	unfair := fair
+	unfair.UnfairCompetition = true
+	unfair.DisableInterBitSync = true
+
+	// Reference outcomes from the one-shot path.
+	wantFair, err := Run(fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantErr := Run(unfair)
+	if wantErr == nil {
+		t.Fatal("one-shot unfair run unexpectedly survived; the ablation needs a dying trial")
+	}
+
+	s, err := NewSession(fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.RunConfig(fair); err != nil {
+		t.Fatalf("fair trial before the deadlock: %v", err)
+	}
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		_, err := s.RunConfig(unfair)
+		if err == nil {
+			t.Fatal("unfair session trial unexpectedly survived")
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("session error %q, one-shot error %q", err, wantErr)
+		}
+	}
+	// The deadlocked trials' coroutines must have been unwound each time
+	// (Release), not parked: ten failing trials may not grow the goroutine
+	// count. Give exiting goroutines a few cycles first.
+	for i := 0; i < 100 && runtime.NumGoroutine() > base; i++ {
+		runtime.Gosched()
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines grew from %d to %d across deadlocked session trials", base, n)
+	}
+
+	// The machine was released mid-session; the next trial must still be
+	// byte-identical to the fresh one-shot run.
+	got, err := s.RunConfig(fair)
+	if err != nil {
+		t.Fatalf("fair trial after the deadlocks: %v", err)
+	}
+	if !slices.Equal(got.Latencies, wantFair.Latencies) || got.BER != wantFair.BER {
+		t.Error("post-deadlock session trial diverged from the one-shot path: machine state leaked across the failure")
+	}
+}
+
+// TestSessionAllocsSteadyStateZero proves the headline property of the
+// trial-session engine: after warm-up, a session trial performs zero heap
+// allocations — the machine, coroutines, kernel objects, buffers, decoder
+// and result storage are all reused in place.
+func TestSessionAllocsSteadyStateZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per instrumented operation")
+	}
+	s, err := NewSession(BenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	trial := 0
+	run := func() {
+		trial++
+		if _, err := s.Run(runner.TrialSeed(1, trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Trial 1 builds the machine; trial 2 rebuilds the coroutines the
+	// one-shot first run let exit (recycling starts with the first Reset).
+	// GC stays off during measurement so an incidental collection cannot
+	// perturb the count.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	run()
+	run()
+	if allocs := testing.AllocsPerRun(10, run); allocs > 0 {
+		t.Errorf("session trial allocations = %.1f per trial, want 0 steady-state", allocs)
+	}
+}
+
+// TestRunTrials covers the batched Monte-Carlo helper: per-seed results
+// match the one-shot path and visit errors abort the batch.
+func TestRunTrials(t *testing.T) {
+	cfg := Config{Mechanism: Event, Scenario: Local(), Payload: sessionTestPayload(128)}
+	seeds := []uint64{runner.TrialSeed(2, 0), runner.TrialSeed(2, 1), runner.TrialSeed(2, 2)}
+	var bers []float64
+	err := RunTrials(cfg, seeds, func(i int, res *Result) error {
+		bers = append(bers, res.BER)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		one := cfg
+		one.Seed = seed
+		want, err := Run(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bers[i] != want.BER {
+			t.Errorf("trial %d: BER %v, one-shot %v", i, bers[i], want.BER)
+		}
+	}
+}
+
+// TestSessionFamilyMatchesRun replays two trials of every mechanism in
+// the family on a pinned session and checks them against the one-shot
+// path: the rebind/retire machinery must hold for every channel
+// substrate, not just the two the detailed test dissects.
+func TestSessionFamilyMatchesRun(t *testing.T) {
+	payload := sessionTestPayload(120)
+	for _, mech := range Mechanisms() {
+		cfg := Config{Mechanism: mech, Scenario: Local(), Payload: payload}
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		for trial := 0; trial < 2; trial++ {
+			seed := runner.TrialSeed(11, trial)
+			got, err := s.Run(seed)
+			if err != nil {
+				t.Fatalf("%v trial %d: %v", mech, trial, err)
+			}
+			gotBER, gotTR := got.BER, got.TRKbps
+			one := cfg
+			one.Seed = seed
+			want, err := Run(one)
+			if err != nil {
+				t.Fatalf("%v trial %d one-shot: %v", mech, trial, err)
+			}
+			if gotBER != want.BER || gotTR != want.TRKbps {
+				t.Errorf("%v trial %d: session BER=%v TR=%v vs one-shot BER=%v TR=%v",
+					mech, trial, gotBER, gotTR, want.BER, want.TRKbps)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestSessionCache covers the worker-affine cache: substrate keying,
+// reuse across cells, the one-shot fallback when sessions are disabled,
+// and error propagation from invalid configs.
+func TestSessionCache(t *testing.T) {
+	c := NewSessionCache()
+	defer c.Close()
+	cfg := Config{Mechanism: Event, Scenario: Local(), Payload: sessionTestPayload(64), Seed: 3}
+	first, err := c.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber := first.BER
+	// Same substrate, different seed: reuses the pinned session.
+	cfg2 := cfg
+	cfg2.Seed = 4
+	if _, err := c.Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	// A different substrate opens a second session.
+	mcfg := cfg
+	mcfg.Mechanism = Mutex
+	if _, err := c.Run(mcfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.sessions) != 2 {
+		t.Fatalf("cache holds %d sessions, want 2", len(c.sessions))
+	}
+	// Sessions off: degrade to the one-shot path with identical output.
+	SetTrialSessions(false)
+	off, err := c.Run(cfg)
+	SetTrialSessions(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.BER != ber {
+		t.Errorf("session-off BER %v, session-on %v", off.BER, ber)
+	}
+	// Invalid configs surface the same validation errors as Run.
+	if _, err := c.Run(Config{Mechanism: Event, Scenario: Local()}); err == nil {
+		t.Error("empty payload accepted")
+	}
+	c.Close()
+	if len(c.sessions) != 0 {
+		t.Error("Close left sessions behind")
+	}
+}
+
+// BenchmarkSessionTrials measures one steady-state session trial — the
+// batched sweep-cell unit BENCH_PR5.json tracks (trial_allocs_steady_state
+// must stay 0). Compare with BenchmarkTransmission, the one-shot unit.
+func BenchmarkSessionTrials(b *testing.B) {
+	s, err := NewSession(BenchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(runner.TrialSeed(1, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

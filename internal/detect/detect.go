@@ -164,10 +164,18 @@ func scoreSeries(res string, times []sim.Time) Score {
 		s.Bimodality = (mHi - mLo) / pooled
 	}
 	// Combine: channels are fast and metronomic (a handful of exact
-	// spacings); bimodality corroborates.
-	rateTerm := math.Min(s.RatePerSec/5000, 1)
+	// spacings); bimodality corroborates. The rate term saturates at
+	// 7000/s — above every benign lock workload we model (heaviest ≈
+	// 4500/s) yet at or below every traced channel's per-symbol event rate
+	// (the slowest, WriteSync's fsync stream, runs ≈ 7500/s) — and carries
+	// 0.30 of the weight, so a mechanism whose interval spectrum is
+	// comparatively diffuse (futex's lock/unlock pairs on both sides
+	// interleave four spacings) still clears the flag threshold on its
+	// rate discipline. Calibration is pinned by detect's threshold tests
+	// and the cross-mechanism audit in channels_test.go.
+	rateTerm := math.Min(s.RatePerSec/7000, 1)
 	bimodTerm := math.Min(s.Bimodality/8, 1)
-	s.Suspicion = 0.20*rateTerm + 0.65*math.Max(0, (s.Concentration-0.20)/0.80) + 0.15*bimodTerm
+	s.Suspicion = 0.30*rateTerm + 0.55*math.Max(0, (s.Concentration-0.20)/0.80) + 0.15*bimodTerm
 	if s.Suspicion > 1 {
 		s.Suspicion = 1
 	}

@@ -42,16 +42,17 @@ func Fairness(opt Options) (*FairnessResult, error) {
 			DisableInterBitSync: true,
 		},
 	}
-	outs, err := runAll(opt, modes, func(cfg core.Config) (outcome, error) {
-		r, err := core.Run(cfg)
-		if err != nil {
-			if cfg.UnfairCompetition {
-				return outcome{dead: true, errMsg: err.Error()}, nil
+	outs, err := runTrials(opt, modes,
+		func(cfg core.Config) core.Config { return cfg },
+		func(cfg core.Config, r *core.Result, err error) (outcome, error) {
+			if err != nil {
+				if cfg.UnfairCompetition {
+					return outcome{dead: true, errMsg: err.Error()}, nil
+				}
+				return outcome{}, err
 			}
-			return outcome{}, err
-		}
-		return outcome{berPct: r.BER * 100, tr: r.TRKbps}, nil
-	})
+			return outcome{berPct: r.BER * 100, tr: r.TRKbps}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -108,16 +109,17 @@ func InterSync(opt Options) (*InterSyncResult, error) {
 			DisableInterBitSync: true,
 		},
 	}
-	outs, err := runAll(opt, variants, func(cfg core.Config) (outcome, error) {
-		r, err := core.Run(cfg)
-		if err != nil {
-			if cfg.DisableInterBitSync {
-				return outcome{berPct: 50, collapsed: true}, nil
+	outs, err := runTrials(opt, variants,
+		func(cfg core.Config) core.Config { return cfg },
+		func(cfg core.Config, r *core.Result, err error) (outcome, error) {
+			if err != nil {
+				if cfg.DisableInterBitSync {
+					return outcome{berPct: 50, collapsed: true}, nil
+				}
+				return outcome{}, err
 			}
-			return outcome{}, err
-		}
-		return outcome{berPct: r.BER * 100}, nil
-	})
+			return outcome{berPct: r.BER * 100}, nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -40,27 +40,30 @@ func CrossMech(opt Options) ([]CrossMechRow, error) {
 			}
 		}
 	}
-	return runAll(opt, trials, func(tr trial) (CrossMechRow, error) {
-		res, err := core.Run(core.Config{
-			Mechanism: tr.m,
-			Scenario:  tr.scn,
-			Payload:   payload,
-			Seed:      opt.seed(),
+	return runTrials(opt, trials,
+		func(tr trial) core.Config {
+			return core.Config{
+				Mechanism: tr.m,
+				Scenario:  tr.scn,
+				Payload:   payload,
+				Seed:      opt.seed(),
+			}
+		},
+		func(tr trial, res *core.Result, err error) (CrossMechRow, error) {
+			if err != nil {
+				return CrossMechRow{}, fmt.Errorf("%v/%v: %w", tr.m, tr.scn, err)
+			}
+			return CrossMechRow{
+				Mechanism: tr.m,
+				Kind:      tr.m.Kind(),
+				OS:        tr.m.OS().String(),
+				Scenario:  tr.scn,
+				Timeset:   res.Params.String(),
+				BERPct:    res.BER * 100,
+				TRKbps:    res.TRKbps,
+				Extension: !tr.m.Paper(),
+			}, nil
 		})
-		if err != nil {
-			return CrossMechRow{}, fmt.Errorf("%v/%v: %w", tr.m, tr.scn, err)
-		}
-		return CrossMechRow{
-			Mechanism: tr.m,
-			Kind:      tr.m.Kind(),
-			OS:        tr.m.OS().String(),
-			Scenario:  tr.scn,
-			Timeset:   res.Params.String(),
-			BERPct:    res.BER * 100,
-			TRKbps:    res.TRKbps,
-			Extension: !tr.m.Paper(),
-		}, nil
-	})
 }
 
 // RenderCrossMech prints the family matrix; extension mechanisms are

@@ -48,13 +48,14 @@ func fig10Grid(opt Options) []fig10Trial {
 // curve — high below 160µs for resolution reasons, low in [160,220], and
 // rising past ~220µs as blocking makes the Spy read short times).
 func Fig10(opt Options) ([]Fig10Point, error) {
-	return runAll(opt, fig10Grid(opt), func(t fig10Trial) (Fig10Point, error) {
-		res, err := core.Run(t.cfg)
-		if err != nil {
-			return Fig10Point{}, fmt.Errorf("fig10 tt1=%g: %w", t.tt1, err)
-		}
-		return Fig10Point{TT1us: t.tt1, BERPct: res.BER * 100, TRKbps: res.TRKbps}, nil
-	})
+	return runTrials(opt, fig10Grid(opt),
+		func(t fig10Trial) core.Config { return t.cfg },
+		func(t fig10Trial, res *core.Result, err error) (Fig10Point, error) {
+			if err != nil {
+				return Fig10Point{}, fmt.Errorf("fig10 tt1=%g: %w", t.tt1, err)
+			}
+			return Fig10Point{TT1us: t.tt1, BERPct: res.BER * 100, TRKbps: res.TRKbps}, nil
+		})
 }
 
 // RenderFig10 draws the figure and table.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 
 	"mes/internal/codec"
 	"mes/internal/core"
@@ -37,31 +38,41 @@ func Fig11(opt Options) (*Fig11Result, error) {
 	par.TI = sim.Micro(50) // levels 15, 65, 115, 165µs (paper §VI)
 	par.BitsPerSymbol = 2
 	// A one-cell grid: fig11 is a single transmission, but routing it
-	// through runAll gives it the same cancellation semantics as the sweeps.
-	runs, err := runAll(opt, []core.Config{{
+	// through runTrials gives it the same cancellation and session
+	// semantics as the sweeps.
+	runs, err := runTrials(opt, []core.Config{{
 		Mechanism: core.Event,
 		Scenario:  core.Local(),
 		Payload:   bits,
 		Params:    par,
 		Seed:      opt.seed(),
-	}}, core.Run)
+	}},
+		func(c core.Config) core.Config { return c },
+		func(_ core.Config, res *core.Result, err error) (*Fig11Result, error) {
+			if err != nil {
+				return nil, err
+			}
+			// SentSyms is immutable and safe to keep; the decoded symbols
+			// and latencies borrow session buffers and are cloned.
+			sent := res.SentSyms[len(res.SentSyms)-len(res.DecodedSyms):]
+			return &Fig11Result{
+				Symbols:   sent,
+				Latencies: slices.Clone(payloadLatencies(res)),
+				Decoded:   slices.Clone(res.DecodedSyms),
+			}, nil
+		})
 	if err != nil {
 		return nil, fmt.Errorf("fig11: %w", err)
 	}
 	res := runs[0]
-	sent := res.SentSyms[len(res.SentSyms)-len(res.DecodedSyms):]
 	errs := 0
-	for i := range sent {
-		if sent[i] != res.DecodedSyms[i] {
+	for i := range res.Symbols {
+		if res.Symbols[i] != res.Decoded[i] {
 			errs++
 		}
 	}
-	return &Fig11Result{
-		Symbols:   sent,
-		Latencies: payloadLatencies(res),
-		SERPct:    float64(errs) / float64(len(sent)) * 100,
-		Decoded:   res.DecodedSyms,
-	}, nil
+	res.SERPct = float64(errs) / float64(len(res.Symbols)) * 100
+	return res, nil
 }
 
 // LevelsObserved reports how many distinct symbol levels appear in the

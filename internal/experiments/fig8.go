@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 
 	"mes/internal/codec"
 	"mes/internal/core"
@@ -51,13 +52,16 @@ func Fig8(opt Options) (*Fig8Result, error) {
 			Noiseless: true,
 		},
 	}
-	lats, err := runAll(opt, panels, func(cfg core.Config) ([]sim.Duration, error) {
-		run, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %v: %w", cfg.Mechanism, err)
-		}
-		return payloadLatencies(run), nil
-	})
+	lats, err := runTrials(opt, panels,
+		func(cfg core.Config) core.Config { return cfg },
+		func(cfg core.Config, res *core.Result, err error) ([]sim.Duration, error) {
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %v: %w", cfg.Mechanism, err)
+			}
+			// The session's latency buffer is borrowed; the figure keeps a
+			// copy.
+			return slices.Clone(payloadLatencies(res)), nil
+		})
 	if err != nil {
 		return nil, err
 	}

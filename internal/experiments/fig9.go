@@ -51,20 +51,22 @@ func fig9Grid(opt Options) []fig9Trial {
 }
 
 // Fig9 sweeps the Event channel's timing parameters (paper Fig. 9(a) BER
-// and Fig. 9(b) TR).
+// and Fig. 9(b) TR). All 42 cells share one channel substrate, so a
+// worker's cells replay on one pinned trial session.
 func Fig9(opt Options) ([]Fig9Point, error) {
-	return runAll(opt, fig9Grid(opt), func(t fig9Trial) (Fig9Point, error) {
-		res, err := core.Run(t.cfg)
-		if err != nil {
-			return Fig9Point{}, fmt.Errorf("fig9 tw0=%g ti=%g: %w", t.tw0, t.ti, err)
-		}
-		return Fig9Point{
-			TW0us:  t.tw0,
-			TIus:   t.ti,
-			BERPct: res.BER * 100,
-			TRKbps: res.TRKbps,
-		}, nil
-	})
+	return runTrials(opt, fig9Grid(opt),
+		func(t fig9Trial) core.Config { return t.cfg },
+		func(t fig9Trial, res *core.Result, err error) (Fig9Point, error) {
+			if err != nil {
+				return Fig9Point{}, fmt.Errorf("fig9 tw0=%g ti=%g: %w", t.tw0, t.ti, err)
+			}
+			return Fig9Point{
+				TW0us:  t.tw0,
+				TIus:   t.ti,
+				BERPct: res.BER * 100,
+				TRKbps: res.TRKbps,
+			}, nil
+		})
 }
 
 // RenderFig9 draws both panels and the underlying table.

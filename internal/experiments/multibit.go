@@ -43,18 +43,19 @@ func MultiBit(opt Options) ([]MultiBitRow, error) {
 			Seed:      opt.seed(),
 		}})
 	}
-	return runAll(opt, trials, func(t multiBitTrial) (MultiBitRow, error) {
-		res, err := core.Run(t.cfg)
-		if err != nil {
-			return MultiBitRow{}, fmt.Errorf("multibit bps=%d: %w", t.bps, err)
-		}
-		return MultiBitRow{
-			BitsPerSymbol: t.bps,
-			Levels:        t.cfg.Params.M(),
-			TRKbps:        res.TRKbps,
-			BERPct:        res.BER * 100,
-		}, nil
-	})
+	return runTrials(opt, trials,
+		func(t multiBitTrial) core.Config { return t.cfg },
+		func(t multiBitTrial, res *core.Result, err error) (MultiBitRow, error) {
+			if err != nil {
+				return MultiBitRow{}, fmt.Errorf("multibit bps=%d: %w", t.bps, err)
+			}
+			return MultiBitRow{
+				BitsPerSymbol: t.bps,
+				Levels:        t.cfg.Params.M(),
+				TRKbps:        res.TRKbps,
+				BERPct:        res.BER * 100,
+			}, nil
+		})
 }
 
 // RenderMultiBit prints the §VI comparison.

@@ -1,10 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§V–§VI) plus the ablations DESIGN.md calls out. Each
 // generator declares its parameter grid as a slice of trial configs and
-// fans out through internal/runner's worker pool; generators return typed
-// rows and can render themselves via internal/report. cmd/mesbench drives
-// them by name through the Registry, which memoizes sweeps shared by
-// several registry entries (fig9a/fig9b, table2/table3).
+// fans out through internal/runner's worker pool; transmission grids run
+// through worker-affine trial sessions (runTrials: each worker pins one
+// warmed simulated machine per channel substrate, core.SessionCache) with
+// a cross-sweep memo for cells several experiments share. Generators
+// return typed rows and can render themselves via internal/report.
+// cmd/mesbench drives them by name through the Registry, which memoizes
+// sweeps shared by several registry entries (fig9a/fig9b, table2/table3).
 package experiments
 
 import (

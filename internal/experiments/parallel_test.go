@@ -64,12 +64,12 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 // cache's compute hook: fig9a then fig9b must run the Fig. 9 sweep exactly
 // once, and table2 then table3 must replay SemTables exactly once.
 func TestRegistryCachesSharedSweeps(t *testing.T) {
-	sweeps.Reset()
+	resetSweepCaches()
 	counts := map[string]int{}
 	sweeps.SetComputeHook(func(key string) { counts[key[:strings.Index(key, "-")]]++ })
 	defer func() {
 		sweeps.SetComputeHook(nil)
-		sweeps.Reset()
+		resetSweepCaches()
 	}()
 
 	opt := Options{Quick: true, Seed: 11}
@@ -108,24 +108,28 @@ func TestRegistryCachesSharedSweeps(t *testing.T) {
 }
 
 // TestRegistryDeterministicAcrossPoolingAndWorkers is the pooled-kernel
-// contract at the registry level: the full registry renders byte-identical
-// output whether sweep cells run on one worker or eight, and whether each
-// transmission builds a fresh simulated machine or recycles one from the
-// pool (core.SetSystemReuse). The sweep cache is reset between renderings
-// so every configuration really recomputes.
+// and trial-session contract at the registry level: the full registry
+// renders byte-identical output whether sweep cells run on one worker or
+// eight, whether each transmission builds a fresh simulated machine or
+// recycles one from the pool (core.SetSystemReuse), and whether cells run
+// through worker-affine trial sessions or the one-shot Run path
+// (core.SetTrialSessions) — the full 2×2×2 cube. The sweep cache is reset
+// between renderings so every configuration really recomputes.
 func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry sweep in -short mode")
 	}
-	render := func(reuse bool, workers int) string {
+	render := func(reuse, sessions bool, workers int) string {
 		core.SetSystemReuse(reuse)
+		core.SetTrialSessions(sessions)
 		defer core.SetSystemReuse(true)
-		sweeps.Reset()
+		defer core.SetTrialSessions(true)
+		resetSweepCaches()
 		var b strings.Builder
 		for _, e := range Registry() {
 			out, err := e.Run(Options{Quick: true, Seed: 9, Workers: workers})
 			if err != nil {
-				t.Fatalf("%s (reuse=%v workers=%d): %v", e.Name, reuse, workers, err)
+				t.Fatalf("%s (reuse=%v sessions=%v workers=%d): %v", e.Name, reuse, sessions, workers, err)
 			}
 			b.WriteString(e.Name)
 			b.WriteByte('\n')
@@ -133,7 +137,7 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		}
 		return b.String()
 	}
-	base := render(false, 1)
+	base := render(false, false, 1)
 	// The registry sweep must include the crossmech extension experiment —
 	// the determinism contract covers the full mechanism family, not just
 	// the paper's six.
@@ -141,11 +145,17 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		t.Error("registry rendering is missing the crossmech family sweep")
 	}
 	for _, c := range []struct {
-		reuse   bool
-		workers int
-	}{{true, 1}, {false, 8}, {true, 8}} {
-		if got := render(c.reuse, c.workers); got != base {
-			t.Errorf("registry output diverged with reuse=%v workers=%d", c.reuse, c.workers)
+		reuse    bool
+		sessions bool
+		workers  int
+	}{
+		{false, false, 8},
+		{false, true, 1}, {false, true, 8},
+		{true, false, 1}, {true, false, 8},
+		{true, true, 1}, {true, true, 8},
+	} {
+		if got := render(c.reuse, c.sessions, c.workers); got != base {
+			t.Errorf("registry output diverged with reuse=%v sessions=%v workers=%d", c.reuse, c.sessions, c.workers)
 		}
 	}
 }

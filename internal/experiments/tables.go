@@ -61,26 +61,29 @@ func scenarioTable(opt Options, scn core.Scenario) ([]TableRow, error) {
 			mechs = append(mechs, m)
 		}
 	}
-	return runAll(opt, mechs, func(m core.Mechanism) (TableRow, error) {
-		res, err := core.Run(core.Config{
-			Mechanism: m,
-			Scenario:  scn,
-			Payload:   payload,
-			Seed:      opt.seed(),
+	return runTrials(opt, mechs,
+		func(m core.Mechanism) core.Config {
+			return core.Config{
+				Mechanism: m,
+				Scenario:  scn,
+				Payload:   payload,
+				Seed:      opt.seed(),
+			}
+		},
+		func(m core.Mechanism, res *core.Result, err error) (TableRow, error) {
+			if err != nil {
+				return TableRow{}, fmt.Errorf("%v/%v: %w", m, scn, err)
+			}
+			paper := paperTable[scn.Isolation][m]
+			return TableRow{
+				Mechanism: m,
+				Timeset:   res.Params.String(),
+				BERPct:    res.BER * 100,
+				TRKbps:    res.TRKbps,
+				PaperBER:  paper[0],
+				PaperTR:   paper[1],
+			}, nil
 		})
-		if err != nil {
-			return TableRow{}, fmt.Errorf("%v/%v: %w", m, scn, err)
-		}
-		paper := paperTable[scn.Isolation][m]
-		return TableRow{
-			Mechanism: m,
-			Timeset:   res.Params.String(),
-			BERPct:    res.BER * 100,
-			TRKbps:    res.TRKbps,
-			PaperBER:  paper[0],
-			PaperTR:   paper[1],
-		}, nil
-	})
 }
 
 // Table4 reproduces the local-scenario performance table.

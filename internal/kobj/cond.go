@@ -17,6 +17,13 @@ func NewCond(name string) *Cond {
 	return &Cond{name: name}
 }
 
+// Reinit returns a retired condition variable to the state NewCond(name)
+// would build, retaining queue capacity.
+func (c *Cond) Reinit(name string) {
+	c.name = name
+	c.q.reset()
+}
+
 // Name returns the object name.
 func (c *Cond) Name() string { return c.name }
 

@@ -31,6 +31,15 @@ func NewEvent(name string, mode ResetMode, initiallySignalled bool) *Event {
 	return &Event{name: name, mode: mode, signalled: initiallySignalled}
 }
 
+// Reinit returns a retired event structure to the state
+// NewEvent(name, mode, initiallySignalled) would build, retaining the wait
+// queue's capacity. Recycled simulated machines use it so per-trial object
+// creation allocates nothing (see Namespace.Retire).
+func (e *Event) Reinit(name string, mode ResetMode, initiallySignalled bool) {
+	e.name, e.mode, e.signalled = name, mode, initiallySignalled
+	e.q.reset()
+}
+
 // Name returns the object name.
 func (e *Event) Name() string { return e.name }
 

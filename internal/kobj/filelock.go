@@ -37,6 +37,19 @@ func NewFileObject(name, path string, readOnly bool) *FileObject {
 	}
 }
 
+// Reinit returns a retired file object to the state
+// NewFileObject(name, path, readOnly) would build, retaining the holder
+// map and queue capacity.
+func (f *FileObject) Reinit(name, path string, readOnly bool) {
+	f.name, f.backingPath, f.readOnly = name, path, readOnly
+	f.exclusive = nil
+	clear(f.shared)
+	for i := range f.q {
+		f.q[i] = fileWaiter{}
+	}
+	f.q = f.q[:0]
+}
+
 // Name returns the object name.
 func (f *FileObject) Name() string { return f.name }
 

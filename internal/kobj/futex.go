@@ -22,6 +22,13 @@ func NewFutex(name string) *Futex {
 	return &Futex{name: name}
 }
 
+// Reinit returns a retired futex structure to the state NewFutex(name)
+// would build, retaining queue capacity.
+func (f *Futex) Reinit(name string) {
+	f.name, f.word = name, 0
+	f.q.reset()
+}
+
 // Name returns the object name (the shared-memory address stands in for
 // it in the real attack; the namespace key models the shared mapping).
 func (f *Futex) Name() string { return f.name }

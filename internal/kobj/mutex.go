@@ -23,6 +23,17 @@ func NewMutex(name string, initialOwner Waiter) *Mutex {
 	return m
 }
 
+// Reinit returns a retired mutex structure to the state
+// NewMutex(name, initialOwner) would build, retaining queue capacity.
+func (m *Mutex) Reinit(name string, initialOwner Waiter) {
+	m.name, m.owner, m.recursion = name, nil, 0
+	if initialOwner != nil {
+		m.owner = initialOwner
+		m.recursion = 1
+	}
+	m.q.reset()
+}
+
 // Name returns the object name.
 func (m *Mutex) Name() string { return m.name }
 

@@ -2,6 +2,11 @@ package kobj
 
 import "sort"
 
+// retiredCap bounds how many retired structures a namespace keeps per
+// object type. A covert-channel trial creates one or two objects, so the
+// working set is tiny; anything beyond the cap is surplus and dropped.
+const retiredCap = 4
+
 // Namespace is a named-object directory. The Windows object manager keeps
 // one per session; in the cross-VM scenario each VM has its own namespace
 // while file-backed objects additionally register in the hypervisor-shared
@@ -9,6 +14,10 @@ import "sort"
 type Namespace struct {
 	name    string
 	objects map[string]Object
+	// retired recycles object structures across trials on pooled simulated
+	// machines: Retire moves the directory's contents here, and the OS
+	// layer's create paths TakeRetired + Reinit instead of allocating.
+	retired map[Type][]Object
 }
 
 // NewNamespace creates an empty namespace.
@@ -19,23 +28,73 @@ func NewNamespace(name string) *Namespace {
 // Name returns the namespace label.
 func (ns *Namespace) Name() string { return ns.name }
 
+// SetName relabels the namespace (recycled VM-session namespaces).
+func (ns *Namespace) SetName(name string) { ns.name = name }
+
 // Reset empties the namespace in place, retaining the map's capacity.
-// Pooled simulated machines use it between trials.
-func (ns *Namespace) Reset() { clear(ns.objects) }
+// Retired structures are dropped too: a Reset namespace holds nothing.
+func (ns *Namespace) Reset() {
+	clear(ns.objects)
+	clear(ns.retired)
+}
+
+// Retire empties the directory like Reset but keeps the evicted structures
+// in a per-type free pool, so the next trial's creates reuse them (via
+// TakeRetired + the concrete types' Reinit) instead of allocating. The
+// namespace is semantically indistinguishable from a fresh one afterwards:
+// lookups miss and creates report created=true, exactly as on first use.
+func (ns *Namespace) Retire() {
+	for name, obj := range ns.objects {
+		if ns.retired == nil {
+			ns.retired = make(map[Type][]Object)
+		}
+		if pool := ns.retired[obj.Type()]; len(pool) < retiredCap {
+			ns.retired[obj.Type()] = append(pool, obj)
+		}
+		delete(ns.objects, name)
+	}
+}
+
+// TakeRetired pops a retired structure of the given type, if one is
+// available. The caller must Reinit it before registering it.
+func (ns *Namespace) TakeRetired(typ Type) (Object, bool) {
+	pool := ns.retired[typ]
+	if n := len(pool); n > 0 {
+		obj := pool[n-1]
+		pool[n-1] = nil
+		ns.retired[typ] = pool[:n-1]
+		return obj, true
+	}
+	return nil, false
+}
+
+// Insert registers obj under its name unconditionally. Callers must have
+// verified with Get that the name is free; Create wraps both steps for
+// callers that build the candidate object up front, while the OS layer's
+// allocation-free create path (which must not construct a candidate when
+// the name exists or a retired structure can be reused) composes
+// Get/TakeRetired/Insert directly.
+func (ns *Namespace) Insert(obj Object) { ns.objects[obj.Name()] = obj }
 
 // Create registers obj under its name. If an object with the same name and
 // type already exists, it is returned with created=false (CreateEvent/
 // CreateMutex open-existing semantics). A name collision across types
 // fails with ErrNameConflict.
 func (ns *Namespace) Create(obj Object) (Object, bool, error) {
-	if existing, ok := ns.objects[obj.Name()]; ok {
+	if existing, ok := ns.Get(obj.Name()); ok {
 		if existing.Type() != obj.Type() {
 			return nil, false, ErrNameConflict
 		}
 		return existing, false, nil
 	}
-	ns.objects[obj.Name()] = obj
+	ns.Insert(obj)
 	return obj, true, nil
+}
+
+// Get looks up an existing object by name regardless of type.
+func (ns *Namespace) Get(name string) (Object, bool) {
+	obj, ok := ns.objects[name]
+	return obj, ok
 }
 
 // Open looks up an existing object by name and type.
@@ -72,47 +131,57 @@ type Handle int
 const InvalidHandle Handle = 0
 
 // HandleTable is a process's handle table. Entries map handles to kernel
-// objects; user code never touches objects directly.
+// objects; user code never touches objects directly. The table is a dense
+// slice — handle values are sequential multiples of 4, so resolution is an
+// index computation instead of a map lookup (handle resolution sits on
+// every covert-channel syscall).
 type HandleTable struct {
-	next    Handle
-	entries map[Handle]Object
+	entries []Object // index (h-4)/4; nil marks a closed handle
+	open    int
 }
 
 // NewHandleTable creates an empty handle table. Handles start at 4 and
-// step by 4, like Windows.
+// step by 4, like Windows; closed handles are never reused.
 func NewHandleTable() *HandleTable {
-	return &HandleTable{next: 4, entries: make(map[Handle]Object)}
+	return &HandleTable{}
 }
 
 // Reset empties the table in place and restarts handle numbering, as if
 // the owning process were freshly created.
 func (ht *HandleTable) Reset() {
-	ht.next = 4
-	clear(ht.entries)
+	for i := range ht.entries {
+		ht.entries[i] = nil
+	}
+	ht.entries = ht.entries[:0]
+	ht.open = 0
 }
 
 // Insert allocates a handle for obj.
 func (ht *HandleTable) Insert(obj Object) Handle {
-	h := ht.next
-	ht.next += 4
-	ht.entries[h] = obj
-	return h
+	ht.entries = append(ht.entries, obj)
+	ht.open++
+	return Handle(4 * len(ht.entries))
 }
 
 // Get resolves a handle.
 func (ht *HandleTable) Get(h Handle) (Object, bool) {
-	obj, ok := ht.entries[h]
-	return obj, ok
+	i := int(h)/4 - 1
+	if h%4 != 0 || i < 0 || i >= len(ht.entries) || ht.entries[i] == nil {
+		return nil, false
+	}
+	return ht.entries[i], true
 }
 
 // Close releases a handle. It reports whether the handle existed.
 func (ht *HandleTable) Close(h Handle) bool {
-	if _, ok := ht.entries[h]; !ok {
+	i := int(h)/4 - 1
+	if h%4 != 0 || i < 0 || i >= len(ht.entries) || ht.entries[i] == nil {
 		return false
 	}
-	delete(ht.entries, h)
+	ht.entries[i] = nil
+	ht.open--
 	return true
 }
 
 // Len reports the number of open handles.
-func (ht *HandleTable) Len() int { return len(ht.entries) }
+func (ht *HandleTable) Len() int { return ht.open }

@@ -128,6 +128,15 @@ func (q *waitQueue) wakeN(n int) []Waiter {
 
 func (q *waitQueue) len() int { return len(q.items) }
 
+// reset empties the queue in place, retaining both buffers' capacity, as
+// part of returning an object to its freshly constructed state (Reinit).
+func (q *waitQueue) reset() {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+}
+
 func (q *waitQueue) push(w Waiter) {
 	if q.items == nil {
 		q.items = q.itemsBuf[:0]

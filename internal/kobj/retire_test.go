@@ -1,0 +1,212 @@
+package kobj
+
+import "testing"
+
+type retireWaiter string
+
+func (w retireWaiter) WaiterName() string { return string(w) }
+
+// dirtyAll puts every object kind into a visibly non-fresh state: signal
+// latched or lock held, plus a queued waiter.
+func dirtyObject(t *testing.T, obj Object) {
+	t.Helper()
+	w := retireWaiter("holder")
+	switch o := obj.(type) {
+	case *Event:
+		o.Set()
+	case *Mutex:
+		if !o.TryWait(w) {
+			t.Fatal("mutex acquire failed")
+		}
+	case *Semaphore:
+		if !o.TryWait(w) {
+			t.Fatal("semaphore P failed")
+		}
+	case *Timer:
+		o.Fire(o.Arm())
+	case *FileObject:
+		if !o.TryLock(w, true) {
+			t.Fatal("file lock failed")
+		}
+	case *Futex:
+		if !o.TryWait(w) {
+			t.Fatal("futex acquire failed")
+		}
+	case *Cond:
+		// stateless: the queued waiter below is the only state
+	}
+	obj.Enqueue(retireWaiter("queued"))
+}
+
+// TestRetireReinitRoundTrip is the recycled-object contract behind pooled
+// machines: an object retired from a namespace and reinitialized must be
+// indistinguishable from a freshly constructed one — name included, so a
+// structure can be recycled across trials that use different object names.
+func TestRetireReinitRoundTrip(t *testing.T) {
+	fresh := []Object{
+		NewEvent("e", AutoReset, false),
+		NewMutex("m", nil),
+		NewSemaphore("s", 1, 1),
+		NewTimer("t", AutoReset),
+		NewFileObject("f", "/host/f.txt", true),
+		NewFutex("fx"),
+		NewCond("c"),
+	}
+	ns := NewNamespace("trial")
+	for _, obj := range fresh {
+		dirtyObject(t, obj)
+		if _, created, err := ns.Create(obj); err != nil || !created {
+			t.Fatalf("create %v: created=%v err=%v", obj.Name(), created, err)
+		}
+	}
+	ns.Retire()
+	if ns.Len() != 0 {
+		t.Fatalf("retired namespace still lists %d objects", ns.Len())
+	}
+	if _, ok := ns.Get("e"); ok {
+		t.Fatal("retired namespace still resolves an object by name")
+	}
+
+	for _, want := range fresh {
+		r, ok := ns.TakeRetired(want.Type())
+		if !ok {
+			t.Fatalf("no retired %v structure", want.Type())
+		}
+		name2 := want.Name() + "2"
+		switch o := r.(type) {
+		case *Event:
+			o.Reinit(name2, AutoReset, false)
+			if o.Signalled() {
+				t.Error("reinit event still signalled")
+			}
+		case *Mutex:
+			o.Reinit(name2, nil)
+			if o.Owner() != nil || o.Recursion() != 0 {
+				t.Error("reinit mutex still owned")
+			}
+		case *Semaphore:
+			o.Reinit(name2, 1, 1)
+			if o.Count() != 1 || o.Max() != 1 {
+				t.Errorf("reinit semaphore count=%d max=%d", o.Count(), o.Max())
+			}
+		case *Timer:
+			o.Reinit(name2, AutoReset)
+			if o.Signalled() || o.Generation() != 0 {
+				t.Error("reinit timer not in fresh state")
+			}
+		case *FileObject:
+			o.Reinit(name2, "/host/f2.txt", true)
+			if o.ExclusiveHolder() != nil || o.SharedHolders() != 0 {
+				t.Error("reinit file object still locked")
+			}
+			if o.BackingPath() != "/host/f2.txt" {
+				t.Errorf("reinit path %q", o.BackingPath())
+			}
+		case *Futex:
+			o.Reinit(name2)
+			if o.Word() != 0 {
+				t.Error("reinit futex word not cleared")
+			}
+		case *Cond:
+			o.Reinit(name2)
+		}
+		if r.Name() != name2 {
+			t.Errorf("%v: reinit name %q, want %q", want.Type(), r.Name(), name2)
+		}
+		if r.WaiterCount() != 0 {
+			t.Errorf("%v: reinit left %d queued waiters", want.Type(), r.WaiterCount())
+		}
+		// Reinit mutex with an initial owner: the one construction variant
+		// with extra state.
+		if m, isMutex := r.(*Mutex); isMutex {
+			w := retireWaiter("initial")
+			m.Reinit("owned", w)
+			if m.Owner() != w || m.Recursion() != 1 {
+				t.Error("mutex Reinit dropped the initial owner")
+			}
+		}
+		ns.Insert(r)
+	}
+
+	// The pool is drained; further takes miss, and Reset drops both the
+	// directory and any re-retired structures.
+	if _, ok := ns.TakeRetired(TypeEvent); ok {
+		t.Error("TakeRetired served from an empty pool")
+	}
+	ns.Retire()
+	ns.Reset()
+	if _, ok := ns.TakeRetired(TypeEvent); ok {
+		t.Error("Reset kept retired structures")
+	}
+}
+
+// TestRetireCapBounds: retiring more objects of one type than the pool cap
+// drops the surplus instead of growing without bound.
+func TestRetireCapBounds(t *testing.T) {
+	ns := NewNamespace("cap")
+	for i := 0; i < retiredCap+3; i++ {
+		ns.Create(NewCond(string(rune('a' + i))))
+	}
+	ns.Retire()
+	taken := 0
+	for {
+		if _, ok := ns.TakeRetired(TypeCond); !ok {
+			break
+		}
+		taken++
+	}
+	if taken != retiredCap {
+		t.Fatalf("retired pool held %d structures, want the cap %d", taken, retiredCap)
+	}
+}
+
+// TestNamespaceSetName covers the recycled-VM-namespace relabel.
+func TestNamespaceSetName(t *testing.T) {
+	ns := NewNamespace("vm1")
+	ns.SetName("vm2")
+	if ns.Name() != "vm2" {
+		t.Fatalf("name %q", ns.Name())
+	}
+}
+
+// TestHandleTableDense pins the slice-backed handle table's contract:
+// sequential multiples of four, no reuse after Close, and rejection of
+// malformed handle values.
+func TestHandleTableDense(t *testing.T) {
+	ht := NewHandleTable()
+	a := ht.Insert(NewCond("a"))
+	b := ht.Insert(NewCond("b"))
+	if a != 4 || b != 8 {
+		t.Fatalf("handles %d,%d, want 4,8", a, b)
+	}
+	if obj, ok := ht.Get(a); !ok || obj.Name() != "a" {
+		t.Fatal("Get(a) failed")
+	}
+	for _, bad := range []Handle{0, 2, 5, 12, -4} {
+		if _, ok := ht.Get(bad); ok {
+			t.Errorf("Get(%d) resolved", bad)
+		}
+		if bad != a && ht.Close(bad) {
+			t.Errorf("Close(%d) succeeded", bad)
+		}
+	}
+	if !ht.Close(a) || ht.Close(a) {
+		t.Fatal("Close(a) must succeed exactly once")
+	}
+	if _, ok := ht.Get(a); ok {
+		t.Fatal("closed handle resolved")
+	}
+	if ht.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ht.Len())
+	}
+	if c := ht.Insert(NewCond("c")); c != 12 {
+		t.Fatalf("closed handles must not be reused: got %d, want 12", c)
+	}
+	ht.Reset()
+	if ht.Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	if d := ht.Insert(NewCond("d")); d != 4 {
+		t.Fatalf("post-Reset numbering restarts at 4, got %d", d)
+	}
+}

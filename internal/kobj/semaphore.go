@@ -20,6 +20,16 @@ func NewSemaphore(name string, initial, max int) *Semaphore {
 	return &Semaphore{name: name, count: initial, max: max}
 }
 
+// Reinit returns a retired semaphore structure to the state
+// NewSemaphore(name, initial, max) would build, retaining queue capacity.
+func (s *Semaphore) Reinit(name string, initial, max int) {
+	if initial < 0 {
+		initial = 0
+	}
+	s.name, s.count, s.max = name, initial, max
+	s.q.reset()
+}
+
 // Name returns the object name.
 func (s *Semaphore) Name() string { return s.name }
 

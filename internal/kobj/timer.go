@@ -18,6 +18,16 @@ func NewTimer(name string, mode ResetMode) *Timer {
 	return &Timer{name: name, mode: mode}
 }
 
+// Reinit returns a retired timer structure to the state
+// NewTimer(name, mode) would build: non-signalled, generation zero,
+// retaining queue capacity. Stale Fires scheduled by a previous trial are
+// discarded with the trial's event queue, so restarting the generation
+// cannot resurrect them.
+func (t *Timer) Reinit(name string, mode ResetMode) {
+	t.name, t.mode, t.signalled, t.generation = name, mode, false, 0
+	t.q.reset()
+}
+
 // Name returns the object name.
 func (t *Timer) Name() string { return t.name }
 

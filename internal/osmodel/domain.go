@@ -79,6 +79,13 @@ type Domain struct {
 	// sandbox, Hyper-V and KVM guests see the (relevant part of the) host
 	// FS.
 	fs *vfs.FS
+
+	// privNS/privFS cache the domain's session-private namespace and
+	// filesystem across recycles on a pooled machine (System.Reset retires
+	// non-host domains to a free list; AddVM reuses these instead of
+	// allocating fresh tables every trial).
+	privNS *kobj.Namespace
+	privFS *vfs.FS
 }
 
 // Name returns the domain label.

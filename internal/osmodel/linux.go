@@ -30,7 +30,12 @@ func (p *Proc) OpenFile(path string, write bool) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	return p.fds.Install(f), nil
+	fd := p.fds.Install(f)
+	// Cache the crossing bit for the per-op fast path (crossFd): the
+	// i-node's home domain is registered at creation, which precedes every
+	// open.
+	p.fdcross = append(p.fdcross, p.sys.inodeCrossing(p.dom, f.Inode()))
+	return fd, nil
 }
 
 // file resolves a descriptor.
@@ -53,7 +58,7 @@ func (p *Proc) Flock(fd int, kind vfs.LockKind, nonblock bool) error {
 	in := f.Inode()
 	if kind == vfs.LockNone {
 		p.exec(timing.OpUnlock)
-		p.crossInode(in)
+		p.crossFd(fd)
 		if p.sys.k.Tracing() {
 			p.sys.k.Tracef(p.sp, "flock", "UN %s", in.Path())
 		}
@@ -61,7 +66,7 @@ func (p *Proc) Flock(fd int, kind vfs.LockKind, nonblock bool) error {
 		return nil
 	}
 	p.exec(timing.OpLock)
-	p.crossInode(in)
+	p.crossFd(fd)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "flock", "%v %s", kind, in.Path())
 	}
@@ -97,7 +102,7 @@ func (p *Proc) WriteFile(fd int, pages int) error {
 	}
 	p.exec(timing.OpWrite)
 	in := f.Inode()
-	p.crossInode(in)
+	p.crossFd(fd)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "write", "%d %s", pages, in.Path())
 	}
@@ -118,7 +123,7 @@ func (p *Proc) Fsync(fd int) (int, error) {
 	}
 	p.exec(timing.OpFsync)
 	in := f.Inode()
-	p.crossInode(in)
+	p.crossFd(fd)
 	n := p.dom.fs.SyncJournal()
 	for i := 0; i < n; i++ {
 		p.exec(timing.OpPageFlush)

@@ -45,6 +45,15 @@ type Proc struct {
 	handles *kobj.HandleTable
 	fds     *vfs.FDTable
 
+	// hcross/fdcross cache, per handle and per descriptor, whether ops on
+	// the referenced object/file cross an isolation boundary. The bit is
+	// fixed at insert time (an object's home domain is registered when it
+	// is created, and creation precedes every open), so per-op charging
+	// indexes a slice instead of hashing an interface key into the home
+	// maps.
+	hcross  []bool
+	fdcross []bool
+
 	blocked    bool
 	blockStart sim.Time
 
@@ -107,18 +116,28 @@ func (p *Proc) exec(op timing.Op) {
 	}
 }
 
-// crossObj charges a crossing penalty if obj lives in another domain.
-func (p *Proc) crossObj(obj kobj.Object) {
-	if p.sys.crossingFor(p.dom, obj) {
+// insertHandle installs obj in the handle table, caching its
+// boundary-crossing bit for the per-op fast path (crossHandle).
+func (p *Proc) insertHandle(obj kobj.Object) kobj.Handle {
+	h := p.handles.Insert(obj)
+	p.hcross = append(p.hcross, p.sys.crossingFor(p.dom, obj))
+	return h
+}
+
+// crossHandle charges a crossing penalty if the object behind h lives in
+// another domain (cached bit; see insertHandle). h must have resolved.
+func (p *Proc) crossHandle(h kobj.Handle) {
+	if p.hcross[int(h)/4-1] {
 		if d := p.sys.prof.Cross(p.rng); d > 0 {
 			p.sp.Advance(d)
 		}
 	}
 }
 
-// crossInode charges a crossing penalty if in lives in another domain.
-func (p *Proc) crossInode(in *vfs.Inode) {
-	if p.sys.inodeCrossing(p.dom, in) {
+// crossFd charges a crossing penalty if the file behind fd lives in
+// another domain (cached bit; see OpenFile). fd must have resolved.
+func (p *Proc) crossFd(fd int) {
+	if p.fdcross[fd-3] {
 		if d := p.sys.prof.Cross(p.rng); d > 0 {
 			p.sp.Advance(d)
 		}
@@ -184,7 +203,7 @@ func (p *Proc) WaitForSingleObject(h kobj.Handle, timeout sim.Duration) (int, er
 	default:
 		p.exec(timing.OpWaitRegister)
 	}
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if obj.TryWait(p) {
 		return WaitObject0, nil
 	}

@@ -27,6 +27,14 @@ func NewRendezvous(sys *System) *Rendezvous {
 	return &Rendezvous{sys: sys}
 }
 
+// Init rebinds a (possibly embedded or recycled) rendezvous structure to
+// sys and clears its per-trial state — equivalent to NewRendezvous(sys)
+// without the allocation. Init with a nil sys detaches the structure so a
+// pooled owner does not pin the machine.
+func (r *Rendezvous) Init(sys *System) {
+	r.sys, r.waiting, r.rounds = sys, nil, 0
+}
+
 // ArriveLead synchronizes the leader side (the Trojan).
 func (r *Rendezvous) ArriveLead(p *Proc) { r.arrive(p, true) }
 

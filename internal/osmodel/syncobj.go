@@ -15,14 +15,22 @@ import (
 func (p *Proc) CreateFutex(name string) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, false)
-	obj, created, err := ns.Create(kobj.NewFutex(name))
+	obj, existed, err := createIn(ns, name, kobj.TypeFutex)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeFutex); ok {
+			f := r.(*kobj.Futex)
+			f.Reinit(name)
+			obj = f
+		} else {
+			obj = kobj.NewFutex(name)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenFutex opens an existing named futex (session-local in VMs: futex
@@ -33,7 +41,7 @@ func (p *Proc) OpenFutex(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // futexRewoken is the wake result delivered by a raw FutexWake, as
@@ -53,7 +61,7 @@ func (p *Proc) FutexLock(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpFutexWait)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "futex", "EX %s", obj.Name())
 	}
@@ -77,7 +85,7 @@ func (p *Proc) FutexUnlock(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpFutexWake)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "futex", "UN %s", obj.Name())
 	}
@@ -94,7 +102,7 @@ func (p *Proc) FutexWake(h kobj.Handle, n int) error {
 		return err
 	}
 	p.exec(timing.OpFutexWake)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "futex", "WAKE %s", obj.Name())
 	}
@@ -107,14 +115,22 @@ func (p *Proc) FutexWake(h kobj.Handle, n int) error {
 func (p *Proc) CreateCond(name string) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, false)
-	obj, created, err := ns.Create(kobj.NewCond(name))
+	obj, existed, err := createIn(ns, name, kobj.TypeCond)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeCond); ok {
+			c := r.(*kobj.Cond)
+			c.Reinit(name)
+			obj = c
+		} else {
+			obj = kobj.NewCond(name)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenCond opens an existing named condition variable (session-local in
@@ -125,7 +141,7 @@ func (p *Proc) OpenCond(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // CondWait blocks until the condition variable is signalled. There is no
@@ -138,7 +154,7 @@ func (p *Proc) CondWait(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpCondWait)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	obj.Enqueue(p)
 	p.park()
 	return nil
@@ -151,7 +167,7 @@ func (p *Proc) CondSignal(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpCondSignal)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "condsignal", "%s", obj.Name())
 	}
@@ -168,7 +184,7 @@ func (p *Proc) CondBroadcast(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpCondSignal)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "condsignal", "%s", obj.Name())
 	}

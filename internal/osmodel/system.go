@@ -37,10 +37,18 @@ type System struct {
 	procs []*Proc
 	free  []*Proc // finished procs available for reuse after Reset
 
+	// freeDomains recycles non-host Domain structures (and their private
+	// namespaces/filesystems, see Domain.privNS/privFS) across Resets.
+	freeDomains []*Domain
+
 	// convBuf is the reusable vfs→kobj waiter conversion buffer (wakeVFS is
 	// on the flock channel's per-bit path).
 	convBuf []kobj.Waiter
 }
+
+// freeDomainCap bounds the recycled-domain free list; trials use at most
+// two non-host domains (the two VM guests).
+const freeDomainCap = 4
 
 // NewSystem builds a machine with a host domain.
 func NewSystem(cfg Config) *System {
@@ -75,10 +83,15 @@ func NewSystem(cfg Config) *System {
 // Reset returns the machine to the state NewSystem(cfg) would build while
 // retaining allocated capacity: the kernel's event queue and process
 // structures, the host namespace, filesystem and domain tables, and this
-// system's own process structures are all reused in place. A reset system
-// replays exactly like a fresh one for equal configs. Reset must only be
-// called after Run has returned with every process finished (a pooled
-// system that deadlocked or was stopped must be discarded instead).
+// system's own process structures are all reused in place. Kernel objects,
+// i-nodes, open-file entries and non-host domains are not dropped but
+// retired to per-type free pools, so the next trial's creates reinitialize
+// recycled structures instead of allocating (the namespace/filesystem
+// still look exactly fresh: lookups miss, creates report created=true). A
+// reset system replays exactly like a fresh one for equal configs. Reset
+// must only be called after Run has returned with every process finished
+// (a pooled system that deadlocked or was stopped must be discarded
+// instead).
 func (s *System) Reset(cfg Config) {
 	// Assign the profile first so the hooks adapter binds to the long-lived
 	// field: cfg stays on the stack and ResetTo avoids the option-closure
@@ -87,11 +100,25 @@ func (s *System) Reset(cfg Config) {
 	s.k.ResetTo(cfg.Seed, s.prof.Hooks(), cfg.Trace, cfg.Horizon)
 	// Same derivation as NewSystem's Split: one draw from the root stream.
 	s.rng.Reseed(s.k.Rand().Uint64())
-	clear(s.domains)
 	clear(s.objHome)
 	clear(s.inodeHome)
-	s.hostDomain.ns.Reset()
-	s.hostDomain.fs.Reset()
+	for name, d := range s.domains {
+		if d == s.hostDomain {
+			continue
+		}
+		if d.privNS != nil {
+			d.privNS.Retire()
+		}
+		if d.privFS != nil {
+			d.privFS.Retire()
+		}
+		if len(s.freeDomains) < freeDomainCap {
+			s.freeDomains = append(s.freeDomains, d)
+		}
+		delete(s.domains, name)
+	}
+	s.hostDomain.ns.Retire()
+	s.hostDomain.fs.Retire()
 	s.domains["host"] = s.hostDomain
 	for i, p := range s.procs {
 		s.free = append(s.free, p)
@@ -135,16 +162,24 @@ func (s *System) Run() error { return s.k.Run() }
 // Now returns the current virtual time.
 func (s *System) Now() sim.Time { return s.k.Now() }
 
+// takeDomain pops a recycled Domain structure or allocates a fresh one.
+func (s *System) takeDomain() *Domain {
+	if n := len(s.freeDomains); n > 0 {
+		d := s.freeDomains[n-1]
+		s.freeDomains[n-1] = nil
+		s.freeDomains = s.freeDomains[:n-1]
+		return d
+	}
+	return &Domain{}
+}
+
 // AddSandbox creates a sandbox domain. Sandboxed processes resolve names
 // in the host scope (that is what the channel exploits) but every
 // signaling op pays the sandbox crossing penalty.
 func (s *System) AddSandbox(name string) *Domain {
-	d := &Domain{
-		name: name,
-		kind: SandboxDomain,
-		ns:   s.hostDomain.ns,
-		fs:   s.hostDomain.fs,
-	}
+	d := s.takeDomain()
+	d.name, d.kind, d.hv = name, SandboxDomain, NoHypervisor
+	d.ns, d.fs = s.hostDomain.ns, s.hostDomain.fs
 	s.domains[name] = d
 	return d
 }
@@ -152,17 +187,22 @@ func (s *System) AddSandbox(name string) *Domain {
 // AddVM creates a VM guest domain under the given hypervisor. Guests get a
 // session-local object namespace. VMware guests additionally get a fully
 // private filesystem; Hyper-V and KVM guests see the host FS (the shared
-// read-only file the channels use).
+// read-only file the channels use). Recycled domains reuse their retired
+// private namespace/filesystem tables.
 func (s *System) AddVM(name string, hv Hypervisor) *Domain {
-	d := &Domain{
-		name: name,
-		kind: VMDomain,
-		hv:   hv,
-		ns:   kobj.NewNamespace(name),
-		fs:   s.hostDomain.fs,
+	d := s.takeDomain()
+	d.name, d.kind, d.hv = name, VMDomain, hv
+	if d.privNS == nil {
+		d.privNS = kobj.NewNamespace(name)
+	} else {
+		d.privNS.SetName(name)
 	}
+	d.ns, d.fs = d.privNS, s.hostDomain.fs
 	if hv == VMwareT2 {
-		d.fs = vfs.NewFS()
+		if d.privFS == nil {
+			d.privFS = vfs.NewFS()
+		}
+		d.fs = d.privFS
 	}
 	s.domains[name] = d
 	return d
@@ -187,6 +227,8 @@ func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
 		p.rng.Reseed(s.rng.Uint64()) // same derivation as Split
 		p.handles.Reset()
 		p.fds.Reset()
+		p.hcross = p.hcross[:0]
+		p.fdcross = p.fdcross[:0]
 		p.blocked = false
 		p.blockStart = 0
 		clear(p.pendingSignals)

@@ -9,18 +9,43 @@ import (
 // Windows-personality syscalls: kernel objects resolved through per-domain
 // namespaces and per-process handle tables (paper §IV.B.1, Fig. 4).
 
+// createIn resolves the open-existing half of every Create* syscall: it
+// returns the existing object (or ErrNameConflict on a cross-type
+// collision), with ok reporting whether the caller must build and register
+// a fresh object instead. Creates that do register a fresh object reuse a
+// retired structure via Namespace.TakeRetired where possible, so trials on
+// a pooled machine allocate no kernel objects.
+func createIn(ns *kobj.Namespace, name string, typ kobj.Type) (existing kobj.Object, ok bool, err error) {
+	obj, found := ns.Get(name)
+	if !found {
+		return nil, false, nil
+	}
+	if obj.Type() != typ {
+		return nil, true, kobj.ErrNameConflict
+	}
+	return obj, true, nil
+}
+
 // CreateEvent creates (or opens, if it exists) a named event.
 func (p *Proc) CreateEvent(name string, mode kobj.ResetMode, signalled bool) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, false)
-	obj, created, err := ns.Create(kobj.NewEvent(name, mode, signalled))
+	obj, existed, err := createIn(ns, name, kobj.TypeEvent)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeEvent); ok {
+			e := r.(*kobj.Event)
+			e.Reinit(name, mode, signalled)
+			obj = e
+		} else {
+			obj = kobj.NewEvent(name, mode, signalled)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenEvent opens an existing named event. In a VM guest the lookup is
@@ -32,7 +57,7 @@ func (p *Proc) OpenEvent(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // SetEvent signals the event; released waiters are scheduled with wake
@@ -43,7 +68,7 @@ func (p *Proc) SetEvent(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpSet)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	if p.sys.k.Tracing() {
 		p.sys.k.Tracef(p.sp, "setevent", "%s", obj.Name())
 	}
@@ -58,7 +83,7 @@ func (p *Proc) ResetEvent(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpReset)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	obj.(*kobj.Event).Reset()
 	return nil
 }
@@ -70,7 +95,7 @@ func (p *Proc) PulseEvent(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpSet)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	p.sys.wake(p, obj.(*kobj.Event).Pulse(), WaitObject0)
 	return nil
 }
@@ -83,14 +108,22 @@ func (p *Proc) CreateMutex(name string, initialOwner bool) (kobj.Handle, error) 
 	if initialOwner {
 		owner = p
 	}
-	obj, created, err := ns.Create(kobj.NewMutex(name, owner))
+	obj, existed, err := createIn(ns, name, kobj.TypeMutex)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeMutex); ok {
+			m := r.(*kobj.Mutex)
+			m.Reinit(name, owner)
+			obj = m
+		} else {
+			obj = kobj.NewMutex(name, owner)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenMutex opens an existing named mutex (session-local in VMs).
@@ -100,7 +133,7 @@ func (p *Proc) OpenMutex(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // ReleaseMutex releases one level of ownership.
@@ -110,7 +143,7 @@ func (p *Proc) ReleaseMutex(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpMutexRelease)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	woken, err := obj.(*kobj.Mutex).Release(p)
 	if err != nil {
 		return err
@@ -123,14 +156,22 @@ func (p *Proc) ReleaseMutex(h kobj.Handle) error {
 func (p *Proc) CreateSemaphore(name string, initial, max int) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, false)
-	obj, created, err := ns.Create(kobj.NewSemaphore(name, initial, max))
+	obj, existed, err := createIn(ns, name, kobj.TypeSemaphore)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeSemaphore); ok {
+			sem := r.(*kobj.Semaphore)
+			sem.Reinit(name, initial, max)
+			obj = sem
+		} else {
+			obj = kobj.NewSemaphore(name, initial, max)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenSemaphore opens an existing named semaphore (session-local in VMs).
@@ -140,7 +181,7 @@ func (p *Proc) OpenSemaphore(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // ReleaseSemaphore performs V(n).
@@ -150,7 +191,7 @@ func (p *Proc) ReleaseSemaphore(h kobj.Handle, n int) error {
 		return err
 	}
 	p.exec(timing.OpSemV)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	woken, err := obj.(*kobj.Semaphore).Release(n)
 	if err != nil {
 		return err
@@ -163,14 +204,22 @@ func (p *Proc) ReleaseSemaphore(h kobj.Handle, n int) error {
 func (p *Proc) CreateWaitableTimer(name string, mode kobj.ResetMode) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, false)
-	obj, created, err := ns.Create(kobj.NewTimer(name, mode))
+	obj, existed, err := createIn(ns, name, kobj.TypeTimer)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeTimer); ok {
+			t := r.(*kobj.Timer)
+			t.Reinit(name, mode)
+			obj = t
+		} else {
+			obj = kobj.NewTimer(name, mode)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenWaitableTimer opens an existing named timer (session-local in VMs).
@@ -180,7 +229,7 @@ func (p *Proc) OpenWaitableTimer(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // SetWaitableTimer programs the timer to signal after due. Reprogramming
@@ -191,7 +240,7 @@ func (p *Proc) SetWaitableTimer(h kobj.Handle, due sim.Duration) error {
 		return err
 	}
 	p.exec(timing.OpTimerSet)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	t := obj.(*kobj.Timer)
 	gen := t.Arm()
 	if due < 0 {
@@ -211,7 +260,7 @@ func (p *Proc) CancelWaitableTimer(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpTimerSet)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	obj.(*kobj.Timer).Cancel()
 	return nil
 }
@@ -222,14 +271,22 @@ func (p *Proc) CancelWaitableTimer(h kobj.Handle) error {
 func (p *Proc) CreateLockableFile(name, path string, readOnly bool) (kobj.Handle, error) {
 	p.exec(timing.OpCreate)
 	ns := p.sys.objectNamespace(p.dom, true)
-	obj, created, err := ns.Create(kobj.NewFileObject(name, path, readOnly))
+	obj, existed, err := createIn(ns, name, kobj.TypeFile)
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	if created {
+	if !existed {
+		if r, ok := ns.TakeRetired(kobj.TypeFile); ok {
+			fo := r.(*kobj.FileObject)
+			fo.Reinit(name, path, readOnly)
+			obj = fo
+		} else {
+			obj = kobj.NewFileObject(name, path, readOnly)
+		}
+		ns.Insert(obj)
 		p.sys.registerObject(obj, ns, p.dom)
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // OpenLockableFile opens an existing named file object.
@@ -239,7 +296,7 @@ func (p *Proc) OpenLockableFile(name string) (kobj.Handle, error) {
 	if err != nil {
 		return kobj.InvalidHandle, err
 	}
-	return p.handles.Insert(obj), nil
+	return p.insertHandle(obj), nil
 }
 
 // LockFileEx acquires a whole-file lock through h, blocking unless
@@ -251,7 +308,7 @@ func (p *Proc) LockFileEx(h kobj.Handle, exclusive, nonblocking bool) (bool, err
 		return false, err
 	}
 	p.exec(timing.OpLock)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	fo := obj.(*kobj.FileObject)
 	if fo.TryLock(p, exclusive) {
 		return true, nil
@@ -271,7 +328,7 @@ func (p *Proc) UnlockFileEx(h kobj.Handle) error {
 		return err
 	}
 	p.exec(timing.OpUnlock)
-	p.crossObj(obj)
+	p.crossHandle(h)
 	p.sys.wake(p, obj.(*kobj.FileObject).Unlock(p), WaitObject0)
 	return nil
 }

@@ -53,6 +53,16 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Has reports whether key already has an entry (computed or in flight).
+// Callers that bound a cache's growth use it to keep serving existing
+// entries after the bound is reached.
+func (c *Cache) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Reset drops every entry and zeroes the compute counter.
 func (c *Cache) Reset() {
 	c.mu.Lock()

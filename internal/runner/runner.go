@@ -46,6 +46,25 @@ func Workers(n int) Option { return func(o *options) { o.workers = n } }
 // bail early. If the caller's ctx is cancelled before every trial was
 // dispatched, Map reports context.Cause(ctx).
 func Map[C, R any](ctx context.Context, configs []C, fn func(context.Context, C) (R, error), opts ...Option) ([]R, error) {
+	return MapWith(ctx, configs,
+		func() struct{} { return struct{}{} }, nil,
+		func(ctx context.Context, _ struct{}, c C) (R, error) { return fn(ctx, c) },
+		opts...)
+}
+
+// MapWith is Map with worker-affine state: open runs once on each worker
+// goroutine before it takes trials, fn receives that worker's state with
+// every trial it runs, and close (if non-nil) runs when the worker drains.
+// The experiments layer uses it to give each worker its own trial-session
+// cache (core.SessionCache), so consecutive sweep cells on one worker
+// reuse a pinned simulated machine instead of rebuilding one per trial.
+//
+// Determinism is unchanged from Map: state must never influence a trial's
+// output — it may only cache structures whose reuse is output-invisible
+// (the runner cannot check this; core's session engine proves it with its
+// session-on/off byte-identity tests). Everything else — input-order
+// results, lowest-index error, cancellation — behaves exactly like Map.
+func MapWith[C, R, S any](ctx context.Context, configs []C, open func() S, closeState func(S), fn func(context.Context, S, C) (R, error), opts ...Option) ([]R, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -75,8 +94,12 @@ func Map[C, R any](ctx context.Context, configs []C, fn func(context.Context, C)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			state := open()
+			if closeState != nil {
+				defer closeState(state)
+			}
 			for i := range next {
-				r, err := fn(ctx, configs[i])
+				r, err := fn(ctx, state, configs[i])
 				if err != nil {
 					errs[i] = err
 					cancel() // stop dispatching trials past the failure

@@ -75,6 +75,20 @@ type Kernel struct {
 	// one-shot kernels coroutines exit with their body so a dropped kernel
 	// leaves no goroutines behind. Release clears it.
 	recycle bool
+
+	// Direct-handoff state (see Proc.host). hosting marks a Run-driven
+	// kernel: blocked processes then run the scheduler loop on their own
+	// goroutine and switch straight to the next process, instead of
+	// round-tripping through the kernel goroutine (Step-driven kernels
+	// keep the classic one-event-per-call handoff). handoff parks a
+	// popped-but-undelivered dispatch/wake on its way to its target, and
+	// pendingPanic transports a body panic captured by an innocent host
+	// back to Run, which re-panics with the original value.
+	hosting      bool
+	handoff      event
+	hasHandoff   bool
+	pendingPanic any
+	panicPending bool
 }
 
 // Option configures a Kernel.
@@ -199,6 +213,10 @@ func (k *Kernel) resetState() {
 	k.running = nil
 	k.stopped = false
 	k.horizon = 0
+	k.hosting = false
+	k.handoff = event{}
+	k.hasHandoff = false
+	k.pendingPanic, k.panicPending = nil, false
 }
 
 // Now returns the current virtual time.
@@ -338,37 +356,54 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 	return p
 }
 
-// dispatch transfers control to p until it blocks or exits. The handoff is
-// a coroutine switch (iter.Pull resume / yield, runtime.coroswitch
-// underneath): a direct goroutine-to-goroutine transfer with no scheduler
-// park/unpark, so the Go runtime never arbitrates the simulation's
-// single-threaded control flow.
-func (k *Kernel) dispatch(p *Proc) {
-	if p.state == ProcDone {
+// resume transfers control into q's coroutine, creating it on first use.
+// The transfer is a coroutine switch (iter.Pull resume / yield,
+// runtime.coroswitch underneath): a direct goroutine-to-goroutine transfer
+// with no scheduler park/unpark, so the Go runtime never arbitrates the
+// simulation's single-threaded control flow.
+func (k *Kernel) resume(q *Proc) {
+	if !q.started {
+		q.started = true
+		q.resume, q.cancel = iter.Pull(iter.Seq[struct{}](q.loop))
+	}
+	q.resume()
+}
+
+// checkWake panics on a wake of a non-parked process: lost wakeups would
+// silently corrupt channel timing measurements.
+func (k *Kernel) checkWake(e *event) {
+	if e.kind == evWake && e.proc.state != ProcParked {
+		panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", e.proc.name, e.proc.state))
+	}
+}
+
+// deliver routes a popped dispatch/wake to its target. A target with a
+// host frame (its body is blocked inside Proc.host) consumes the event
+// from k.handoff when it resumes; fresh bodies and idle recycled
+// coroutines start clean — for them the resume itself is the delivery.
+// Used by the kernel-driven paths (Run's top level and Step); hosts route
+// their own copy in Proc.host, which additionally unwinds to in-chain
+// targets.
+func (k *Kernel) deliver(e *event) {
+	q := e.proc
+	if q.state == ProcDone {
 		return
 	}
-	k.running = p
-	p.state = ProcRunning
-	if !p.started {
-		p.started = true
-		p.resume, p.cancel = iter.Pull(iter.Seq[struct{}](p.loop))
+	if q.hostParked {
+		k.handoff, k.hasHandoff = *e, true
 	}
-	p.resume()
+	q.state = ProcRunning
+	k.running = q
+	k.resume(q)
 	k.running = nil
 }
 
-// execute fires one popped event.
+// execute fires one popped event (the Step path and Run's top level).
 func (k *Kernel) execute(e *event) {
 	switch e.kind {
-	case evDispatch:
-		k.dispatch(e.proc)
-	case evWake:
-		p := e.proc
-		if p.state != ProcParked {
-			panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", p.name, p.state))
-		}
-		p.wakeValue = e.value
-		k.dispatch(p)
+	case evDispatch, evWake:
+		k.checkWake(e)
+		k.deliver(e)
 	default:
 		e.fn()
 	}
@@ -377,8 +412,23 @@ func (k *Kernel) execute(e *event) {
 // Run processes events until none remain, all processes have finished, the
 // horizon is reached, or Stop is called. It returns a *DeadlockError if the
 // queue drains while processes are still blocked.
+//
+// While Run drives the kernel, dispatching is cooperative: a process that
+// blocks keeps the scheduler loop running on its own goroutine and
+// switches directly to the next runnable process (Proc.host), so the
+// common block→wake ping-pong costs one coroutine switch instead of two.
+// Control only returns here when a host chain cannot make progress —
+// queue drained, Stop, horizon, all processes finished — or to re-raise a
+// captured body panic with its original value.
 func (k *Kernel) Run() error {
+	k.hosting = true
+	defer func() { k.hosting = false }()
 	for len(k.events) > 0 {
+		if k.panicPending {
+			r := k.pendingPanic
+			k.pendingPanic, k.panicPending = nil, false
+			panic(r)
+		}
 		if k.stopped {
 			return ErrStopped
 		}
@@ -397,6 +447,11 @@ func (k *Kernel) Run() error {
 		}
 		k.execute(&e)
 	}
+	if k.panicPending {
+		r := k.pendingPanic
+		k.pendingPanic, k.panicPending = nil, false
+		panic(r)
+	}
 	if k.live > 0 {
 		var blocked []string
 		for _, p := range k.procs {
@@ -408,6 +463,22 @@ func (k *Kernel) Run() error {
 		return &DeadlockError{At: k.now, Procs: blocked}
 	}
 	return nil
+}
+
+// runnable reports whether a host may execute the next queued event right
+// now; when false the host parks and lets control unwind to Run, which
+// owns the corresponding terminal decision.
+func (k *Kernel) runnable() bool {
+	if k.stopped || len(k.events) == 0 {
+		return false
+	}
+	if k.spawned > 0 && k.live == 0 {
+		return false
+	}
+	if k.horizon > 0 && k.events[0].at > k.horizon {
+		return false
+	}
+	return true
 }
 
 // Step runs a single event. It reports whether an event was processed;

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
 // ProcState enumerates the lifecycle of a simulated process.
 type ProcState int
@@ -62,6 +65,15 @@ type Proc struct {
 
 	// wakeValue carries a result from Wake to the Park caller.
 	wakeValue int
+
+	// Direct-handoff state (host). inChain marks a process blocked inside
+	// the resume call of another process's coroutine: it cannot be resumed
+	// until that call returns, so events targeting it are passed up the
+	// resume chain via k.handoff. hostParked marks a process parked inside
+	// its host frame's yield — the resumable blocked state — whose next
+	// resume consumes k.handoff.
+	inChain    bool
+	hostParked bool
 }
 
 // loop is the coroutine entry point: it runs process bodies until the
@@ -115,16 +127,128 @@ func (p *Proc) runBody() (completed bool) {
 	return true
 }
 
-// yield hands control back to the kernel with a single coroutine switch.
-// The caller must have arranged for a future dispatch (event or external
-// Wake). If the kernel cancelled the coroutine while we were parked (a
-// Reset mid-wait), the body is unwound via the procAbort sentinel.
+// yield blocks the process until its next dispatch or wake. The caller
+// must have arranged for that future event. On a Run-driven kernel the
+// blocked process becomes a host: it keeps the scheduler loop running on
+// its own goroutine (see host), so the simulation switches straight from
+// the blocking process to the next runnable one.
 func (p *Proc) yield(s ProcState) {
 	p.state = s
-	if !p.yieldCoro(struct{}{}) {
+	p.host()
+	p.state = ProcRunning
+}
+
+// yieldOut parks the process in its coroutine yield, handing control back
+// to whoever resumed it — the kernel's Run/Step loop or another process's
+// host frame. If the kernel cancelled the coroutine while we were parked
+// (a Reset mid-wait), the body is unwound via the procAbort sentinel.
+func (p *Proc) yieldOut() {
+	p.hostParked = true
+	ok := p.yieldCoro(struct{}{})
+	p.hostParked = false
+	if !ok {
 		panic(procAbort{})
 	}
-	p.state = ProcRunning
+}
+
+// host is the migrating scheduler loop: it runs on the goroutine of a
+// process whose body just blocked, popping events and switching directly
+// to their targets, and returns when this process's own dispatch or wake
+// arrives. Three cases route a popped dispatch/wake (parked in
+// k.handoff):
+//
+//   - it targets this process: consume it and return to the body;
+//   - it targets a process blocked in a resume call beneath us (inChain —
+//     an ancestor of this host frame): park; our resumer's host frame
+//     re-examines the handoff, so it unwinds exactly to its target;
+//   - it targets a resumable process: switch to it. That process's frames
+//     now run above ours; when it blocks, its host frame continues the
+//     schedule, and our resume call returns once an event for us (or an
+//     ancestor) unwinds back down.
+//
+// When no event may run — queue drained, Stop, horizon, everyone finished,
+// a captured panic, or a Step-driven kernel (!hosting) — the host parks
+// and the decision unwinds to Kernel.Run/Step. Body panics never unwind an
+// innocent host's body frames: resumeChild captures them and they travel
+// to Run via k.pendingPanic instead.
+func (p *Proc) host() {
+	k := p.k
+	for {
+		if k.hasHandoff {
+			e := k.handoff
+			q := e.proc
+			if q == p {
+				k.hasHandoff = false
+				k.running = p
+				if e.kind == evWake {
+					p.wakeValue = e.value
+				}
+				return
+			}
+			if q.inChain {
+				p.yieldOut()
+				continue
+			}
+			k.hasHandoff = false
+			if q.state == ProcDone {
+				continue
+			}
+			if q.hostParked {
+				k.handoff, k.hasHandoff = e, true
+			}
+			q.state = ProcRunning
+			k.running = q
+			p.inChain = true
+			p.resumeChild(q)
+			p.inChain = false
+			k.running = p
+			continue
+		}
+		if !k.hosting || k.panicPending || !k.runnable() {
+			p.yieldOut()
+			continue
+		}
+		e := k.pop()
+		if e.at > k.now {
+			k.now = e.at
+		}
+		if e.kind == evGeneric {
+			p.runDetached(e.fn)
+			continue
+		}
+		k.checkWake(&e)
+		k.handoff, k.hasHandoff = e, true
+	}
+}
+
+// resumeChild resumes q's coroutine from this process's host frame. A
+// panic surfacing from q's body (iter.Pull re-raises it at the resume
+// call) is captured so it does not unwind this innocent process's own
+// body; Kernel.Run re-panics with the original value once the host chain
+// has unwound.
+func (p *Proc) resumeChild(q *Proc) {
+	k := p.k
+	defer func() {
+		if r := recover(); r != nil {
+			k.pendingPanic, k.panicPending = r, true
+		}
+	}()
+	if !q.started {
+		q.started = true
+		q.resume, q.cancel = iter.Pull(iter.Seq[struct{}](q.loop))
+	}
+	q.resume()
+}
+
+// runDetached runs a generic event's fn from a host frame, capturing a
+// panic so it reaches Kernel.Run without unwinding this process's body.
+func (p *Proc) runDetached(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.k.pendingPanic, p.k.panicPending = r, true
+		}
+	}()
+	fn()
 }
 
 // pause suspends the process until absolute time t with no model noise.

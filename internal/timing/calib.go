@@ -183,6 +183,7 @@ func (p Profile) ForIsolation(iso Isolation) Profile {
 		q.BarrierLag = p.BarrierLag + sim.Micro(8)
 	}
 	q.Name = p.OS.String() + "/" + iso.String()
+	q.initSigma()
 	return q
 }
 
@@ -228,5 +229,6 @@ func Noiseless(os OSKind, iso Isolation) Profile {
 	p.MissBase = 0
 	p.MissSlopePerUs = 0
 	p.CrossJitter = 0
+	p.initSigma()
 	return p
 }

@@ -78,14 +78,41 @@ type Profile struct {
 	// HazardScale scales the outlier rate (sandbox and VM scenarios are
 	// noisier than local).
 	HazardScale float64
+
+	// opSigma caches each op's jitter sigma (base·OpJitterFrac, floored at
+	// OpJitterFloor), filled by initSigma on the calibrated construction
+	// paths. sigmaReady gates the fast path so hand-built test profiles
+	// without the cache keep working; Cost sits on every priced syscall,
+	// so skipping the two float ops per call is measurable.
+	opSigma    [numOps]float64
+	sigmaReady bool
+}
+
+// initSigma fills the per-op jitter sigma cache from the current jitter
+// parameters. Must be re-run after mutating OpCost, OpJitterFrac or
+// OpJitterFloor.
+func (p *Profile) initSigma() {
+	for op := Op(0); op < numOps; op++ {
+		sigma := float64(p.OpCost[op]) * p.OpJitterFrac
+		if s := float64(p.OpJitterFloor); sigma < s {
+			sigma = s
+		}
+		p.opSigma[op] = sigma
+	}
+	p.sigmaReady = true
 }
 
 // Cost returns the jittered cost of op.
 func (p *Profile) Cost(r *sim.RNG, op Op) sim.Duration {
 	base := p.OpCost[op]
-	sigma := float64(base) * p.OpJitterFrac
-	if s := float64(p.OpJitterFloor); sigma < s {
-		sigma = s
+	var sigma float64
+	if p.sigmaReady {
+		sigma = p.opSigma[op]
+	} else {
+		sigma = float64(base) * p.OpJitterFrac
+		if s := float64(p.OpJitterFloor); sigma < s {
+			sigma = s
+		}
 	}
 	d := base + sim.Duration(sigma*r.NormFloat64())
 	if d < 0 {

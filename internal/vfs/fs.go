@@ -45,7 +45,17 @@ type FS struct {
 
 	dirtyPages  int
 	dirtyInodes []*Inode // inodes with dirty > 0, cleared on SyncJournal
+
+	// retiredInodes/retiredFiles recycle structures across trials on
+	// pooled simulated machines: Retire moves the tables' contents here,
+	// and Create/Open pop + reinit instead of allocating.
+	retiredInodes []*Inode
+	retiredFiles  []*File
 }
+
+// retiredCap bounds the per-table free pools. A covert-channel trial
+// touches a handful of files; surplus structures are dropped.
+const retiredCap = 8
 
 // NewFS creates an empty filesystem.
 func NewFS() *FS {
@@ -56,12 +66,39 @@ func NewFS() *FS {
 }
 
 // Reset empties the i-node and open-file tables in place, retaining map
-// capacity, and restarts numbering. Pooled simulated machines use it
-// between trials.
+// capacity, and restarts numbering. Retired structures are dropped too: a
+// Reset filesystem holds nothing.
 func (fs *FS) Reset() {
 	fs.nextIno, fs.nextFile = 0, 0
 	clear(fs.inodes)
 	clear(fs.files)
+	fs.dirtyPages = 0
+	clear(fs.dirtyInodes)
+	fs.dirtyInodes = fs.dirtyInodes[:0]
+	clear(fs.retiredInodes)
+	fs.retiredInodes = fs.retiredInodes[:0]
+	clear(fs.retiredFiles)
+	fs.retiredFiles = fs.retiredFiles[:0]
+}
+
+// Retire empties both tables like Reset but keeps the evicted structures
+// in free pools for the next trial's Create/Open to reuse. The filesystem
+// is semantically indistinguishable from a fresh one afterwards: lookups
+// miss, creates succeed, and numbering restarts at the beginning.
+func (fs *FS) Retire() {
+	for path, in := range fs.inodes {
+		if len(fs.retiredInodes) < retiredCap {
+			fs.retiredInodes = append(fs.retiredInodes, in)
+		}
+		delete(fs.inodes, path)
+	}
+	for id, f := range fs.files {
+		if len(fs.retiredFiles) < retiredCap {
+			fs.retiredFiles = append(fs.retiredFiles, f)
+		}
+		delete(fs.files, id)
+	}
+	fs.nextIno, fs.nextFile = 0, 0
 	fs.dirtyPages = 0
 	clear(fs.dirtyInodes)
 	fs.dirtyInodes = fs.dirtyInodes[:0]
@@ -76,14 +113,22 @@ func (fs *FS) Create(path string, size int64, readOnly, mandatory bool) (*Inode,
 		return nil, ErrExist
 	}
 	fs.nextIno++
-	in := &Inode{
-		ino:       fs.nextIno,
-		path:      path,
-		size:      size,
-		readOnly:  readOnly,
-		mandatory: mandatory,
-		fair:      true,
-		shared:    make(map[*File]bool),
+	var in *Inode
+	if n := len(fs.retiredInodes); n > 0 {
+		in = fs.retiredInodes[n-1]
+		fs.retiredInodes[n-1] = nil
+		fs.retiredInodes = fs.retiredInodes[:n-1]
+		in.reinit(fs.nextIno, path, size, readOnly, mandatory)
+	} else {
+		in = &Inode{
+			ino:       fs.nextIno,
+			path:      path,
+			size:      size,
+			readOnly:  readOnly,
+			mandatory: mandatory,
+			fair:      true,
+			shared:    make(map[*File]bool),
+		}
 	}
 	fs.inodes[path] = in
 	return in, nil
@@ -109,7 +154,15 @@ func (fs *FS) Open(path string, write bool) (*File, error) {
 		return nil, ErrReadOnly
 	}
 	fs.nextFile++
-	f := &File{id: fs.nextFile, inode: in, write: write, refs: 1}
+	var f *File
+	if n := len(fs.retiredFiles); n > 0 {
+		f = fs.retiredFiles[n-1]
+		fs.retiredFiles[n-1] = nil
+		fs.retiredFiles = fs.retiredFiles[:n-1]
+		*f = File{id: fs.nextFile, inode: in, write: write, refs: 1}
+	} else {
+		f = &File{id: fs.nextFile, inode: in, write: write, refs: 1}
+	}
 	fs.files[f.id] = f
 	in.links++
 	return f, nil
@@ -196,48 +249,60 @@ func (fs *FS) Paths() []string {
 }
 
 // FDTable is a per-process file-descriptor table (Fig. 5's left column):
-// fd numbers mapping to open-file-table entries.
+// fd numbers mapping to open-file-table entries. The table is a dense
+// slice — descriptors are sequential from 3, so resolution is an index
+// computation instead of a map lookup (fd resolution sits on every flock
+// and write/fsync syscall).
 type FDTable struct {
-	next int
-	fds  map[int]*File
+	files []*File // index fd-3; nil marks a removed descriptor
+	open  int
 }
 
 // NewFDTable creates an empty descriptor table. Like a fresh process, fd
-// numbering starts at 3 (0-2 being the standard streams).
+// numbering starts at 3 (0-2 being the standard streams); removed
+// descriptors are never reused.
 func NewFDTable() *FDTable {
-	return &FDTable{next: 3, fds: make(map[int]*File)}
+	return &FDTable{}
 }
 
 // Reset empties the table in place and restarts descriptor numbering, as
 // if the owning process were freshly created.
 func (t *FDTable) Reset() {
-	t.next = 3
-	clear(t.fds)
+	for i := range t.files {
+		t.files[i] = nil
+	}
+	t.files = t.files[:0]
+	t.open = 0
 }
 
 // Install assigns the lowest free descriptor to f.
 func (t *FDTable) Install(f *File) int {
-	fd := t.next
-	t.next++
-	t.fds[fd] = f
-	return fd
+	t.files = append(t.files, f)
+	t.open++
+	return len(t.files) + 2
 }
 
 // Get resolves a descriptor.
 func (t *FDTable) Get(fd int) (*File, bool) {
-	f, ok := t.fds[fd]
-	return f, ok
+	i := fd - 3
+	if i < 0 || i >= len(t.files) || t.files[i] == nil {
+		return nil, false
+	}
+	return t.files[i], true
 }
 
 // Remove drops the descriptor without touching the file table (the caller
 // pairs it with FS.Close).
 func (t *FDTable) Remove(fd int) (*File, bool) {
-	f, ok := t.fds[fd]
-	if ok {
-		delete(t.fds, fd)
+	i := fd - 3
+	if i < 0 || i >= len(t.files) || t.files[i] == nil {
+		return nil, false
 	}
-	return f, ok
+	f := t.files[i]
+	t.files[i] = nil
+	t.open--
+	return f, true
 }
 
 // Len reports the number of open descriptors.
-func (t *FDTable) Len() int { return len(t.fds) }
+func (t *FDTable) Len() int { return t.open }

@@ -93,6 +93,21 @@ type lockWaiter struct {
 	w    Waiter
 }
 
+// reinit returns a retired i-node structure to the state FS.Create would
+// build, retaining the holder map and queue capacity (FS.Retire/Create).
+func (in *Inode) reinit(ino uint64, path string, size int64, readOnly, mandatory bool) {
+	in.ino, in.path, in.size = ino, path, size
+	in.readOnly, in.mandatory = readOnly, mandatory
+	in.links, in.dirty = 0, 0
+	in.fair = true
+	in.exclusive = nil
+	clear(in.shared)
+	for i := range in.queue {
+		in.queue[i] = lockWaiter{}
+	}
+	in.queue = in.queue[:0]
+}
+
 // Ino returns the i-node number.
 func (in *Inode) Ino() uint64 { return in.ino }
 
