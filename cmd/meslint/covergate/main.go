@@ -1,0 +1,119 @@
+// Command covergate enforces per-package line-coverage floors on the
+// output of `go test -cover`. It replaces the awk pipeline that used to
+// live in the Makefile's cover target with something testable and
+// portable:
+//
+//	go test -count=1 -cover ./internal/core ./internal/kobj | \
+//	    go run ./cmd/meslint/covergate -floor mes/internal/core=81.5 -floor mes/internal/kobj=99.0
+//
+// The gate fails (exit 1) when a floor is breached, when a package with
+// a declared floor never reports a summary line (a run that died before
+// printing must not pass vacuously), or when a test fails. All input
+// lines are echoed through so the coverage report stays visible in CI
+// logs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// floors maps an import-path suffix to its minimum coverage percentage.
+type floors map[string]float64
+
+func (f floors) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%.1f", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f floors) Set(s string) error {
+	pkg, min, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(min, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor %q: %v", min, err)
+	}
+	f[pkg] = v
+	return nil
+}
+
+// summaryRE matches `ok  <pkg>  <time>  coverage: NN.N% of statements`
+// (and the statements-in-other-packages variant).
+var summaryRE = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)%`)
+
+func main() {
+	want := make(floors)
+	flag.Var(want, "floor", "pkg=percent minimum coverage (repeatable)")
+	flag.Parse()
+	os.Exit(run(want))
+}
+
+func run(want floors) int {
+	seen := make(map[string]float64)
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+		}
+		if m := summaryRE.FindStringSubmatch(line); m != nil {
+			pct, err := strconv.ParseFloat(m[2], 64)
+			if err == nil {
+				seen[m[1]] = pct
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: reading stdin: %v\n", err)
+		return 1
+	}
+
+	bad := failed
+	if failed {
+		fmt.Println("covergate: FAIL lines in test output")
+	}
+	for pkg, min := range want {
+		pct, ok := lookup(seen, pkg)
+		if !ok {
+			fmt.Printf("covergate: FAIL: no coverage summary for %s (run died before reporting?)\n", pkg)
+			bad = true
+			continue
+		}
+		if pct < min {
+			fmt.Printf("covergate: FAIL: %s coverage %.1f%% < floor %.1f%%\n", pkg, pct, min)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	fmt.Println("covergate: ok")
+	return 0
+}
+
+// lookup resolves a floor's package against the seen summaries by exact
+// match or import-path suffix (so floors work from any module root).
+func lookup(seen map[string]float64, pkg string) (float64, bool) {
+	if pct, ok := seen[pkg]; ok {
+		return pct, true
+	}
+	for p, pct := range seen {
+		if strings.HasSuffix(p, "/"+pkg) || p == pkg {
+			return pct, true
+		}
+	}
+	return 0, false
+}

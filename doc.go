@@ -149,6 +149,52 @@
 // 18166 allocs → 1.67ms/49 → 0.83ms/10 → 0.70ms/5 one-shot and 0 allocs
 // in a session.
 //
+// # Invariants
+//
+// Three contracts hold everything above together, and all three are
+// enforced statically by the meslint analyzer suite
+// (internal/analysis, built as a `go vet` tool by cmd/meslint) on top
+// of the runtime tests that pin them:
+//
+//   - Determinism: simulation output is a pure function of the config
+//     and seed — byte-identical across worker counts, machine pooling
+//     and trial sessions. The detnondet analyzer forbids wall-clock
+//     reads (time.Now/Since/Until), math/rand and map-order-dependent
+//     ranges in every package that feeds simulation output; the
+//     traceguard analyzer requires every hot-path Tracef call to be
+//     dominated by a Tracing() guard so trace formatting cannot perturb
+//     untraced runs.
+//   - Allocation budgets: the event core runs at 0 allocs/event, a
+//     steady-state session trial at 0 allocs, a one-shot transmission
+//     within its 6-alloc budget. Functions on these paths are annotated
+//     //mes:allocfree, and the allocfree analyzer rejects closures,
+//     guard-free fmt calls and implicit interface boxing inside them;
+//     the poolhygiene analyzer checks that every pooled acquire
+//     (runner.Pool.Get, osmodel.NewSystem, core.NewSession, the
+//     retire-list TakeRetired) is released on every control-flow path,
+//     because a leaked machine pins its kernel's coroutines and arena.
+//   - Mechanism-table completeness: the channel family is table-driven
+//     over Mechanisms(), and every table — the timing op-cost arrays,
+//     the per-scenario Timesets, the detector's channelEvents — must
+//     cover every member. Tables carry //mes:mechtable <Type>
+//     (enum-exhaustiveness, checked per construct); the mechanisms'
+//     traced event names (//mes:mechevents on core.Mechanism.TraceEvents)
+//     and the detector's watch set (//mes:mechevents-keys on
+//     detect.channelEvents) are exported as package facts and joined at
+//     any package importing both, so a mechanism whose events the
+//     detector does not watch — the blind spot the PR 4 conformance
+//     audit caught at test time — fails `go vet`.
+//
+// Intentional exceptions carry //lint:allow <analyzer> <reason> on or
+// directly above the flagged line; the reason is mandatory, and a
+// reasonless allow is itself a lint error. Run the suite locally with
+//
+//	make lint
+//
+// which builds bin/meslint and runs `go vet -vettool` over the module
+// (plus staticcheck when the pinned version is installed); `make ci`
+// includes it.
+//
 // Quick start:
 //
 //	res, err := mes.Send(mes.Config{

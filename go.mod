@@ -1,3 +1,10 @@
 module mes
 
 go 1.24
+
+// The go/analysis framework for the project's own vet suite (cmd/meslint).
+// Vendored from the Go distribution's cmd/vendor tree — see
+// third_party/README.md — so builds stay offline.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"mes/internal/analysis/allocfree"
+	"mes/internal/analysis/antest"
+)
+
+func TestAllocfree(t *testing.T) {
+	antest.Run(t, "testdata", allocfree.Analyzer, "hot")
+}

@@ -1,0 +1,63 @@
+// Package hot is an allocfree fixture: one annotated hot path
+// exercising the closure, fmt and boxing rules, plus unannotated and
+// guarded code that must stay silent.
+package hot
+
+import "fmt"
+
+type Tracer struct{ on bool }
+
+func (t *Tracer) Tracing() bool { return t.on }
+
+type point struct{ x, y int }
+
+var global interface{}
+
+func consume(v interface{}) { global = v }
+
+func consumeAll(vs ...interface{}) { global = vs }
+
+//mes:allocfree
+func hotPath(t *Tracer, n int, p *point, pre []interface{}) {
+	f := func() int { return n } // want "function literal in an allocfree function"
+	_ = f
+
+	fmt.Println(n) // want "fmt\\.Println on the guard-free path"
+
+	consume(n)          // want "implicit conversion of int to interface\\{\\} boxes on the heap"
+	consume(point{n, n}) // want "implicit conversion of point to interface\\{\\} boxes on the heap"
+	consume(p)          // pointer-shaped: fits the interface word
+	consume(nil)        // nil converts without allocating
+	consume(42)         // constants are interned, not boxed
+	consumeAll(pre...)  // spreading an existing []interface{} boxes nothing
+
+	if t.Tracing() {
+		fmt.Println("traced run", n) // traced-only: may allocate
+		consume(n)
+	}
+	if n > 0 && t.Tracing() {
+		fmt.Println("narrowed guard is still a guard")
+	}
+	if !t.Tracing() {
+		fmt.Println("untraced branch") // want "fmt\\.Println on the guard-free path"
+	}
+
+	//lint:allow allocfree one-shot cold diagnostic, runs outside the measured loop
+	fmt.Println("cold")
+}
+
+//mes:allocfree
+func boxedStores(n int) interface{} {
+	var v interface{}
+	v = n // want "implicit conversion of int to interface\\{\\} boxes on the heap"
+	_ = v
+	var w interface{} = n // want "implicit conversion of int to interface\\{\\} boxes on the heap"
+	_ = w
+	return n // want "implicit conversion of int to interface\\{\\} boxes on the heap"
+}
+
+// notAnnotated may do what it likes.
+func notAnnotated(n int) {
+	consume(n)
+	fmt.Println(func() int { return n }())
+}

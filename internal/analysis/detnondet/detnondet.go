@@ -1,0 +1,120 @@
+// Package detnondet defines an analyzer forbidding nondeterminism
+// sources in packages whose code shapes simulation output. The project's
+// central contract is byte-identical registry output across the
+// workers × machine-pooling × trial-session cube; wall-clock reads
+// (time.Now and friends), math/rand (global or seeded off wall clock),
+// and unsorted iteration over maps all break replayability silently.
+//
+// Wall-clock measurement is legitimate in internal/realtime and the
+// cmd/ binaries, which are allowlisted by package name. A map range
+// whose consumption is genuinely order-insensitive (e.g. it fills a
+// keyed table, or the results are sorted with a total order immediately
+// after) carries a //lint:allow detnondet <reason>.
+package detnondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mes/internal/analysis/directive"
+)
+
+// checkedPackages shape simulation results, traces or registry output.
+var checkedPackages = map[string]bool{
+	"sim": true, "kobj": true, "vfs": true, "osmodel": true, "core": true,
+	"codec": true, "timing": true, "detect": true, "experiments": true,
+	"metrics": true, "report": true, "runner": true, "baseline": true,
+	"mes": true, // the facade package
+}
+
+// forbiddenCalls are wall-clock reads, keyed by (package path, name).
+var forbiddenCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+}
+
+// forbiddenImports seed nondeterministic or wall-clock-seeded streams;
+// simulation code must draw from sim.RNG, which replays by seed.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use sim.RNG (seed-replayable) instead of math/rand",
+	"math/rand/v2": "use sim.RNG (seed-replayable) instead of math/rand/v2",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "detnondet",
+	Doc:      "forbid nondeterminism sources (time.Now, math/rand, unsorted map ranges) in simulation-output-affecting packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !checkedPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	ix := directive.NewIndex(pass)
+
+	for _, f := range pass.Files {
+		if directive.InTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad && !ix.Allowed(imp.Pos()) {
+				pass.Reportf(imp.Pos(), "import of %s in a determinism-critical package: %s", path, why)
+			}
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		if directive.InTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			if names := forbiddenCalls[fn.Pkg().Path()]; names[fn.Name()] && !ix.Allowed(n.Pos()) {
+				pass.Reportf(n.Pos(), "%s.%s reads the wall clock: simulation output must depend only on virtual time and seeds (allowlisted in internal/realtime and cmd/)", fn.Pkg().Name(), fn.Name())
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if ix.Allowed(n.Pos()) {
+				return
+			}
+			pass.Reportf(n.Pos(), "range over a map iterates in nondeterministic order: sort the keys before consuming them, or annotate //lint:allow detnondet <why order cannot affect output>")
+		}
+	})
+	return nil, nil
+}
+
+// calleeFunc resolves the called *types.Func, or nil for non-function
+// calls (conversions, builtins, function-typed variables).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package detnondet_test
+
+import (
+	"testing"
+
+	"mes/internal/analysis/antest"
+	"mes/internal/analysis/detnondet"
+)
+
+func TestDetnondet(t *testing.T) {
+	antest.Run(t, "testdata", detnondet.Analyzer, "kobj", "realtime")
+}

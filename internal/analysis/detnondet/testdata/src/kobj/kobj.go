@@ -1,0 +1,45 @@
+// Package kobj is a detnondet fixture named after one of the
+// determinism-critical packages so the real package predicate applies.
+package kobj
+
+import (
+	"math/rand" // want "import of math/rand in a determinism-critical package"
+	"time"      // the import is fine; the wall-clock calls below are flagged
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "time\\.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time\\.Since reads the wall clock"
+}
+
+func draw() int { return rand.Intn(6) }
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over a map iterates in nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+func sumAllowed(m map[string]int) int {
+	total := 0
+	//lint:allow detnondet addition is commutative; accumulation order cannot reach the output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Slices and arrays range deterministically.
+func sumSlice(v []int) int {
+	total := 0
+	for _, x := range v {
+		total += x
+	}
+	return total
+}

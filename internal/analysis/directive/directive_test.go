@@ -1,0 +1,143 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mes/internal/analysis/directive"
+)
+
+const src = `package p
+
+//lint:allow demo reason here
+var a = 1
+
+//lint:allow demo
+var b = 2
+
+func f() {
+	x := 1 //lint:allow demo trailing form works
+	_ = x
+}
+
+//mes:mechtable Mechanism
+func g() {}
+
+// lint:allow demo a space after the slashes disqualifies
+var c = 3
+
+//lint:allow other reason for a different analyzer
+var d = 4
+`
+
+// lineNumbers of the declarations above, kept next to the source so
+// edits stay honest.
+const (
+	lineA        = 4
+	lineEmptyDir = 6
+	lineB        = 7
+	lineTrailing = 10
+	lineC        = 18
+	lineD        = 21
+)
+
+func newPass(t *testing.T, fset *token.FileSet, files []*ast.File, report func(analysis.Diagnostic)) *analysis.Pass {
+	t.Helper()
+	if report == nil {
+		report = func(analysis.Diagnostic) {}
+	}
+	return &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    files,
+		Report:   report,
+	}
+}
+
+func TestAllowAnchorsAndReasons(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := newPass(t, fset, []*ast.File{f}, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	ix := directive.NewIndex(pass)
+
+	// The reasonless allow is itself the diagnostic, on its own line.
+	if len(diags) != 1 {
+		t.Fatalf("NewIndex reported %d diagnostics, want 1 (the reasonless allow): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a non-empty reason") {
+		t.Errorf("diagnostic = %q, want the non-empty-reason message", diags[0].Message)
+	}
+	if got := fset.Position(diags[0].Pos).Line; got != lineEmptyDir {
+		t.Errorf("diagnostic on line %d, want %d", got, lineEmptyDir)
+	}
+
+	at := func(line int) token.Pos { return fset.File(f.Pos()).LineStart(line) }
+	cases := []struct {
+		name    string
+		line    int
+		allowed bool
+	}{
+		{"preceding-block form with reason", lineA, true},
+		{"reasonless allow does not suppress", lineB, false},
+		{"trailing form with reason", lineTrailing, true},
+		{"space after slashes disqualifies", lineC, false},
+		{"allow naming another analyzer", lineD, false},
+	}
+	for _, c := range cases {
+		if got := ix.Allowed(at(c.line)); got != c.allowed {
+			t.Errorf("%s: Allowed(line %d) = %v, want %v", c.name, c.line, got, c.allowed)
+		}
+	}
+}
+
+func TestMesDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := directive.NewIndex(newPass(t, fset, []*ast.File{f}, nil))
+
+	var g *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "g" {
+			g = fd
+		}
+	}
+	if g == nil {
+		t.Fatal("fixture function g not found")
+	}
+	args, ok := ix.Mes(g, "mechtable")
+	if !ok || args != "Mechanism" {
+		t.Errorf("Mes(g, mechtable) = %q, %v; want \"Mechanism\", true", args, ok)
+	}
+	if _, ok := ix.Mes(g, "allocfree"); ok {
+		t.Error("Mes(g, allocfree) matched; a different verb must not")
+	}
+}
+
+func TestTestFilesAreExempt(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p_test.go", "package p\n\n//lint:allow demo\nvar a = 1\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := newPass(t, fset, []*ast.File{f}, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	directive.NewIndex(pass)
+	if len(diags) != 0 {
+		t.Errorf("reasonless allow in a _test.go file reported %d diagnostics, want 0", len(diags))
+	}
+	if !directive.InTestFile(pass, f.Pos()) {
+		t.Error("InTestFile = false for p_test.go")
+	}
+}

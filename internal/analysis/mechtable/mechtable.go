@@ -1,0 +1,354 @@
+// Package mechtable defines the cross-file completeness audit for the
+// project's table-driven mechanism family. Growing the family is
+// documented as "add the enum value and every table picks it up" — but
+// three tables live in different packages and nothing ties them
+// together at compile time: the timing.Profile op-cost arrays, the
+// default Timesets in core.DefaultParams, and the detector's
+// channelEvents set. PR 4's conformance audit found exactly this
+// failure (mechanisms invisible to the detector because their traced
+// events were missing from channelEvents); this analyzer turns that
+// class of bug into a vet error.
+//
+// Three directives drive it:
+//
+//   - //mes:mechtable <Type> on a switch statement, composite literal
+//     or function: the annotated construct must mention every declared
+//     constant of the named enum type (constants whose name starts with
+//     "num" are length sentinels and exempt). Deleting a case — a
+//     mechanism's Timeset, an op's cost — fails vet.
+//
+//   - //mes:mechevents on a function: its string literals are the
+//     detector-observable trace events of the mechanism family,
+//     exported as a package fact (see core.Mechanism.TraceEvents).
+//
+//   - //mes:mechevents-keys on a map variable: its string keys are the
+//     events the detector actually watches, exported as a package fact
+//     (see detect.channelEvents).
+//
+// The two facts meet wherever the import graph joins them: any package
+// that directly imports the keys-carrying package and can also see an
+// events-carrying package (detect never imports core, but experiments
+// and the cmd binaries import both) verifies that every declared event
+// is a watched key, and reports the blind spots at the import site.
+package mechtable
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mes/internal/analysis/directive"
+)
+
+// MechEventsFact is the package fact carrying the trace-event names a
+// //mes:mechevents function declares for the mechanism family.
+type MechEventsFact struct{ Events []string }
+
+func (*MechEventsFact) AFact() {}
+func (f *MechEventsFact) String() string {
+	return "mechevents(" + strings.Join(f.Events, ",") + ")"
+}
+
+// ChannelKeysFact is the package fact carrying the event names a
+// //mes:mechevents-keys table watches.
+type ChannelKeysFact struct{ Keys []string }
+
+func (*ChannelKeysFact) AFact() {}
+func (f *ChannelKeysFact) String() string {
+	return "mechevents-keys(" + strings.Join(f.Keys, ",") + ")"
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "mechtable",
+	Doc:       "audit mechanism-family tables for completeness: //mes:mechtable enum exhaustiveness and //mes:mechevents(-keys) detector coverage",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*MechEventsFact)(nil), (*ChannelKeysFact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ix := directive.NewIndex(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var localEvents []string
+	var localKeys []string
+	var keysPos token.Pos = token.NoPos
+	consumed := make(map[token.Position]bool) // directive anchors already handled
+
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil), (*ast.GenDecl)(nil), (*ast.ValueSpec)(nil),
+		(*ast.SwitchStmt)(nil), (*ast.CompositeLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if directive.InTestFile(pass, n.Pos()) {
+			return
+		}
+		// Compare anchors by (file, line): one `var x = T{...}` line
+		// matches as GenDecl, ValueSpec and CompositeLit, and the
+		// directive should fire exactly once for it.
+		anchor := pass.Fset.Position(n.Pos())
+		anchor.Offset = 0
+		anchor.Column = 0
+		if args, ok := ix.Mes(n, "mechtable"); ok && !consumed[anchor] {
+			consumed[anchor] = true
+			if !ix.Allowed(n.Pos()) {
+				checkEnum(pass, n, args)
+			}
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if _, ok := ix.Mes(fd, "mechevents"); ok {
+				localEvents = append(localEvents, stringLiterals(pass, fd.Body)...)
+			}
+		}
+		switch n.(type) {
+		case *ast.GenDecl, *ast.ValueSpec:
+			if _, ok := ix.Mes(n, "mechevents-keys"); ok && keysPos == token.NoPos {
+				localKeys = append(localKeys, mapStringKeys(pass, n)...)
+				keysPos = n.Pos()
+			}
+		}
+	})
+
+	if len(localEvents) > 0 {
+		pass.ExportPackageFact(&MechEventsFact{Events: sortedUnique(localEvents)})
+	}
+	if keysPos != token.NoPos {
+		pass.ExportPackageFact(&ChannelKeysFact{Keys: sortedUnique(localKeys)})
+	}
+
+	// Gather every events fact visible from here (transitive imports
+	// plus this package itself).
+	events := append([]string(nil), localEvents...)
+	for _, p := range transitiveImports(pass.Pkg) {
+		var f MechEventsFact
+		if pass.ImportPackageFact(p, &f) {
+			events = append(events, f.Events...)
+		}
+	}
+	events = sortedUnique(events)
+
+	// Case 1: this package owns the keys table and can already see
+	// events declarations (single-package fixtures, or if detect ever
+	// imports core).
+	if keysPos != token.NoPos {
+		reportMissing(pass, ix, keysPos, pass.Pkg.Path(), events, localKeys)
+	}
+
+	// Case 2: this package is a join point — it directly imports a
+	// keys-carrying package and sees events the keys may not cover.
+	if len(events) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if directive.InTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			dep := directImport(pass.Pkg, path)
+			if dep == nil {
+				continue
+			}
+			var kf ChannelKeysFact
+			if pass.ImportPackageFact(dep, &kf) {
+				reportMissing(pass, ix, imp.Pos(), dep.Path(), events, kf.Keys)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// reportMissing diagnoses traced events absent from the watch keys,
+// honoring a //lint:allow mechtable <reason> at the report site.
+func reportMissing(pass *analysis.Pass, ix *directive.Index, pos token.Pos, keysOwner string, events, keys []string) {
+	if ix.Allowed(pos) {
+		return
+	}
+	keySet := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	var missing []string
+	for _, e := range events {
+		if !keySet[e] {
+			missing = append(missing, e)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(pos, "detector blind spot: %s's //mes:mechevents-keys table does not watch traced channel event(s) %s — a mechanism emitting only these is invisible to the detector",
+			keysOwner, strings.Join(sortedUnique(missing), ", "))
+	}
+}
+
+// checkEnum verifies that the annotated construct mentions every
+// declared constant of the named enum type.
+func checkEnum(pass *analysis.Pass, node ast.Node, args string) {
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		pass.Reportf(node.Pos(), "//mes:mechtable needs a type argument, e.g. //mes:mechtable Mechanism")
+		return
+	}
+	tn := resolveTypeName(pass, fields[0])
+	if tn == nil {
+		pass.Reportf(node.Pos(), "//mes:mechtable %s: cannot resolve the type in this package or its direct imports", fields[0])
+		return
+	}
+
+	used := make(map[*types.Const]bool)
+	ast.Inspect(node, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && types.Identical(c.Type(), tn.Type()) {
+			used[c] = true
+		}
+		return true
+	})
+
+	var missing []*types.Const
+	for _, c := range enumConsts(tn) {
+		if !used[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		vi, iok := constant.Int64Val(missing[i].Val())
+		vj, jok := constant.Int64Val(missing[j].Val())
+		if iok && jok && vi != vj {
+			return vi < vj
+		}
+		return missing[i].Name() < missing[j].Name()
+	})
+	names := make([]string, len(missing))
+	for i, c := range missing {
+		names[i] = c.Name()
+	}
+	pass.Reportf(node.Pos(), "table annotated //mes:mechtable %s does not mention %s: every member of the mechanism family must be wired into every table (add the entry, or document the exception with //lint:allow mechtable <reason>)",
+		fields[0], strings.Join(names, ", "))
+}
+
+// enumConsts lists the constants of tn's type declared in its defining
+// package, excluding "num"-prefixed length sentinels.
+func enumConsts(tn *types.TypeName) []*types.Const {
+	scope := tn.Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), tn.Type()) {
+			continue
+		}
+		if strings.HasPrefix(c.Name(), "num") || strings.HasPrefix(c.Name(), "Num") {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// resolveTypeName resolves "T" (this package) or "pkg.T" (a direct
+// import, matched by package name).
+func resolveTypeName(pass *analysis.Pass, name string) *types.TypeName {
+	lookup := func(scope *types.Scope, n string) *types.TypeName {
+		tn, _ := scope.Lookup(n).(*types.TypeName)
+		return tn
+	}
+	if pkgName, typeName, qualified := strings.Cut(name, "."); qualified {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				return lookup(imp.Scope(), typeName)
+			}
+		}
+		return nil
+	}
+	if tn := lookup(pass.Pkg.Scope(), name); tn != nil {
+		return tn
+	}
+	return nil
+}
+
+// stringLiterals collects the string constants in a subtree.
+func stringLiterals(pass *analysis.Pass, n ast.Node) []string {
+	if n == nil {
+		return nil
+	}
+	var out []string
+	ast.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				out = append(out, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mapStringKeys collects the string-constant keys of composite literals
+// under the annotated declaration.
+func mapStringKeys(pass *analysis.Pass, n ast.Node) []string {
+	var out []string
+	ast.Inspect(n, func(x ast.Node) bool {
+		kv, ok := x.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[kv.Key]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			out = append(out, constant.StringVal(tv.Value))
+		}
+		return true
+	})
+	return out
+}
+
+func sortedUnique(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func transitiveImports(pkg *types.Package) []*types.Package {
+	seen := make(map[*types.Package]bool)
+	var out []*types.Package
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				walk(imp)
+			}
+		}
+	}
+	walk(pkg)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
+	return out
+}
+
+func directImport(pkg *types.Package, path string) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}

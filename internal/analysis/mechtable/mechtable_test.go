@@ -1,0 +1,15 @@
+package mechtable_test
+
+import (
+	"testing"
+
+	"mes/internal/analysis/antest"
+	"mes/internal/analysis/mechtable"
+)
+
+// TestMechtable covers the enum-exhaustiveness directive (mech) and
+// the cross-package detector-coverage audit (join imports chans + det,
+// reproducing the PR 4 detector-blindness bug as a vet error).
+func TestMechtable(t *testing.T) {
+	antest.Run(t, "testdata", mechtable.Analyzer, "mech", "join")
+}

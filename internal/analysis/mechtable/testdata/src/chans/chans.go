@@ -1,0 +1,24 @@
+// Package chans plays the role of core: it declares the mechanism
+// family and the trace events each mechanism emits.
+package chans
+
+type Mechanism int
+
+const (
+	Futex Mechanism = iota
+	CondVar
+	numMechanisms
+)
+
+// TraceEvents lists each mechanism's detector-observable events; the
+// directive exports them as a package fact.
+//mes:mechevents
+func TraceEvents(m Mechanism) []string {
+	switch m {
+	case Futex:
+		return []string{"futex"}
+	case CondVar:
+		return []string{"condsignal"}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package det plays the role of detect: it watches a set of channel
+// events but — deliberately, for the test — is missing "condsignal",
+// reproducing the detector-blindness bug the conformance audit found.
+// det does not import chans, so the gap is only visible at a join
+// point that imports both.
+package det
+
+//mes:mechevents-keys
+var channelEvents = map[string]bool{
+	"futex": true,
+}
+
+// Watches reports whether the detector observes the named event.
+func Watches(ev string) bool { return channelEvents[ev] }

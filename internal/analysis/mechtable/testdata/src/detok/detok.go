@@ -1,0 +1,12 @@
+// Package detok is a keys table with full coverage of the chans
+// events — the join point must not flag it.
+package detok
+
+//mes:mechevents-keys
+var channelEvents = map[string]bool{
+	"futex":      true,
+	"condsignal": true,
+}
+
+// Watches reports whether the detector observes the named event.
+func Watches(ev string) bool { return channelEvents[ev] }

@@ -1,0 +1,26 @@
+// Package join plays the role of experiments/cmd: it imports both the
+// mechanism family and the detector, so it is where the mechevents
+// fact meets the mechevents-keys fact. The det import is flagged —
+// condsignal is traced but unwatched — while detok's complete table
+// passes.
+package join
+
+import (
+	"chans"
+	"det" // want "detector blind spot: det's //mes:mechevents-keys table does not watch traced channel event\\(s\\) condsignal"
+	"detok"
+)
+
+// Audit wires both sides together the way mesbench does.
+func Audit(m chans.Mechanism) int {
+	n := 0
+	for _, ev := range chans.TraceEvents(m) {
+		if det.Watches(ev) {
+			n++
+		}
+		if detok.Watches(ev) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+// Package mech is a mechtable fixture for the enum-exhaustiveness
+// directive: a mechanism enum with a length sentinel, complete and
+// incomplete annotated tables, and a documented exception.
+package mech
+
+type Mechanism int
+
+const (
+	Flock Mechanism = iota
+	Mutex
+	Futex
+	CondVar
+	numMechanisms // length sentinel, exempt from the audit
+)
+
+// complete mentions every member, so the directive is satisfied.
+//mes:mechtable Mechanism
+func complete(m Mechanism) string {
+	switch m {
+	case Flock:
+		return "flock"
+	case Mutex:
+		return "mutex"
+	case Futex:
+		return "futex"
+	case CondVar:
+		return "condvar"
+	}
+	return "?"
+}
+
+// incompleteSwitch is what deleting a mechanism's case produces.
+func incompleteSwitch(m Mechanism) string {
+	//mes:mechtable Mechanism
+	switch m { // want "does not mention Futex, CondVar"
+	case Flock:
+		return "flock"
+	case Mutex:
+		return "mutex"
+	}
+	return "?"
+}
+
+// An annotated table literal is audited the same way; the var line
+// matches once even though it parses as GenDecl, ValueSpec and
+// CompositeLit.
+//mes:mechtable Mechanism
+var names = map[Mechanism]string{ // want "does not mention CondVar"
+	Flock: "flock",
+	Mutex: "mutex",
+	Futex: "futex",
+}
+
+// partial is a documented exception: deliberately legacy-only.
+//mes:mechtable Mechanism
+//lint:allow mechtable table covers the legacy file-based mechanisms only
+func partial(m Mechanism) bool {
+	return m == Flock
+}
+
+// unresolvable names a type that does not exist.
+//mes:mechtable Bogus
+func unresolvable(m Mechanism) { // want "cannot resolve the type"
+	_ = m
+}

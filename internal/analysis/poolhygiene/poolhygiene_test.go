@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"mes/internal/analysis/antest"
+	"mes/internal/analysis/poolhygiene"
+)
+
+func TestPoolhygiene(t *testing.T) {
+	antest.Run(t, "testdata", poolhygiene.Analyzer, "pools")
+}

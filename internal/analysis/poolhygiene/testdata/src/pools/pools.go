@@ -1,0 +1,172 @@
+// Package pools is a poolhygiene fixture mirroring the project's pool
+// shapes: a generic Pool with Get/Put, machine-like NewSystem/Release,
+// session-like NewSession/Close and a TakeRetired free list.
+package pools
+
+import "errors"
+
+type Pool[T any] struct{ items []T }
+
+func (p *Pool[T]) Get() (v T, ok bool) {
+	if n := len(p.items); n > 0 {
+		v = p.items[n-1]
+		p.items = p.items[:n-1]
+		return v, true
+	}
+	return v, false
+}
+
+func (p *Pool[T]) Put(v T) { p.items = append(p.items, v) }
+
+type System struct{ released bool }
+
+func NewSystem(seed uint64) *System { return &System{} }
+
+func (s *System) Release() { s.released = true }
+
+type Session struct{ sys *System }
+
+func NewSession(seed uint64) (*Session, error) {
+	if seed == 0 {
+		return nil, errors.New("bad seed")
+	}
+	return &Session{sys: NewSystem(seed)}, nil
+}
+
+func (s *Session) Close() { s.sys.Release() }
+
+type Object interface{ Name() string }
+
+type Namespace struct{ retired []Object }
+
+func (ns *Namespace) TakeRetired() (Object, bool) {
+	if n := len(ns.retired); n > 0 {
+		o := ns.retired[n-1]
+		ns.retired = ns.retired[:n-1]
+		return o, true
+	}
+	return nil, false
+}
+
+func (ns *Namespace) Insert(o Object) { ns.retired = append(ns.retired, o) }
+
+// leakOnError releases on success but loses the machine when the work
+// fails — the exact bug class from the batched-trial sessions.
+func leakOnError(work func() error) error {
+	sys := NewSystem(1) // want "machine acquired here is not released on every path"
+	if err := work(); err != nil {
+		return err // want "this return may leak the machine"
+	}
+	sys.Release()
+	return nil
+}
+
+// releasedEverywhere pairs each path with its Release.
+func releasedEverywhere(work func() error) error {
+	sys := NewSystem(1)
+	if err := work(); err != nil {
+		sys.Release()
+		return err
+	}
+	sys.Release()
+	return nil
+}
+
+// deferred releases via defer, covering every return at once.
+func deferred(work func() error) error {
+	sys := NewSystem(1)
+	defer sys.Release()
+	return work()
+}
+
+// okGated only holds a value in the then-branch; the !ok path has
+// nothing to release, so starting the search there avoids a false
+// positive on the fallthrough return.
+func okGated(p *Pool[*System]) *System {
+	var sys *System
+	if pooled, ok := p.Get(); ok {
+		sys = pooled
+	}
+	if sys == nil {
+		sys = NewSystem(1)
+	}
+	return sys
+}
+
+// pooledLeak takes from the pool and forgets to put back on the error
+// path.
+func pooledLeak(p *Pool[*System], work func() error) error {
+	if pooled, ok := p.Get(); ok { // want "pooled value acquired here is not released on every path"
+		if err := work(); err != nil {
+			return err // want "this return may leak the pooled value"
+		}
+		p.Put(pooled)
+	}
+	return nil
+}
+
+// errGate: a fallible constructor's error return is not a leak — the
+// failed acquire produced nothing — and returning the value itself
+// hands ownership to the caller.
+func errGate() (*Session, error) {
+	s, err := NewSession(7)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sessionLeak survives its own constructor check but drops the session
+// on a later, unrelated error path.
+func sessionLeak(work func() error) error {
+	s, err := NewSession(7) // want "session acquired here is not released on every path"
+	if err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want "this return may leak the session"
+	}
+	s.Close()
+	return nil
+}
+
+// adopt escapes into a longer-lived structure: ownership moved, the
+// analyzer stops tracking.
+type holder struct{ sys *System }
+
+func (h *holder) adopt() {
+	sys := NewSystem(1)
+	h.sys = sys
+}
+
+// retiredReuse re-homes the taken object with Insert.
+func retiredReuse(ns *Namespace) {
+	if o, ok := ns.TakeRetired(); ok {
+		ns.Insert(o)
+	}
+}
+
+// retiredLeak drops the taken object on the floor. Without the
+// `if v, ok := ...; ok` gating shape the analyzer cannot prune the
+// empty-pool branch, which is the point: restructure or release.
+func retiredLeak(ns *Namespace) Object {
+	o, ok := ns.TakeRetired() // want "retired object acquired here is not released on every path"
+	if !ok {
+		return nil // want "this return may leak the retired object"
+	}
+	_ = o
+	return nil
+}
+
+// allowedTransfer documents a deliberate ownership handoff the
+// analyzer cannot see.
+func allowedTransfer() *System {
+	//lint:allow poolhygiene ownership transfers to the global registry below
+	sys := NewSystem(1)
+	register(sys)
+	return nil
+}
+
+var registry []*System
+
+func register(s *System) { registry = append(registry, s) }

@@ -1,0 +1,68 @@
+// Package sim is a traceguard fixture shaped like the real simulation
+// kernel: a Tracef that boxes its variadic arguments, and a Tracing
+// predicate that guards it.
+package sim
+
+type Kernel struct{ tracing bool }
+
+func (k *Kernel) Tracing() bool { return k.tracing }
+
+func (k *Kernel) Tracef(ev, format string, args ...interface{}) {
+	_ = ev
+	_ = format
+	_ = args
+}
+
+// guardedIf is the canonical form: the call sits in the then-branch of
+// a Tracing() condition.
+func guardedIf(k *Kernel) {
+	if k.Tracing() {
+		k.Tracef("ev", "ok")
+	}
+}
+
+// guardedConjunction still dominates: && only narrows the condition.
+func guardedConjunction(k *Kernel, hot bool) {
+	if hot && k.Tracing() {
+		k.Tracef("ev", "ok")
+	}
+}
+
+// guardedEarlyReturn uses the other accepted shape: a preceding
+// `if !Tracing() { return }` dominates everything after it.
+func guardedEarlyReturn(k *Kernel) {
+	if !k.Tracing() {
+		return
+	}
+	k.Tracef("ev", "ok")
+	k.Tracef("ev", "still ok")
+}
+
+// unguarded is the regression this analyzer exists for — exactly what
+// deleting a Tracing() guard from a hot path produces.
+func unguarded(k *Kernel) {
+	k.Tracef("ev", "boxed: %d", 1) // want "not dominated by a Tracing\\(\\) guard"
+}
+
+// negatedGuard inverts the condition: the call runs on UNtraced runs.
+func negatedGuard(k *Kernel) {
+	if !k.Tracing() {
+		k.Tracef("ev", "wrong branch") // want "not dominated by a Tracing\\(\\) guard"
+	}
+}
+
+// disjunction does not dominate: the other arm can be true alone.
+func disjunction(k *Kernel, force bool) {
+	if force || k.Tracing() {
+		k.Tracef("ev", "maybe untraced") // want "not dominated by a Tracing\\(\\) guard"
+	}
+}
+
+// allowed documents an intentional exception with a reason. (The
+// reasonless-allow error is covered by the directive package's unit
+// tests: the diagnostic lands on the directive's own line, where a
+// want comment would be parsed as the reason.)
+func allowed(k *Kernel) {
+	//lint:allow traceguard cold path, runs once per session teardown
+	k.Tracef("ev", "fine")
+}

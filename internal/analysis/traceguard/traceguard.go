@@ -1,0 +1,180 @@
+// Package traceguard defines an analyzer enforcing the kernel-trace
+// allocation contract: every call that appends to the simulation trace
+// (Kernel.Tracef and any other method named Tracef) inside a hot-path
+// package must be dominated by a Tracing() guard. Tracef's variadic
+// arguments box into interfaces at the call site, so an unguarded call
+// allocates on every untraced run — exactly the regression class the
+// zero-alloc budgets (TestKernelEventAllocsAmortizedZero,
+// TestTransmissionAllocBudget) only catch after it lands.
+package traceguard
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mes/internal/analysis/directive"
+)
+
+// hotPackages are the packages whose Tracef call sites must be guarded:
+// the simulation kernel and every layer on a transmission's per-symbol
+// path. Matching is by package name so analysistest fixtures exercise
+// the real predicate.
+var hotPackages = map[string]bool{
+	"sim": true, "kobj": true, "vfs": true, "osmodel": true, "core": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "traceguard",
+	Doc:      "check that Tracef calls in hot-path packages are dominated by a Tracing() guard (unguarded variadic boxing allocates on untraced runs)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !hotPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	ix := directive.NewIndex(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if calleeName(call) != "Tracef" {
+			return true
+		}
+		if directive.InTestFile(pass, call.Pos()) {
+			return true
+		}
+		if withinTracefDecl(stack) {
+			return true // the wrapper that implements Tracef itself
+		}
+		if guarded(stack) {
+			return true
+		}
+		if ix.Allowed(call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "Tracef call is not dominated by a Tracing() guard: variadic arguments box and allocate even on untraced runs")
+		return true
+	})
+	return nil, nil
+}
+
+// calleeName extracts the bare called name from f(...) or x.f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// withinTracefDecl reports whether the call happens inside the body of a
+// function itself named Tracef (or its lowercase impl), which forwards
+// the already-boxed arguments.
+func withinTracefDecl(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if name := fd.Name.Name; name == "Tracef" || name == "tracef" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guarded reports whether the innermost enclosing control flow
+// establishes a Tracing() guard for the call: either the call sits in
+// the then-branch of an if whose condition requires Tracing(), or an
+// earlier statement in an enclosing block is the early-return form
+// `if !x.Tracing() { return }`.
+func guarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		// Form 1: if x.Tracing() { ...call... }
+		if ifStmt, ok := stack[i-1].(*ast.IfStmt); ok && stack[i] == ifStmt.Body {
+			if requiresTracing(ifStmt.Cond) {
+				return true
+			}
+		}
+		// Form 2: an earlier `if !x.Tracing() { return }` in the same
+		// block dominates everything after it.
+		block, ok := stack[i-1].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		child := stack[i]
+		for _, stmt := range block.List {
+			if stmt == child {
+				break
+			}
+			if earlyReturnGuard(stmt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// requiresTracing reports whether cond being true implies some
+// Tracing() call returned true: a Tracing() call, possibly combined
+// with other conditions by &&. Negations and || disjunctions do not
+// qualify.
+func requiresTracing(cond ast.Expr) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return requiresTracing(e.X)
+	case *ast.BinaryExpr:
+		if e.Op.String() == "&&" {
+			return requiresTracing(e.X) || requiresTracing(e.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		return calleeName(e) == "Tracing"
+	}
+	return false
+}
+
+// earlyReturnGuard matches `if !x.Tracing() { return ... }` (the body
+// must leave the function unconditionally via return or panic).
+func earlyReturnGuard(stmt ast.Stmt) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Else != nil || len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	unary, ok := ifStmt.Cond.(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "!" {
+		return false
+	}
+	call, ok := unwrapParens(unary.X).(*ast.CallExpr)
+	if !ok || calleeName(call) != "Tracing" {
+		return false
+	}
+	last := ifStmt.Body.List[len(ifStmt.Body.List)-1]
+	switch s := last.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			return strings.HasSuffix(calleeName(c), "panic")
+		}
+	}
+	return false
+}
+
+func unwrapParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

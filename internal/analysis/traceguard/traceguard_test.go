@@ -1,0 +1,12 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"mes/internal/analysis/antest"
+	"mes/internal/analysis/traceguard"
+)
+
+func TestTraceguard(t *testing.T) {
+	antest.Run(t, "testdata", traceguard.Analyzer, "sim")
+}

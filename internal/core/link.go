@@ -158,6 +158,7 @@ func newLink() *link {
 }
 
 // runSpy is the Spy process body: one measurement per symbol.
+//mes:allocfree
 func (l *link) runSpy(p *osmodel.Proc) {
 	if err := l.rcv.setup(p); err != nil {
 		l.spyErr = err
@@ -191,6 +192,7 @@ func (l *link) runSpy(p *osmodel.Proc) {
 }
 
 // runTrojan is the Trojan process body: one send per symbol.
+//mes:allocfree
 func (l *link) runTrojan(p *osmodel.Proc) {
 	p.Sleep(l.setupDelay)
 	if err := l.snd.setup(p); err != nil {
@@ -456,6 +458,7 @@ func Run(cfg Config) (*Result, error) {
 //     blocking window entirely on long holds (Fig. 10's right side);
 //   - both: rare wholesale corruption (the Spy observes the neighbouring
 //     bit's timing), the guard-independent BER floor.
+//mes:allocfree
 func (l *link) observe(p *osmodel.Proc, m, prevM sim.Duration) sim.Duration {
 	prof := &l.prof
 	rng := p.Rand()

@@ -70,6 +70,7 @@ const (
 // table-driven over this list, so growing the family is a matter of
 // adding the enum value, its kobj/osmodel substrate and a newPair case.
 func Mechanisms() []Mechanism {
+	//mes:mechtable Mechanism
 	return []Mechanism{Flock, FileLockEX, Mutex, Semaphore, Event, Timer, Futex, CondVar, WriteSync}
 }
 
@@ -80,7 +81,42 @@ func PaperMechanisms() []Mechanism {
 	return []Mechanism{Flock, FileLockEX, Mutex, Semaphore, Event, Timer}
 }
 
+// TraceEvents lists the kernel trace events a transmission over this
+// mechanism emits on its per-symbol path — the observables the
+// trace-based detector must watch (detect.channelEvents). A mechanism
+// may return nil when its protocol's kernel operations are not traced
+// as distinct events (the Windows wait/wake paths only surface
+// setevent). meslint's mechtable analyzer exports these names as a
+// package fact and verifies, at every package that links the detector
+// against the channels, that each one is a channelEvents key: adding a
+// mechanism whose events the detector ignores fails `make lint`.
+//
+//mes:mechevents
+//mes:mechtable Mechanism
+func (m Mechanism) TraceEvents() []string {
+	switch m {
+	case Flock:
+		return []string{"flock"}
+	case FileLockEX:
+		return nil // modeled via the same VFS lock path; not separately traced
+	case Mutex, Semaphore, Timer:
+		return nil // identity-only kernel objects: waits/wakes are untraced
+	case Event:
+		return []string{"setevent"}
+	case Futex:
+		return []string{"futex"}
+	case CondVar:
+		return []string{"condsignal"}
+	case WriteSync:
+		return []string{"write", "fsync"}
+	default:
+		return nil
+	}
+}
+
 // String returns the paper's name for the mechanism.
+//
+//mes:mechtable Mechanism
 func (m Mechanism) String() string {
 	switch m {
 	case Flock:

@@ -47,6 +47,11 @@ func RunParallel(mech Mechanism, scn Scenario, n, bitsPerPair int, seed uint64) 
 	par := DefaultParams(mech, scn.Isolation)
 	prof := timing.ProfileFor(mech.OS(), scn.Isolation)
 	sys := osmodel.NewSystem(osmodel.Config{Profile: prof, Seed: seed})
+	// Unwind the machine on every exit: an early error return leaves 2i
+	// spawned coroutines parked mid-wait, and even a completed run parks
+	// its coroutines on the kernel's free list — either way their
+	// goroutines pin the machine until released.
+	defer sys.Release()
 	trojanDom, spyDom := domainsFor(sys, mech, scn)
 
 	rng := sim.NewRNG(seed)

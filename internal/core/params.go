@@ -56,6 +56,7 @@ func DefaultParams(m Mechanism, iso timing.Isolation) Params {
 	us := func(v float64) sim.Duration { return sim.Micro(v) }
 	switch iso {
 	case timing.Local: // Table IV + extension defaults
+		//mes:mechtable Mechanism
 		switch m {
 		case Flock:
 			return Params{TT1: us(160), TT0: us(60)}
@@ -77,6 +78,7 @@ func DefaultParams(m Mechanism, iso timing.Isolation) Params {
 			return Params{TT1: us(150), TT0: us(60)}
 		}
 	case timing.Sandbox: // Table V + extension defaults
+		//mes:mechtable Mechanism
 		switch m {
 		case Flock:
 			return Params{TT1: us(170), TT0: us(60)}

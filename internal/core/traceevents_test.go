@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"mes/internal/codec"
+	"mes/internal/sim"
+)
+
+// TestTraceEventsAreEmitted is the runtime half of the mechtable
+// contract: meslint statically checks that every TraceEvents name is a
+// detect.channelEvents key, and this test checks the annotation is
+// truthful — a traced local transmission over each mechanism really
+// emits every event its TraceEvents declares. A mechanism declaring an
+// event its protocol never produces would make the static audit pass
+// vacuously.
+func TestTraceEventsAreEmitted(t *testing.T) {
+	for _, m := range Mechanisms() {
+		events := m.TraceEvents()
+		if len(events) == 0 {
+			continue // untraced protocol (identity-only kernel objects)
+		}
+		tr := sim.NewTrace(0)
+		if _, err := Run(Config{
+			Mechanism: m,
+			Scenario:  Local(),
+			Payload:   codec.FromString("ok"),
+			Seed:      3,
+			Trace:     tr,
+		}); err != nil {
+			t.Fatalf("%v: traced run failed: %v", m, err)
+		}
+		for _, ev := range events {
+			if len(tr.Filter(ev)) == 0 {
+				t.Errorf("%v: TraceEvents declares %q but a traced transmission emitted none", m, ev)
+			}
+		}
+	}
+}

@@ -62,6 +62,7 @@ type resID struct {
 // must be listed here — a mechanism whose events are missing is
 // invisible to the detector (the audit TestAnalyzeCoversChannelEvents
 // pins the list against the mechanisms' traced syscalls).
+//mes:mechevents-keys
 var channelEvents = map[string]bool{
 	"flock":      true,
 	"setevent":   true,
@@ -99,10 +100,18 @@ func Analyze(entries []sim.Entry) []Score {
 		byResource[id] = append(byResource[id], e.T)
 	}
 	var out []Score
+	//lint:allow detnondet scores are re-sorted below with a total order, so accumulation order is unobservable
 	for id, times := range byResource {
 		out = append(out, scoreSeries(resourceName(id), times))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Suspicion > out[j].Suspicion })
+	// Tie-break equal suspicions by resource name: without it, the order
+	// of tied scores would leak map iteration order into reports.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suspicion != out[j].Suspicion {
+			return out[i].Suspicion > out[j].Suspicion
+		}
+		return out[i].Resource < out[j].Resource
+	})
 	return out
 }
 
@@ -193,6 +202,7 @@ func topBinMass(v []float64, binWidth float64, k int) float64 {
 		bins[int(x/binWidth)]++
 	}
 	counts := make([]int, 0, len(bins))
+	//lint:allow detnondet the counts are sorted with a total order before any are consumed
 	for _, c := range bins {
 		counts = append(counts, c)
 	}

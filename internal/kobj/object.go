@@ -35,6 +35,7 @@ const (
 )
 
 func (t Type) String() string {
+	//mes:mechtable Type
 	switch t {
 	case TypeEvent:
 		return "Event"
@@ -105,6 +106,7 @@ type waitQueue struct {
 
 // wakeOne returns a single-element waiter list backed by the reusable
 // buffer.
+//mes:allocfree
 func (q *waitQueue) wakeOne(w Waiter) []Waiter {
 	if q.wake == nil {
 		q.wake = q.wakeBuf[:0]
@@ -115,6 +117,7 @@ func (q *waitQueue) wakeOne(w Waiter) []Waiter {
 
 // wakeN pops up to n waiters into the reusable buffer, preserving FIFO
 // order.
+//mes:allocfree
 func (q *waitQueue) wakeN(n int) []Waiter {
 	if q.wake == nil {
 		q.wake = q.wakeBuf[:0]

@@ -102,6 +102,7 @@ func (s *System) Reset(cfg Config) {
 	s.rng.Reseed(s.k.Rand().Uint64())
 	clear(s.objHome)
 	clear(s.inodeHome)
+	//lint:allow detnondet each domain retires into its own namespace/filesystem pools; domain order is unobservable
 	for name, d := range s.domains {
 		if d == s.hostDomain {
 			continue

@@ -244,6 +244,7 @@ func (k *Kernel) Tracing() bool { return k.trace != nil }
 // schedule inserts an event at absolute time t (clamped to now). The heap
 // is 4-ary: shallower than a binary heap for the same size, so the sift-up
 // here and the sift-down in pop touch fewer cache lines per operation.
+//mes:allocfree
 func (k *Kernel) schedule(t Time, kind eventKind, p *Proc, value int, fn func()) {
 	if t < k.now {
 		t = k.now
@@ -267,6 +268,7 @@ func (k *Kernel) schedule(t Time, kind eventKind, p *Proc, value int, fn func())
 }
 
 // pop removes and returns the earliest event.
+//mes:allocfree
 func (k *Kernel) pop() event {
 	h := k.events
 	top := h[0]
@@ -361,6 +363,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 // runtime.coroswitch underneath): a direct goroutine-to-goroutine transfer
 // with no scheduler park/unpark, so the Go runtime never arbitrates the
 // simulation's single-threaded control flow.
+//mes:allocfree
 func (k *Kernel) resume(q *Proc) {
 	if !q.started {
 		q.started = true
@@ -384,6 +387,7 @@ func (k *Kernel) checkWake(e *event) {
 // Used by the kernel-driven paths (Run's top level and Step); hosts route
 // their own copy in Proc.host, which additionally unwinds to in-chain
 // targets.
+//mes:allocfree
 func (k *Kernel) deliver(e *event) {
 	q := e.proc
 	if q.state == ProcDone {
@@ -399,6 +403,7 @@ func (k *Kernel) deliver(e *event) {
 }
 
 // execute fires one popped event (the Step path and Run's top level).
+//mes:allocfree
 func (k *Kernel) execute(e *event) {
 	switch e.kind {
 	case evDispatch, evWake:

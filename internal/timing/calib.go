@@ -60,6 +60,7 @@ func windowsLocal() Profile {
 
 		BarrierLag: sim.Micro(10),
 	}
+	//mes:mechtable Op
 	p.OpCost = [numOps]sim.Duration{
 		OpTimestamp:    sim.Micro(0.3),
 		OpJudge:        sim.Micro(1.2),
@@ -124,6 +125,7 @@ func linuxLocal() Profile {
 
 		BarrierLag: sim.Micro(16),
 	}
+	//mes:mechtable Op
 	p.OpCost = [numOps]sim.Duration{
 		OpTimestamp:    sim.Micro(0.25),
 		OpJudge:        sim.Micro(1.0),
@@ -193,9 +195,12 @@ func (p Profile) ForIsolation(iso Isolation) Profile {
 // allocation-free on the per-transmission path — deriving a profile on
 // demand would pay ForIsolation's name concatenation every call.
 var profileCache = func() (cache [2][3]Profile) {
-	for osk, base := range map[OSKind]Profile{Windows: windowsLocal(), Linux: linuxLocal()} {
+	for _, e := range [...]struct {
+		os   OSKind
+		base Profile
+	}{{Windows, windowsLocal()}, {Linux, linuxLocal()}} {
 		for _, iso := range []Isolation{Local, Sandbox, VM} {
-			cache[osk][iso] = base.ForIsolation(iso)
+			cache[e.os][iso] = e.base.ForIsolation(iso)
 		}
 	}
 	return cache

@@ -103,6 +103,7 @@ func (p *Profile) initSigma() {
 }
 
 // Cost returns the jittered cost of op.
+//mes:allocfree
 func (p *Profile) Cost(r *sim.RNG, op Op) sim.Duration {
 	base := p.OpCost[op]
 	var sigma float64
@@ -123,6 +124,7 @@ func (p *Profile) Cost(r *sim.RNG, op Op) sim.Duration {
 
 // SleepExtra returns the extra latency a sleep of requested length pays:
 // rounding up to the floor plus stochastic overshoot.
+//mes:allocfree
 func (p *Profile) SleepExtra(r *sim.RNG, requested sim.Duration) sim.Duration {
 	extra := sim.Duration(0)
 	if requested < p.SleepFloor {
@@ -137,6 +139,7 @@ func (p *Profile) SleepExtra(r *sim.RNG, requested sim.Duration) sim.Duration {
 
 // Hazard returns outlier delay accumulated over an exposure of length d in
 // a constraint state. Zero in the common case.
+//mes:allocfree
 func (p *Profile) Hazard(r *sim.RNG, d sim.Duration) sim.Duration {
 	return p.HazardCapped(r, d, 0)
 }

@@ -86,12 +86,14 @@ func (fs *FS) Reset() {
 // is semantically indistinguishable from a fresh one afterwards: lookups
 // miss, creates succeed, and numbering restarts at the beginning.
 func (fs *FS) Retire() {
+	//lint:allow detnondet retired structures are fully reinitialized on reuse; the pooling conformance suite pins output as byte-identical either way
 	for path, in := range fs.inodes {
 		if len(fs.retiredInodes) < retiredCap {
 			fs.retiredInodes = append(fs.retiredInodes, in)
 		}
 		delete(fs.inodes, path)
 	}
+	//lint:allow detnondet same as the i-node loop above: reuse identity is unobservable
 	for id, f := range fs.files {
 		if len(fs.retiredFiles) < retiredCap {
 			fs.retiredFiles = append(fs.retiredFiles, f)
@@ -199,6 +201,7 @@ func (fs *FS) Close(f *File) ([]Waiter, error) {
 // MarkDirty records pages of in as dirtied in the page cache and pending
 // in the journal. Pages are abstract units here; only their count shapes
 // the writeback cost.
+//mes:allocfree
 func (fs *FS) MarkDirty(in *Inode, pages int) {
 	if pages <= 0 {
 		return
@@ -218,6 +221,7 @@ func (fs *FS) DirtyPages() int { return fs.dirtyPages }
 // number of pages flushed is returned so the OS layer can charge the
 // per-page cost. The dirty-inode list is reused across commits, so the
 // per-bit fsync path does not allocate.
+//mes:allocfree
 func (fs *FS) SyncJournal() int {
 	n := fs.dirtyPages
 	if n == 0 {
@@ -241,6 +245,7 @@ func (fs *FS) Inodes() int { return len(fs.inodes) }
 // Paths returns all file paths in sorted order.
 func (fs *FS) Paths() []string {
 	out := make([]string, 0, len(fs.inodes))
+	//lint:allow detnondet the paths are sorted before being returned
 	for p := range fs.inodes {
 		out = append(out, p)
 	}

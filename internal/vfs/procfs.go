@@ -30,6 +30,7 @@ func (fs *FS) Locks() []LockRecord {
 			})
 		}
 		holders := make([]*File, 0, len(in.shared))
+		//lint:allow detnondet holders are sorted by open-file id before rendering
 		for f := range in.shared {
 			holders = append(holders, f)
 		}
