@@ -6,11 +6,11 @@ GO ?= go
 # Which BENCH_PR<n>.json the bench-json target writes; bump per PR so the
 # repo accumulates a performance trajectory. Point BENCH_BASELINE at the
 # previous PR's file to embed it as the "before" column.
-BENCH_PR ?= PR5
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_PR ?= PR7
+BENCH_BASELINE ?= BENCH_PR5.json
 
 # The measurement file perf-smoke's wall-clock gate compares against.
-PERF_BASELINE ?= BENCH_PR5.json
+PERF_BASELINE ?= BENCH_PR7.json
 
 # Coverage floors for the packages guarding the mechanism abstraction,
 # raised to the PR 5 baseline (core 82.0%, kobj 99.7% with the session
@@ -50,10 +50,12 @@ lint:
 # Allocation and wall-clock regressions on the tracked hot paths fail
 # fast: the event core must stay at 0 allocs/event, a pooled one-shot
 # transmission within its 6-allocation budget, a steady-state session
-# trial at 0 allocations, and the quick registry within 15% of the
-# checked-in wall-clock baseline (mesbench -perfcheck; the wall gate is
-# measured best-of-three, normalized by the machine's event-core speed so
-# slower runners don't false-alarm, and skipped for pre-v3 baselines).
+# trial at 0 allocations, the quick registry within 15% of the checked-in
+# wall-clock baseline, and (PR 7) the event core above an absolute 7M
+# events/s floor with the registry under an absolute 130ms budget, both
+# normalized by the machine's raw coroutine-switch cost so slower runners
+# don't false-alarm (mesbench -perfcheck; wall gates are measured
+# best-of-three and skipped for baselines predating the needed rows).
 perf-smoke:
 	$(GO) test -count=1 -run 'TestKernelEventAllocsAmortizedZero' ./internal/sim
 	$(GO) test -count=1 -run 'TestTransmissionAllocBudget' .

@@ -25,10 +25,12 @@
 // Fig. 9 sweep at workers=1 and workers=GOMAXPROCS, and the full quick
 // registry's wall-clock) and writes them as JSON; -benchbaseline embeds a
 // previously written file as the "before" column, which is how each PR's
-// BENCH_PR<n>.json records its speedup. -perfcheck re-measures the two
+// BENCH_PR<n>.json records its speedup. -perfcheck re-measures the
 // regression gates against a checked-in file: steady-state trials must
-// stay allocation-free and the quick registry within 15% of its recorded
-// wall-clock after normalizing for the machine's event-core speed.
+// stay allocation-free, the quick registry within 15% of its recorded
+// wall-clock after normalizing for the machine's event-core speed, and
+// the event core and registry must clear absolute machine-normalized
+// floors (7M events/s, 130ms) that no multi-PR drift can creep past.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -250,14 +253,7 @@ func writeBenchJSON(file, baseline string) error {
 	// One kernel↔process control round trip (two coroutine switches plus
 	// the queue round trip) — the handoff cost the coroutine rewrite
 	// targets.
-	cswitch := testing.Benchmark(func(b *testing.B) {
-		k := sim.NewKernel()
-		sim.SpawnPingPong(k, b.N/2+1)
-		b.ResetTimer()
-		if err := k.Run(); err != nil {
-			b.Fatal(err)
-		}
-	})
+	cswitch := measureContextSwitch()
 	if cswitch.N == 0 {
 		return fmt.Errorf("context-switch benchmark failed; run `go test -bench BenchmarkContextSwitch ./internal/sim` for the failure")
 	}
@@ -372,6 +368,23 @@ func measureKernelBench() testing.BenchmarkResult {
 	})
 }
 
+// measureContextSwitch runs the kernel↔process round-trip workload (the
+// same shape as BenchmarkContextSwitch). Its cost is dominated by the Go
+// runtime's coroutine switch — the irreducible floor under every
+// simulated event — so runPerfCheck uses it as a machine-speed proxy:
+// it tracks the box and the shared scheduler path, making the normalized
+// gates sensitive to regressions in everything else.
+func measureContextSwitch() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		k := sim.NewKernel()
+		sim.SpawnPingPong(k, b.N/2+1)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 // measureSessionTrial counts a steady-state session trial's per-trial
 // heap allocations on the standard benchmark workload (GC disabled during
 // the count, exactly like the TestSessionAllocsSteadyStateZero gate) and,
@@ -440,11 +453,45 @@ func measureRegistryQuick() (float64, error) {
 	return best, nil
 }
 
-// runPerfCheck re-measures the two PR 5 perf gates against a checked-in
+// Absolute performance floors enforced by runPerfCheck, stated for the
+// reference box that wrote the checked-in baseline and rescaled to the
+// measuring machine by the raw coroutine round-trip cost (see
+// measureContextSwitch). Unlike the relative 15% gate — whose baseline
+// ratchets with every PR's measurement file — these are fixed lines that
+// a slow multi-PR drift cannot creep past.
+const (
+	// kernelEventsFloorPerSec: the event core must sustain at least this
+	// many events per second, normalized to the reference box. PR 7
+	// (ziggurat sampler, direct-handoff delivery, register-return pop)
+	// measured 8.2–9.1M events/s across runs; the 10M stretch target
+	// remains out of reach while one coroutine switch costs ~100–130ns.
+	// The ping-pong proxy shares the scheduler path with the event
+	// benchmark, so their ratio is insensitive to shared-path changes —
+	// this floor is a coarse backstop against regressions in the parts
+	// the proxy does not touch (Sleep, the heap, delivery); the registry
+	// budget below is the sharp absolute gate.
+	kernelEventsFloorPerSec = 7.0e6
+	// registryQuickBudgetMs bounds the full quick-registry wall-clock on
+	// the reference box. PR 7 measured 99–115ms across runs (seed:
+	// 152ms, which this budget rejects at the seed's switch speed); the
+	// 70ms stretch target needs another event-core generation — the
+	// sweep is now coroswitch-bound, not libm-bound — so the enforced
+	// budget sits above today's measurement with headroom for box noise.
+	// Boxes slower than the reference get a proportionally larger
+	// budget; faster ones keep this one (tightening it by a fast switch
+	// sample would let uncorrelated timer noise fail a healthy run).
+	registryQuickBudgetMs = 130.0
+)
+
+// runPerfCheck re-measures the perf gates against a checked-in
 // measurement file: steady-state session trials must stay at zero heap
-// allocations, and the quick registry must not be more than 15% slower
-// than the baseline's registry_quick_ms (skipped for pre-v3 baselines,
-// which did not record it). `make perf-smoke` runs this in CI.
+// allocations, the quick registry must not be more than 15% slower than
+// the baseline's registry_quick_ms, and (PR 7) the event core and the
+// registry must clear the absolute machine-normalized floors above.
+// Relative gates are skipped for pre-v3 baselines, which did not record
+// the rows; the absolute gates are skipped when the baseline lacks the
+// context-switch row needed to normalize. `make perf-smoke` runs this in
+// CI.
 func runPerfCheck(file string) error {
 	raw, err := os.ReadFile(file)
 	if err != nil {
@@ -465,12 +512,16 @@ func runPerfCheck(file string) error {
 		return fmt.Errorf("perfcheck: steady-state session trial allocates %.1f/op, want 0", allocs)
 	}
 	if base.After.RegistryQuickMs <= 0 {
-		fmt.Printf("perfcheck ok: 0 allocs/trial; baseline %s predates registry_quick_ms, wall-clock gate skipped\n", file)
+		fmt.Printf("perfcheck ok: 0 allocs/trial; baseline %s predates registry_quick_ms, wall-clock gates skipped\n", file)
 		return nil
 	}
 	ms, err := measureRegistryQuick()
 	if err != nil {
 		return err
+	}
+	kernelNs := 0.0
+	if kernel := measureKernelBench(); kernel.N > 0 {
+		kernelNs = float64(kernel.T.Nanoseconds()) / float64(kernel.N)
 	}
 	// The baseline was measured on one specific machine; CI runners and
 	// contributor laptops run at different speeds. Normalize by the raw
@@ -478,20 +529,44 @@ func runPerfCheck(file string) error {
 	// gate tracks "registry work per kernel event", which a sweep-layer
 	// regression moves and a slower machine does not. (The trade-off: a
 	// regression that slows the event core itself proportionally is
-	// invisible to this ratio — that path has its own gates: 0
-	// allocs/event and the trajectory file.)
+	// invisible to this ratio — the absolute events/s floor below closes
+	// exactly that hole.)
 	scale := 1.0
-	if base.After.KernelNsPerEvent > 0 {
-		if kernel := measureKernelBench(); kernel.N > 0 {
-			scale = float64(kernel.T.Nanoseconds()) / float64(kernel.N) / base.After.KernelNsPerEvent
-		}
+	if base.After.KernelNsPerEvent > 0 && kernelNs > 0 {
+		scale = kernelNs / base.After.KernelNsPerEvent
 	}
 	limit := base.After.RegistryQuickMs * scale * 1.15
 	if ms > limit {
 		return fmt.Errorf("perfcheck: quick registry took %.0fms, more than 15%% over the checked-in %.0fms baseline (machine-speed scale %.2f, limit %.0fms)",
 			ms, base.After.RegistryQuickMs, scale, limit)
 	}
-	fmt.Printf("perfcheck ok: 0 allocs/trial, registry quick %.0fms (baseline %.0fms, machine-speed scale %.2f, limit %.0fms)\n",
+	// Absolute floors, normalized by the coroutine round-trip cost: it is
+	// nearly pure Go-runtime switch time, so the ratio to the baseline
+	// box measures the machine, not our code. A slower box therefore gets
+	// a proportionally lower events/s floor and a larger registry budget;
+	// our own regressions move the measured side only and trip the gates.
+	if swb := base.After.ContextSwitchNsPerOp; swb > 0 && kernelNs > 0 {
+		sw := measureContextSwitch()
+		if sw.N == 0 {
+			return fmt.Errorf("context-switch benchmark failed; run `go test -bench BenchmarkContextSwitch ./internal/sim` for the failure")
+		}
+		swNs := float64(sw.T.Nanoseconds()) / float64(sw.N)
+		speed := swNs / swb // >1 on boxes slower than the reference
+		normEvents := 1e9 / kernelNs * speed
+		if normEvents < kernelEventsFloorPerSec {
+			return fmt.Errorf("perfcheck: event core at %.2fM events/s normalized (%.2fM measured, switch speed %.2f), below the %.1fM floor",
+				normEvents/1e6, 1e9/kernelNs/1e6, speed, kernelEventsFloorPerSec/1e6)
+		}
+		budget := registryQuickBudgetMs * math.Max(1, speed)
+		if ms > budget {
+			return fmt.Errorf("perfcheck: quick registry took %.0fms, over the absolute %.0fms budget (%.0fms reference budget, switch speed %.2f)",
+				ms, budget, registryQuickBudgetMs, speed)
+		}
+		fmt.Printf("perfcheck ok: 0 allocs/trial, registry quick %.0fms (relative limit %.0fms, absolute budget %.0fms), event core %.2fM events/s normalized (floor %.1fM)\n",
+			ms, limit, budget, normEvents/1e6, kernelEventsFloorPerSec/1e6)
+		return nil
+	}
+	fmt.Printf("perfcheck ok: 0 allocs/trial, registry quick %.0fms (baseline %.0fms, machine-speed scale %.2f, limit %.0fms); baseline lacks context_switch_ns_per_op, absolute floors skipped\n",
 		ms, base.After.RegistryQuickMs, scale, limit)
 	return nil
 }

@@ -61,3 +61,76 @@ func notAnnotated(n int) {
 	consume(n)
 	fmt.Println(func() int { return n }())
 }
+
+// Mirrors of the PR 7 RNG hot shapes: table-driven rejection sampling,
+// bulk buffer refill, and quantized lookup are all allocation-free
+// constructs and must pass the analyzer silently.
+
+var (
+	layerEdge  [128]uint64
+	layerScale [128]float64
+	quantTable [256]float64
+)
+
+type prng struct {
+	state uint64
+	pos   uint32
+	n     uint32
+	plane [512]uint8
+}
+
+func (r *prng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+// zigDraw mirrors RNG.NormFloat64: an unbounded rejection loop over
+// value-typed package tables, no escapes.
+//
+//mes:allocfree
+func (r *prng) zigDraw() float64 {
+	for {
+		u := r.next()
+		j := int64(u) >> 11
+		i := u & 127
+		a := j
+		if a < 0 {
+			a = -a
+		}
+		if uint64(a) < layerEdge[i] {
+			return float64(j) * layerScale[i]
+		}
+	}
+}
+
+// refill mirrors RNG.jitterRefill: bulk-unpacking words into an inline
+// byte array reslices the embedded array, which must not be read as an
+// allocating construct.
+//
+//mes:allocfree
+func (r *prng) refill() {
+	for i := 0; i < len(r.plane); i += 8 {
+		w := r.next()
+		for b := 0; b < 8; b++ {
+			r.plane[i+b] = uint8(w >> (8 * b))
+		}
+	}
+	r.pos, r.n = 0, uint32(len(r.plane))
+}
+
+// quantLookup mirrors Profile.Cost's quantized fast path, and its doc
+// comment carries the directive gofmt-style — after a blank // line in
+// the group — which must still annotate the function (the violation
+// below proves the annotation is seen).
+//
+//mes:allocfree
+func (r *prng) quantLookup() float64 {
+	if r.n == 0 {
+		r.refill()
+	}
+	v := r.plane[r.pos]
+	r.pos++
+	r.n--
+	consume(v) // want "implicit conversion of uint8 to interface\\{\\} boxes on the heap"
+	return quantTable[v]
+}

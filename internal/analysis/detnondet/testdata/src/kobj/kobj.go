@@ -43,3 +43,18 @@ func sumSlice(v []int) int {
 	}
 	return total
 }
+
+// Init-time table generation (the PR 7 ziggurat/quantile tables): array
+// builds driven by index recurrences are fully deterministic and must
+// pass silently — determinism-critical packages may precompute lookup
+// tables, they just may not consult wall clocks or unordered maps to do
+// it.
+var zigTable [128]float64
+
+func init() {
+	v := 1.0
+	for i := len(zigTable) - 1; i >= 0; i-- {
+		v *= 0.97
+		zigTable[i] = v
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mes/internal/core"
+	"mes/internal/sim"
 )
 
 // TestSweepsDeterministicAcrossWorkers is the runner's central contract at
@@ -119,11 +120,13 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry sweep in -short mode")
 	}
-	render := func(reuse, sessions bool, workers int) string {
+	render := func(reuse, sessions bool, workers int, plane bool) string {
 		core.SetSystemReuse(reuse)
 		core.SetTrialSessions(sessions)
+		sim.SetJitterPlane(plane)
 		defer core.SetSystemReuse(true)
 		defer core.SetTrialSessions(true)
+		defer sim.SetJitterPlane(true)
 		resetSweepCaches()
 		var b strings.Builder
 		for _, e := range Registry() {
@@ -137,7 +140,7 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		}
 		return b.String()
 	}
-	base := render(false, false, 1)
+	base := render(false, false, 1, true)
 	// The registry sweep must include the crossmech extension experiment —
 	// the determinism contract covers the full mechanism family, not just
 	// the paper's six.
@@ -148,14 +151,23 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		reuse    bool
 		sessions bool
 		workers  int
+		plane    bool
 	}{
-		{false, false, 8},
-		{false, true, 1}, {false, true, 8},
-		{true, false, 1}, {true, false, 8},
-		{true, true, 1}, {true, true, 8},
+		{false, false, 8, true},
+		{false, true, 1, true}, {false, true, 8, true},
+		{true, false, 1, true}, {true, false, 8, true},
+		{true, true, 1, true}, {true, true, 8, true},
+		// Plane off: the jitter substream refills its deviate buffer in
+		// 8-byte rather than 512-byte chunks, which must serve the exact
+		// same byte sequence — the batched plane is a pure buffering
+		// optimisation, invisible to every consumer (PR 7). Two corners of
+		// the cube suffice: the fully pooled parallel-session path and the
+		// fully fresh serial path.
+		{true, true, 8, false},
+		{false, false, 1, false},
 	} {
-		if got := render(c.reuse, c.sessions, c.workers); got != base {
-			t.Errorf("registry output diverged with reuse=%v sessions=%v workers=%d", c.reuse, c.sessions, c.workers)
+		if got := render(c.reuse, c.sessions, c.workers, c.plane); got != base {
+			t.Errorf("registry output diverged with reuse=%v sessions=%v workers=%d plane=%v", c.reuse, c.sessions, c.workers, c.plane)
 		}
 	}
 }

@@ -61,6 +61,7 @@ type Kernel struct {
 	events  []event // value-typed 4-ary min-heap ordered by (at, seq)
 	rng     *RNG
 	hooks   Hooks
+	nop     bool // hooks is NopHooks: Sleep/Exec skip the interface calls
 	trace   *Trace
 	procs   []*Proc
 	free    []*Proc // finished procs available for reuse after Reset
@@ -123,7 +124,16 @@ func NewKernel(opts ...Option) *Kernel {
 	for _, o := range opts {
 		o(k)
 	}
+	k.refreshHooks()
 	return k
+}
+
+// refreshHooks recomputes the NopHooks fast-path flag after k.hooks
+// changes. The default timing model is a no-op; caching the type check
+// lets Sleep and Exec skip two dynamic dispatches per call on raw
+// kernels (the event-core benchmark and protocol unit tests).
+func (k *Kernel) refreshHooks() {
+	_, k.nop = k.hooks.(NopHooks)
 }
 
 // Reset returns the kernel to its post-NewKernel state (with the given
@@ -143,6 +153,7 @@ func (k *Kernel) Reset(opts ...Option) {
 	for _, o := range opts {
 		o(k)
 	}
+	k.refreshHooks()
 }
 
 // ResetTo is the allocation-free equivalent of
@@ -157,6 +168,7 @@ func (k *Kernel) ResetTo(seed uint64, h Hooks, tr *Trace, horizon Time) {
 		h = NopHooks{}
 	}
 	k.hooks = h
+	k.refreshHooks()
 	k.trace = tr
 	k.horizon = horizon
 	k.rng.Reseed(seed)
@@ -180,6 +192,7 @@ func (k *Kernel) Release() {
 	k.free = k.free[:0]
 	k.recycle = false
 	k.hooks = NopHooks{}
+	k.nop = true
 	k.rng.Reseed(1)
 }
 
@@ -244,34 +257,43 @@ func (k *Kernel) Tracing() bool { return k.trace != nil }
 // schedule inserts an event at absolute time t (clamped to now). The heap
 // is 4-ary: shallower than a binary heap for the same size, so the sift-up
 // here and the sift-down in pop touch fewer cache lines per operation.
+//
 //mes:allocfree
 func (k *Kernel) schedule(t Time, kind eventKind, p *Proc, value int, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	seq := k.seq
-	h := append(k.events, event{})
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) >> 2
-		// The parent wins ties automatically: existing events always carry
-		// smaller sequence numbers than the one being inserted.
-		if h[parent].at <= t {
-			break
+	h := append(k.events, event{at: t, seq: k.seq, kind: kind, value: value, proc: p, fn: fn})
+	// Sift up only when the new event beats its parent; scheduling into
+	// the future (the dominant pattern — sleeps and wakes) appends in
+	// place with a single store. The parent wins ties automatically:
+	// existing events always carry smaller sequence numbers than the one
+	// being inserted.
+	if i := len(h) - 1; i > 0 && h[(i-1)>>2].at > t {
+		ev := h[i]
+		for i > 0 {
+			parent := (i - 1) >> 2
+			if h[parent].at <= t {
+				break
+			}
+			h[i] = h[parent]
+			i = parent
 		}
-		h[i] = h[parent]
-		i = parent
+		h[i] = ev
 	}
-	h[i] = event{at: t, seq: seq, kind: kind, value: value, proc: p, fn: fn}
 	k.events = h
 }
 
-// pop removes and returns the earliest event.
+// popTop removes the earliest event, returning its fields as scalars —
+// they travel back in registers, where returning the 48-byte event
+// struct would bounce it through the stack twice on the hottest loop in
+// the simulator.
+//
 //mes:allocfree
-func (k *Kernel) pop() event {
+func (k *Kernel) popTop() (at Time, kind eventKind, value int, q *Proc, fn func()) {
 	h := k.events
-	top := h[0]
+	at, kind, value, q, fn = h[0].at, h[0].kind, h[0].value, h[0].proc, h[0].fn
 	n := len(h) - 1
 	last := h[n]
 	h[n] = event{} // release fn/proc references held in the vacated slot
@@ -302,7 +324,7 @@ func (k *Kernel) pop() event {
 		h[i] = last
 	}
 	k.events = h
-	return top
+	return
 }
 
 // At schedules fn to run at absolute time t (clamped to now).
@@ -342,6 +364,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 		p.body = fn
 		p.state = ProcCreated
 		p.wakeValue = 0
+		p.handed = false
 	} else {
 		p = &Proc{
 			k:     k,
@@ -363,6 +386,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 // runtime.coroswitch underneath): a direct goroutine-to-goroutine transfer
 // with no scheduler park/unpark, so the Go runtime never arbitrates the
 // simulation's single-threaded control flow.
+//
 //mes:allocfree
 func (k *Kernel) resume(q *Proc) {
 	if !q.started {
@@ -373,28 +397,36 @@ func (k *Kernel) resume(q *Proc) {
 }
 
 // checkWake panics on a wake of a non-parked process: lost wakeups would
-// silently corrupt channel timing measurements.
-func (k *Kernel) checkWake(e *event) {
-	if e.kind == evWake && e.proc.state != ProcParked {
-		panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", e.proc.name, e.proc.state))
+// silently corrupt channel timing measurements. The panic itself lives
+// in badWake so this guard inlines into the dispatch loops.
+func (k *Kernel) checkWake(kind eventKind, q *Proc) {
+	if kind == evWake && q.state != ProcParked {
+		badWake(q)
 	}
 }
 
+func badWake(q *Proc) {
+	panic(fmt.Sprintf("sim: Wake of non-parked process %q (state %v)", q.name, q.state))
+}
+
 // deliver routes a popped dispatch/wake to its target. A target with a
-// host frame (its body is blocked inside Proc.host) consumes the event
-// from k.handoff when it resumes; fresh bodies and idle recycled
-// coroutines start clean — for them the resume itself is the delivery.
-// Used by the kernel-driven paths (Run's top level and Step); hosts route
-// their own copy in Proc.host, which additionally unwinds to in-chain
-// targets.
+// host frame (its body is blocked inside Proc.host) gets the event
+// delivered in place (handed — wakeValue pre-set, no handoff copy);
+// fresh bodies and idle recycled coroutines start clean — for them the
+// resume itself is the delivery. Used by the kernel-driven paths (Run's
+// top level and Step); hosts route their own copy in Proc.host, which
+// additionally unwinds to in-chain targets.
+//
 //mes:allocfree
-func (k *Kernel) deliver(e *event) {
-	q := e.proc
+func (k *Kernel) deliver(kind eventKind, value int, q *Proc) {
 	if q.state == ProcDone {
 		return
 	}
 	if q.hostParked {
-		k.handoff, k.hasHandoff = *e, true
+		if kind == evWake {
+			q.wakeValue = value
+		}
+		q.handed = true
 	}
 	q.state = ProcRunning
 	k.running = q
@@ -403,14 +435,15 @@ func (k *Kernel) deliver(e *event) {
 }
 
 // execute fires one popped event (the Step path and Run's top level).
+//
 //mes:allocfree
-func (k *Kernel) execute(e *event) {
-	switch e.kind {
+func (k *Kernel) execute(kind eventKind, value int, q *Proc, fn func()) {
+	switch kind {
 	case evDispatch, evWake:
-		k.checkWake(e)
-		k.deliver(e)
+		k.checkWake(kind, q)
+		k.deliver(kind, value, q)
 	default:
-		e.fn()
+		fn()
 	}
 }
 
@@ -446,11 +479,11 @@ func (k *Kernel) Run() error {
 			k.now = k.horizon
 			return nil
 		}
-		e := k.pop()
-		if e.at > k.now {
-			k.now = e.at
+		at, kind, value, q, fn := k.popTop()
+		if at > k.now {
+			k.now = at
 		}
-		k.execute(&e)
+		k.execute(kind, value, q, fn)
 	}
 	if k.panicPending {
 		r := k.pendingPanic
@@ -497,11 +530,11 @@ func (k *Kernel) Step() bool {
 		k.now = k.horizon
 		return false
 	}
-	e := k.pop()
-	if e.at > k.now {
-		k.now = e.at
+	at, kind, value, q, fn := k.popTop()
+	if at > k.now {
+		k.now = at
 	}
-	k.execute(&e)
+	k.execute(kind, value, q, fn)
 	return true
 }
 

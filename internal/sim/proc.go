@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"iter"
 )
 
 // ProcState enumerates the lifecycle of a simulated process.
@@ -70,10 +69,14 @@ type Proc struct {
 	// the resume call of another process's coroutine: it cannot be resumed
 	// until that call returns, so events targeting it are passed up the
 	// resume chain via k.handoff. hostParked marks a process parked inside
-	// its host frame's yield — the resumable blocked state — whose next
-	// resume consumes k.handoff.
+	// its host frame's yield — the resumable blocked state. handed marks a
+	// hostParked process whose dispatch/wake was delivered in place before
+	// resuming it (wakeValue already set): its host frame returns straight
+	// to the body without touching k.handoff, skipping two 48-byte event
+	// copies on the dominant block→wake path.
 	inChain    bool
 	hostParked bool
+	handed     bool
 }
 
 // loop is the coroutine entry point: it runs process bodies until the
@@ -107,17 +110,20 @@ func (p *Proc) detach() {
 }
 
 // runBody executes one body to completion. It reports whether the
-// coroutine should keep living: false means a Reset unwound the body with
-// the procAbort sentinel and the coroutine must finalize. A real panic in
-// the body is re-raised; iter.Pull transports it to the kernel's resume
-// call, so Kernel.Run panics with the body's original panic value.
+// coroutine should keep living: false means either a Reset unwound the
+// body with the procAbort sentinel or the body panicked; in both cases
+// the coroutine must finalize. A real panic is captured here, at its
+// origin, into k.pendingPanic — not re-raised through iter.Pull — so no
+// resume call anywhere up the host chain needs its own recover, and
+// Kernel.Run re-panics with the body's original value once the chain has
+// unwound (it checks panicPending before and after every event).
 func (p *Proc) runBody() (completed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, aborted := r.(procAbort); aborted {
 				return // completed stays false: Reset cancelled this body
 			}
-			panic(r)
+			p.k.pendingPanic, p.k.panicPending = r, true
 		}
 	}()
 	p.body(p)
@@ -169,11 +175,18 @@ func (p *Proc) yieldOut() {
 // When no event may run — queue drained, Stop, horizon, everyone finished,
 // a captured panic, or a Step-driven kernel (!hosting) — the host parks
 // and the decision unwinds to Kernel.Run/Step. Body panics never unwind an
-// innocent host's body frames: resumeChild captures them and they travel
-// to Run via k.pendingPanic instead.
+// innocent host's body frames: runBody captures them at the origin and
+// they travel to Run via k.pendingPanic instead.
 func (p *Proc) host() {
 	k := p.k
 	for {
+		if p.handed {
+			// Our event was delivered in place by the host that resumed
+			// us (or Kernel.deliver): nothing to route, just run.
+			p.handed = false
+			k.running = p
+			return
+		}
 		if k.hasHandoff {
 			e := k.handoff
 			q := e.proc
@@ -190,54 +203,65 @@ func (p *Proc) host() {
 				continue
 			}
 			k.hasHandoff = false
-			if q.state == ProcDone {
-				continue
-			}
-			if q.hostParked {
-				k.handoff, k.hasHandoff = e, true
-			}
-			q.state = ProcRunning
-			k.running = q
-			p.inChain = true
-			p.resumeChild(q)
-			p.inChain = false
-			k.running = p
+			p.dispatch(e.kind, e.value, q)
 			continue
 		}
 		if !k.hosting || k.panicPending || !k.runnable() {
 			p.yieldOut()
 			continue
 		}
-		e := k.pop()
-		if e.at > k.now {
-			k.now = e.at
+		at, kind, value, q, fn := k.popTop()
+		if at > k.now {
+			k.now = at
 		}
-		if e.kind == evGeneric {
-			p.runDetached(e.fn)
+		if kind == evGeneric {
+			p.runDetached(fn)
 			continue
 		}
-		k.checkWake(&e)
-		k.handoff, k.hasHandoff = e, true
+		k.checkWake(kind, q)
+		if q == p {
+			// Self-targeted events (the Sleep/Yield round trip) skip the
+			// handoff buffer entirely.
+			if kind == evWake {
+				p.wakeValue = value
+			}
+			k.running = p
+			return
+		}
+		if q.inChain {
+			// Only in-chain targets still travel via k.handoff: the event
+			// must unwind down the resume chain to a host frame that can
+			// consume it.
+			k.handoff, k.hasHandoff = event{at: at, kind: kind, value: value, proc: q}, true
+			p.yieldOut()
+			continue
+		}
+		p.dispatch(kind, value, q)
 	}
 }
 
-// resumeChild resumes q's coroutine from this process's host frame. A
-// panic surfacing from q's body (iter.Pull re-raises it at the resume
-// call) is captured so it does not unwind this innocent process's own
-// body; Kernel.Run re-panics with the original value once the host chain
-// has unwound.
-func (p *Proc) resumeChild(q *Proc) {
+// dispatch switches from this host frame to a resumable event target:
+// hostParked targets get the event delivered in place (handed), fresh and
+// idle-recycled coroutines are delivered by the resume itself. Body
+// panics cannot surface from the resume — runBody captures them at the
+// origin — so this frame needs no recover of its own.
+func (p *Proc) dispatch(kind eventKind, value int, q *Proc) {
 	k := p.k
-	defer func() {
-		if r := recover(); r != nil {
-			k.pendingPanic, k.panicPending = r, true
-		}
-	}()
-	if !q.started {
-		q.started = true
-		q.resume, q.cancel = iter.Pull(iter.Seq[struct{}](q.loop))
+	if q.state == ProcDone {
+		return
 	}
-	q.resume()
+	if q.hostParked {
+		if kind == evWake {
+			q.wakeValue = value
+		}
+		q.handed = true
+	}
+	q.state = ProcRunning
+	k.running = q
+	p.inChain = true
+	k.resume(q)
+	p.inChain = false
+	k.running = p
 }
 
 // runDetached runs a generic event's fn from a host frame, capturing a
@@ -295,7 +319,10 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	total := d + p.k.hooks.SleepLatency(p.k.rng, d)
+	total := d
+	if !p.k.nop {
+		total += p.k.hooks.SleepLatency(p.k.rng, d)
+	}
 	if p.k.trace != nil {
 		p.k.tracef(p, "sleep", "%v (effective %v)", d, total)
 	}
@@ -317,7 +344,10 @@ func (p *Proc) Exec(cost Duration) {
 	if cost < 0 {
 		cost = 0
 	}
-	total := cost + p.k.hooks.ExecJitter(p.k.rng, cost)
+	total := cost
+	if !p.k.nop {
+		total += p.k.hooks.ExecJitter(p.k.rng, cost)
+	}
 	p.pause(p.k.now.Add(total))
 }
 

@@ -73,11 +73,13 @@ func TestIntnRange(t *testing.T) {
 func TestNormFloat64Moments(t *testing.T) {
 	r := NewRNG(3)
 	const n = 200000
-	var sum, sum2 float64
+	var sum, sum2, sum3, sum4 float64
 	for i := 0; i < n; i++ {
 		v := r.NormFloat64()
 		sum += v
 		sum2 += v * v
+		sum3 += v * v * v
+		sum4 += v * v * v * v
 	}
 	mean := sum / n
 	variance := sum2/n - mean*mean
@@ -86,6 +88,14 @@ func TestNormFloat64Moments(t *testing.T) {
 	}
 	if math.Abs(variance-1) > 0.03 {
 		t.Fatalf("variance = %g, want ~1", variance)
+	}
+	// Higher moments distinguish a true normal from e.g. a clipped or
+	// wedge-biased sampler: skewness 0, kurtosis 3.
+	if skew := sum3 / n; math.Abs(skew) > 0.05 {
+		t.Fatalf("skewness = %g, want ~0", skew)
+	}
+	if kurt := sum4 / n; math.Abs(kurt-3) > 0.15 {
+		t.Fatalf("kurtosis = %g, want ~3", kurt)
 	}
 }
 
@@ -163,28 +173,78 @@ func TestDurationString(t *testing.T) {
 	}
 }
 
-// TestReseedClearsSpareDeviate: NormFloat64 banks the Box–Muller sine
-// deviate between calls, so Reseed must discard it — a pooled RNG that is
-// reseeded mid-pair would otherwise leak one draw from the previous trial
-// into the next, breaking replay-from-equal-seeds.
+// TestReseedClearsSpareDeviate: the ziggurat sampler is stateless between
+// calls (the Box–Muller predecessor banked its sine deviate, which is
+// where this test's name comes from), but the replay contract it guarded
+// is permanent: a pooled RNG reseeded mid-stream must reproduce a fresh
+// RNG's normal draws exactly, with no state from the previous trial
+// leaking through.
 func TestReseedClearsSpareDeviate(t *testing.T) {
 	fresh := NewRNG(11)
 	want := []float64{fresh.NormFloat64(), fresh.NormFloat64(), fresh.NormFloat64()}
 
 	pooled := NewRNG(3)
-	pooled.NormFloat64() // leaves a spare banked
+	pooled.NormFloat64() // consume main-stream state mid-trial
 	pooled.Reseed(11)
 	for i, w := range want {
 		if got := pooled.NormFloat64(); got != w {
-			t.Fatalf("draw %d after Reseed = %v, want %v (spare survived)", i, got, w)
+			t.Fatalf("draw %d after Reseed = %v, want %v (state survived)", i, got, w)
 		}
 	}
 }
 
-// TestNormFloat64PairIndependence: the banked sine deviate shares its
-// radius with the returned cosine deviate; Box–Muller guarantees the pair
-// is still jointly independent standard normal. Check the correlation of
-// consecutive (even, odd) draws stays near zero.
+// TestReseedClearsDeviatePlane is the jitter-substream mirror of
+// TestReseedClearsSpareDeviate: the deviate plane buffers up to 512
+// pre-drawn jitter bytes, so Reseed must discard the unconsumed remainder
+// — a pooled RNG reseeded mid-plane would otherwise serve another trial's
+// deviates, breaking replay-from-equal-seeds. Checked in both buffering
+// modes, with the plane left partially consumed at different depths.
+func TestReseedClearsDeviatePlane(t *testing.T) {
+	defer SetJitterPlane(JitterPlaneEnabled())
+	for _, plane := range []bool{true, false} {
+		SetJitterPlane(plane)
+		fresh := NewRNG(11)
+		var want [8]uint8
+		for i := range want {
+			want[i] = fresh.JitterIndex()
+		}
+		for _, consumed := range []int{1, 7, 8, 9, 500} {
+			pooled := NewRNG(3)
+			for i := 0; i < consumed; i++ {
+				pooled.JitterIndex()
+			}
+			pooled.Reseed(11)
+			for i, w := range want {
+				if got := pooled.JitterIndex(); got != w {
+					t.Fatalf("plane=%v consumed=%d: draw %d after Reseed = %d, want %d (plane survived)",
+						plane, consumed, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestJitterPlaneModeInvariant: the batched plane (512-byte refills) and
+// the incremental mode (8-byte refills) must serve the exact same byte
+// sequence — the plane is a buffering optimisation, not a stream change.
+// The run length crosses several refill boundaries of both modes.
+func TestJitterPlaneModeInvariant(t *testing.T) {
+	defer SetJitterPlane(JitterPlaneEnabled())
+	SetJitterPlane(true)
+	on := NewRNG(17)
+	SetJitterPlane(false)
+	off := NewRNG(17)
+	for i := 0; i < 1300; i++ {
+		if a, b := on.JitterIndex(), off.JitterIndex(); a != b {
+			t.Fatalf("jitter stream diverged at %d: plane-on %d, plane-off %d", i, a, b)
+		}
+	}
+}
+
+// TestNormFloat64PairIndependence: consecutive ziggurat draws come from
+// disjoint splitmix64 words, so (even, odd) pairs must be uncorrelated.
+// (Under Box–Muller the pair shared a radius; the check is kept as a
+// regression guard on serial correlation.)
 func TestNormFloat64PairIndependence(t *testing.T) {
 	r := NewRNG(5)
 	const n = 200000
@@ -199,5 +259,145 @@ func TestNormFloat64PairIndependence(t *testing.T) {
 	corr := (sxy/n - (sx/n)*(sy/n))
 	if corr > 0.02 || corr < -0.02 {
 		t.Fatalf("pair covariance = %.4f, want ≈0", corr)
+	}
+}
+
+// TestNormFloat64Distribution bins 2M fixed-seed ziggurat draws against
+// the exact normal CDF (via math.Erf) and applies a chi-square test. The
+// bin edges deliberately straddle the ziggurat's internal structure: the
+// wedge region boundaries, the tail cutoff R≈3.442, and beyond — a bias
+// in the wedge-rejection or Marsaglia tail path shows up here long before
+// it would move the bulk moments.
+func TestNormFloat64Distribution(t *testing.T) {
+	edges := []float64{-3.8, -3.442, -3, -2.326, -1.645, -1, -0.5, 0, 0.5, 1, 1.645, 2.326, 3, 3.442, 3.8}
+	cdf := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	counts := make([]int, len(edges)+1)
+	r := NewRNG(12)
+	const n = 2_000_000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		j := 0
+		for j < len(edges) && v >= edges[j] {
+			j++
+		}
+		counts[j]++
+	}
+	var chi2 float64
+	prev := 0.0
+	for j := 0; j <= len(edges); j++ {
+		hi := 1.0
+		if j < len(edges) {
+			hi = cdf(edges[j])
+		}
+		exp := (hi - prev) * n
+		prev = hi
+		d := float64(counts[j]) - exp
+		chi2 += d * d / exp
+	}
+	// 15 dof; the 0.999 quantile is 37.7. A fixed seed makes this exact
+	// rather than flaky: it only moves if the sampler or stream changes.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square = %.1f over %d bins, want < 37.7", chi2, len(counts))
+	}
+	// Explicit tail mass: P(|X| > 3) = 2.6998e-3. The ziggurat's exact
+	// Marsaglia tail must populate beyond R as well: P(|X| > 3.442) = 5.77e-4.
+	tail3 := float64(counts[0]+counts[1]+counts[2]+counts[len(counts)-1]+counts[len(counts)-2]+counts[len(counts)-3]) / n
+	tailR := float64(counts[0]+counts[1]+counts[len(counts)-1]+counts[len(counts)-2]) / n
+	if tail3 < 0.0024 || tail3 > 0.0031 {
+		t.Fatalf("P(|X|>3) = %.5f, want ≈ 0.00270", tail3)
+	}
+	if tailR < 0.00045 || tailR > 0.00070 {
+		t.Fatalf("P(|X|>R) = %.5f, want ≈ 0.00058", tailR)
+	}
+}
+
+// TestQuantNormTable: the 256-level quantized normal used by the jitter
+// fast path must be symmetric, strictly increasing, and — because the
+// table is rescaled at build time — have exactly zero mean and unit
+// variance, so quantized jitter injects precisely the sigma the profile
+// asked for.
+func TestQuantNormTable(t *testing.T) {
+	var sum, sum2 float64
+	for i := 0; i < 256; i++ {
+		q := QuantNorm(uint8(i))
+		sum += q
+		sum2 += q * q
+		if i > 0 && q <= QuantNorm(uint8(i-1)) {
+			t.Fatalf("table not strictly increasing at %d", i)
+		}
+		if s := QuantNorm(uint8(255 - i)); math.Abs(q+s) > 1e-12 {
+			t.Fatalf("asymmetry at %d: %g vs %g", i, q, s)
+		}
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("table mean = %g, want 0", sum/256)
+	}
+	if v := sum2 / 256; math.Abs(v-1) > 1e-12 {
+		t.Fatalf("table variance = %.15f, want exactly 1", v)
+	}
+}
+
+// TestJitterNormMoments: composing the substream with the quantized table
+// must still give a zero-mean unit-variance deviate stream.
+func TestJitterNormMoments(t *testing.T) {
+	r := NewRNG(8)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.JitterNorm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("variance = %g, want ~1", variance)
+	}
+}
+
+// TestIntnUniform: chi-square uniformity check on the Lemire
+// multiply-shift reduction, at a modulus where the old `% n` reduction's
+// bias would be structural. 2^64 mod 6 = 4, so with multiply-shift every
+// residue's probability is within 2^-62 of 1/6; the fixed seed keeps the
+// statistic reproducible.
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(21)
+	const n, cells = 600000, 6
+	var counts [cells]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(cells)]++
+	}
+	var chi2 float64
+	const exp = float64(n) / cells
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 5 dof; 0.999 quantile is 20.5.
+	if chi2 > 20.5 {
+		t.Fatalf("chi-square = %.1f, want < 20.5 (counts %v)", chi2, counts)
+	}
+}
+
+// TestIntnLargeRange: the Lemire reduction must stay uniform when n
+// approaches 2^63, where the rejection threshold is at its largest and
+// the old modulo reduction was most biased (the bottom half of the range
+// landed twice as often).
+func TestIntnLargeRange(t *testing.T) {
+	r := NewRNG(22)
+	const n = 1 << 62
+	const draws = 200000
+	var below int
+	for i := 0; i < draws; i++ {
+		if r.Intn(n) < n/2 {
+			below++
+		}
+	}
+	frac := float64(below) / draws
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("P(X < n/2) = %.4f for n=2^62, want ≈ 0.5", frac)
 	}
 }

@@ -218,10 +218,39 @@ func ProfileFor(os OSKind, iso Isolation) Profile {
 	return base.ForIsolation(iso)
 }
 
+// noiselessCache mirrors profileCache for the noiseless variants.
+// Noiseless sits on the per-transmission setup path of every noiseless
+// run, and initSigma now builds a ~50KB quantized jitter table — caching
+// keeps that a one-time package-init cost instead of a per-run one.
+var noiselessCache = func() (cache [2][3]Profile) {
+	for _, os := range []OSKind{Windows, Linux} {
+		for _, iso := range []Isolation{Local, Sandbox, VM} {
+			p := profileCache[os][iso]
+			p.Name += "/noiseless"
+			p.OpJitterFrac = 0
+			p.OpJitterFloor = 0
+			p.SleepOvershootMean = 0
+			p.SleepOvershootSigma = 0
+			p.HazardRatePerSec = 0
+			p.AttemptProb = 0
+			p.CorruptProb = 0
+			p.MissBase = 0
+			p.MissSlopePerUs = 0
+			p.CrossJitter = 0
+			p.initSigma()
+			cache[os][iso] = p
+		}
+	}
+	return cache
+}()
+
 // Noiseless returns a profile with the same op costs but no stochastic
 // components: exact sleeps (still floor-limited), no jitter, no hazard, no
 // misses. Used by protocol unit tests and the ideal-channel analyses.
 func Noiseless(os OSKind, iso Isolation) Profile {
+	if os >= 0 && int(os) < len(noiselessCache) && iso >= 0 && int(iso) < len(noiselessCache[0]) {
+		return noiselessCache[os][iso]
+	}
 	p := ProfileFor(os, iso)
 	p.Name += "/noiseless"
 	p.OpJitterFrac = 0

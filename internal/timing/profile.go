@@ -79,43 +79,69 @@ type Profile struct {
 	// noisier than local).
 	HazardScale float64
 
-	// opSigma caches each op's jitter sigma (base·OpJitterFrac, floored at
-	// OpJitterFloor), filled by initSigma on the calibrated construction
-	// paths. sigmaReady gates the fast path so hand-built test profiles
-	// without the cache keep working; Cost sits on every priced syscall,
-	// so skipping the two float ops per call is measurable.
-	opSigma    [numOps]float64
-	sigmaReady bool
+	// quant points at the profile's precomputed sigma×deviate lookup
+	// tables, built by initSigma on the calibrated construction paths.
+	// The jitter sigma set is static after construction, so the hot
+	// stochastic calls (Cost, SleepExtra, Cross) reduce to one jitter
+	// substream index plus one table load — no Gaussian sampling, no
+	// float pipeline. The tables are shared immutably between the copies
+	// a Profile value spawns (inlining them would put ~50KB in every
+	// copy); hand-built test profiles leave quant nil and take the
+	// compute-on-the-fly fallback.
+	quant *quantJitter
 }
 
-// initSigma fills the per-op jitter sigma cache from the current jitter
-// parameters. Must be re-run after mutating OpCost, OpJitterFrac or
+// quantJitter holds a profile's per-op quantized jitter tables: entry
+// [op][i] is sigma_op × QuantNorm(i), so a jittered cost is one index
+// draw and one add. sleep and cross are the same product for the sleep
+// overshoot and boundary-crossing sigmas.
+type quantJitter struct {
+	cost  [numOps][256]sim.Duration
+	sleep [256]sim.Duration
+	cross [256]sim.Duration
+}
+
+// sigmaFor returns op's jitter sigma: base·OpJitterFrac, floored at
 // OpJitterFloor.
-func (p *Profile) initSigma() {
-	for op := Op(0); op < numOps; op++ {
-		sigma := float64(p.OpCost[op]) * p.OpJitterFrac
-		if s := float64(p.OpJitterFloor); sigma < s {
-			sigma = s
-		}
-		p.opSigma[op] = sigma
+func (p *Profile) sigmaFor(op Op) float64 {
+	sigma := float64(p.OpCost[op]) * p.OpJitterFrac
+	if s := float64(p.OpJitterFloor); sigma < s {
+		sigma = s
 	}
-	p.sigmaReady = true
+	return sigma
+}
+
+// initSigma builds the quantized jitter tables from the current jitter
+// parameters. Must be re-run after mutating OpCost, OpJitterFrac,
+// OpJitterFloor, SleepOvershootSigma or CrossJitter. It always allocates
+// a fresh table so profile copies sharing the old one are unaffected;
+// the calibrated construction paths run it once per cached profile at
+// package init.
+func (p *Profile) initSigma() {
+	q := new(quantJitter)
+	for op := Op(0); op < numOps; op++ {
+		sigma := p.sigmaFor(op)
+		for i := 0; i < 256; i++ {
+			q.cost[op][i] = sim.Duration(sigma * sim.QuantNorm(uint8(i)))
+		}
+	}
+	for i := 0; i < 256; i++ {
+		q.sleep[i] = sim.Duration(float64(p.SleepOvershootSigma) * sim.QuantNorm(uint8(i)))
+		q.cross[i] = sim.Duration(float64(p.CrossJitter) * sim.QuantNorm(uint8(i)))
+	}
+	p.quant = q
 }
 
 // Cost returns the jittered cost of op.
 //mes:allocfree
 func (p *Profile) Cost(r *sim.RNG, op Op) sim.Duration {
 	base := p.OpCost[op]
-	var sigma float64
-	if p.sigmaReady {
-		sigma = p.opSigma[op]
+	var d sim.Duration
+	if q := p.quant; q != nil {
+		d = base + q.cost[op][r.JitterIndex()]
 	} else {
-		sigma = float64(base) * p.OpJitterFrac
-		if s := float64(p.OpJitterFloor); sigma < s {
-			sigma = s
-		}
+		d = base + sim.Duration(p.sigmaFor(op)*r.NormFloat64())
 	}
-	d := base + sim.Duration(sigma*r.NormFloat64())
 	if d < 0 {
 		d = 0
 	}
@@ -130,7 +156,12 @@ func (p *Profile) SleepExtra(r *sim.RNG, requested sim.Duration) sim.Duration {
 	if requested < p.SleepFloor {
 		extra = p.SleepFloor - requested
 	}
-	over := p.SleepOvershootMean + sim.Duration(float64(p.SleepOvershootSigma)*r.NormFloat64())
+	var over sim.Duration
+	if q := p.quant; q != nil {
+		over = p.SleepOvershootMean + q.sleep[r.JitterIndex()]
+	} else {
+		over = p.SleepOvershootMean + sim.Duration(float64(p.SleepOvershootSigma)*r.NormFloat64())
+	}
 	if over > 0 {
 		extra += over
 	}
@@ -194,11 +225,17 @@ func (p *Profile) Miss(r *sim.RNG, hold sim.Duration) bool {
 }
 
 // Cross returns the penalty for one cross-boundary signaling op.
+//mes:allocfree
 func (p *Profile) Cross(r *sim.RNG) sim.Duration {
 	if p.CrossCost == 0 {
 		return 0
 	}
-	d := p.CrossCost + sim.Duration(float64(p.CrossJitter)*r.NormFloat64())
+	var d sim.Duration
+	if q := p.quant; q != nil {
+		d = p.CrossCost + q.cross[r.JitterIndex()]
+	} else {
+		d = p.CrossCost + sim.Duration(float64(p.CrossJitter)*r.NormFloat64())
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -214,12 +251,21 @@ func (h hooksAdapter) SleepLatency(r *sim.RNG, requested sim.Duration) sim.Durat
 	return h.p.SleepExtra(r, requested)
 }
 
+// ExecJitter's sigma depends on the per-call cost, so there is no static
+// product table; with quantized jitter available it still replaces the
+// Gaussian sample with a substream index into the shared deviate levels.
+//mes:allocfree
 func (h hooksAdapter) ExecJitter(r *sim.RNG, cost sim.Duration) sim.Duration {
 	sigma := float64(cost) * h.p.OpJitterFrac
 	if s := float64(h.p.OpJitterFloor); sigma < s {
 		sigma = s
 	}
-	d := sim.Duration(sigma * r.NormFloat64())
+	var d sim.Duration
+	if h.p.quant != nil {
+		d = sim.Duration(sigma * r.JitterNorm())
+	} else {
+		d = sim.Duration(sigma * r.NormFloat64())
+	}
 	if d < 0 {
 		return 0
 	}
