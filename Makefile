@@ -6,11 +6,11 @@ GO ?= go
 # Which BENCH_PR<n>.json the bench-json target writes; bump per PR so the
 # repo accumulates a performance trajectory. Point BENCH_BASELINE at the
 # previous PR's file to embed it as the "before" column.
-BENCH_PR ?= PR7
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_PR ?= PR8
+BENCH_BASELINE ?= BENCH_PR7.json
 
 # The measurement file perf-smoke's wall-clock gate compares against.
-PERF_BASELINE ?= BENCH_PR7.json
+PERF_BASELINE ?= BENCH_PR8.json
 
 # Coverage floors for the packages guarding the mechanism abstraction,
 # raised to the PR 5 baseline (core 82.0%, kobj 99.7% with the session
@@ -51,8 +51,8 @@ lint:
 # fast: the event core must stay at 0 allocs/event, a pooled one-shot
 # transmission within its 6-allocation budget, a steady-state session
 # trial at 0 allocations, the quick registry within 15% of the checked-in
-# wall-clock baseline, and (PR 7) the event core above an absolute 7M
-# events/s floor with the registry under an absolute 130ms budget, both
+# wall-clock baseline, and (PR 8) the event core above an absolute 7.5M
+# events/s floor with the registry under an absolute 125ms budget, both
 # normalized by the machine's raw coroutine-switch cost so slower runners
 # don't false-alarm (mesbench -perfcheck; wall gates are measured
 # best-of-three and skipped for baselines predating the needed rows).

@@ -119,17 +119,38 @@
 //     (sim.SetJitterPlane) changes buffering, not bytes, and the main
 //     value stream never moves when timing code adds or removes jitter
 //     draws.
+//   - The rendezvous wake — the one event behind every protocol symbol —
+//     bypasses the heap entirely (PR 8): Proc.WakeFused delivers it
+//     through a kernel one-slot buffer (sim.SetFusedRendezvous), falling
+//     back to the heap whenever the slot is occupied, and steady-state
+//     session trials record each symbol window's event skeleton on first
+//     sight and replay it afterwards (sim.SetReplay) — pushes land in a
+//     six-slot ring, pops verify against the recorded op stream, and the
+//     heap's push/pop/sift work disappears from 75–99% of symbol windows
+//     (BENCH_PR8.json's replay_hit_rate; skeletons are keyed by the
+//     (previous, current) symbol pair because a window carries the
+//     receiver's tail of the prior symbol).
 //
 // Outputs stay deterministic through all of this because ordering is a
 // total order on (time, sequence): the hand-rolled heap pops the same
 // sequence as the reference heap, the inline fast path and the migrating
 // host loop only ever run the event the queue would have popped next
-// (ties always go through the queue, preserving FIFO), and a reset
-// machine — sessions included — is indistinguishable from a fresh one.
-// The registry tests assert byte-identical output across the full cube of
-// worker counts × machine pooling × trial sessions, and
-// core.Session-level tests pin per-trial equality with the one-shot path,
-// including across mid-session deadlocks.
+// (ties always go through the queue, preserving FIFO), fused and ring
+// events take their sequence numbers from the same counter as heap
+// events and every pop serves the exact (at, seq) minimum across heap,
+// fused slot and ring — the replay skeleton only gates *eligibility* for
+// the side path, never ordering — and a reset machine — sessions
+// included — is indistinguishable from a fresh one. The replay engine
+// bows out rather than approximate: traced kernels and multi-process
+// spawns never arm, a spawn mid-run disarms the engine for the rest of
+// the trial, and any deviation from the recorded skeleton (an intruding
+// third event, a jitter-flipped ordering) drains the ring back into the
+// heap and poisons only the current window — the next symbol mark
+// resumes matching. The registry tests assert byte-identical output
+// across the full cube of worker counts × machine pooling × trial
+// sessions × jitter plane × fused wakes × replay, and core.Session-level
+// tests pin per-trial equality with the one-shot path, including across
+// mid-session deadlocks.
 //
 // PR 7 before → after on the 1-core reference container (BENCH_PR7.json):
 //
@@ -146,6 +167,30 @@
 // ~100–130ns per event on this box. That floor is why the PR 7 stretch
 // targets (10M events/s, 70ms registry) landed short: reaching them needs
 // the next event-core generation, not more noise-model work.
+//
+// PR 8 before → after on the 1-core reference container (BENCH_PR8.json):
+//
+//	kernel events/s            8.19M → 8.82M
+//	context switch round trip  126ns → 110ns
+//	one Event transmission     477µs/5 allocs → 401µs/5 allocs (one-shot)
+//	detector trace scan        5.86M → 8.54M entries/s, 201 → 0 allocs/scan
+//	switches per symbol        (new row) 1.00 on the benchmark channel
+//	replay skeleton hit rate   (new row) 0.99
+//	full `-all -quick` registry ~108ms → ~102ms
+//
+// PR 8 tested that diagnosis by building the next queue generation —
+// fused wakes and per-bit replay remove the heap from the steady-state
+// symbol path outright — and the wall-clock barely moved (BENCH_PR8.json:
+// 8.8M events/s, 102ms registry on quiet runs), which confirms it:
+// profiles of a steady-state session show the heap absent from the top
+// 25 rows even with replay off; the time is runtime.coroswitch plus the
+// iter.Pull resume CAS (~25%) and the timing-model draws. What the
+// engine does buy is structural: switches-per-bit and the replay hit
+// rate are now first-class trajectory rows (schema v4), the cooperation
+// channels run at their 1.00-switch-per-bit alternation lower bound
+// (contention channels pay up to ~1.9 for the barrier round), and the
+// next generation has a measured target — the switch itself, not the
+// queue. The 10M/70ms stretch targets remain open.
 //
 // PR 7 is also the project's second deliberate RNG stream change (the
 // first, PR 3, banked the Box–Muller pair). Ziggurat consumes one uint64
@@ -176,14 +221,17 @@
 // and track the trajectory numbers with `make bench-json` (see the
 // BENCH_PR<n>.json series): raw kernel events/sec, the context-switch
 // round trip, per-transmission and per-session-trial ns and allocs, the
-// detector's trace-scan rate, the Fig. 9 sweep wall-clock, and (since
+// detector's trace-scan rate, the Fig. 9 sweep wall-clock, (since
 // schema v3) the full quick registry's wall-clock with cold caches plus
 // the steady-state trial allocation count, both gated by `make
 // perf-smoke`, which since PR 7 also enforces absolute machine-normalized
-// floors (7M events/s, 130ms quick registry). Trajectory so far on this
+// floors (raised by PR 8 to 7.5M events/s and a 125ms quick registry),
+// and (since schema v4) the coroutine switches per transmitted symbol and
+// the replay engine's skeleton hit rate. Trajectory so far on this
 // container: kernel 0.89M → 2.17M (PR 2) → 5.65M (PR 3) → 7.18M (PR 5) →
-// 8.19M events/s (PR 7); one transmission 9.12ms/18166 allocs → 1.67ms/49
-// → 0.83ms/10 → 0.70ms/5 → 0.48ms/5 one-shot and 0 allocs in a session.
+// 8.19M (PR 7) → 8.82M events/s (PR 8); one transmission 9.12ms/18166
+// allocs → 1.67ms/49 → 0.83ms/10 → 0.70ms/5 → 0.48ms/5 → 0.40ms/5
+// one-shot and 0 allocs in a session.
 //
 // # Invariants
 //

@@ -24,12 +24,12 @@ func hotPath(t *Tracer, n int, p *point, pre []interface{}) {
 
 	fmt.Println(n) // want "fmt\\.Println on the guard-free path"
 
-	consume(n)          // want "implicit conversion of int to interface\\{\\} boxes on the heap"
+	consume(n)           // want "implicit conversion of int to interface\\{\\} boxes on the heap"
 	consume(point{n, n}) // want "implicit conversion of point to interface\\{\\} boxes on the heap"
-	consume(p)          // pointer-shaped: fits the interface word
-	consume(nil)        // nil converts without allocating
-	consume(42)         // constants are interned, not boxed
-	consumeAll(pre...)  // spreading an existing []interface{} boxes nothing
+	consume(p)           // pointer-shaped: fits the interface word
+	consume(nil)         // nil converts without allocating
+	consume(42)          // constants are interned, not boxed
+	consumeAll(pre...)   // spreading an existing []interface{} boxes nothing
 
 	if t.Tracing() {
 		fmt.Println("traced run", n) // traced-only: may allocate
@@ -133,4 +133,80 @@ func (r *prng) quantLookup() float64 {
 	r.n--
 	consume(v) // want "implicit conversion of uint8 to interface\\{\\} boxes on the heap"
 	return quantTable[v]
+}
+
+// Mirrors of the PR 8 fused-rendezvous and replay hot shapes: a one-slot
+// buffer store, a free-slot scan over a bit mask, and a recorded-skeleton
+// verify are all allocation-free constructs and must pass the analyzer
+// silently. (bits.TrailingZeros8 is mirrored with a local helper so the
+// fixture stays import-free beyond fmt.)
+
+type slotEvent struct {
+	at   int64
+	seq  uint64
+	kind uint8
+}
+
+type slotKernel struct {
+	fused    slotEvent
+	hasFused bool
+	ring     [6]slotEvent
+	ringMask uint8
+	skel     [16][]uint8
+	rpos     int
+}
+
+func trailing8(m uint8) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+// fusedStore mirrors Proc.WakeFused: a value store into a struct-typed
+// one-slot buffer plus a flag flip, no escapes.
+//
+//mes:allocfree
+func (k *slotKernel) fusedStore(at int64, seq uint64) bool {
+	if k.hasFused {
+		return false
+	}
+	k.fused = slotEvent{at: at, seq: seq, kind: 2}
+	k.hasFused = true
+	return true
+}
+
+// ringPlace mirrors replayScheduled's free-slot scan: complementing the
+// occupancy mask and indexing the inline array allocates nothing.
+//
+//mes:allocfree
+func (k *slotKernel) ringPlace(e slotEvent) bool {
+	free := ^k.ringMask & (1<<6 - 1)
+	if free == 0 {
+		return false
+	}
+	i := trailing8(free)
+	k.ring[i] = e
+	k.ringMask |= 1 << i
+	return true
+}
+
+// skelVerify mirrors replayNotePush's record/verify split: appending to a
+// pre-grown skeleton slice and comparing against the recorded op are both
+// on the steady-state path (append's amortized growth is retired by the
+// warm-up window).
+//
+//mes:allocfree
+func (k *slotKernel) skelVerify(key int, kind uint8, record bool) bool {
+	if record {
+		k.skel[key] = append(k.skel[key], kind)
+		return true
+	}
+	if k.rpos >= len(k.skel[key]) || k.skel[key][k.rpos] != kind {
+		return false
+	}
+	k.rpos++
+	return true
 }

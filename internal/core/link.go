@@ -200,6 +200,9 @@ func (l *link) runTrojan(p *osmodel.Proc) {
 		return
 	}
 	for _, sym := range l.syms {
+		// Window boundary for the kernel's per-bit replay engine: every
+		// event between here and the next mark belongs to sym's skeleton.
+		p.MarkBit(sym)
 		if l.rv != nil {
 			l.rv.ArriveLead(p)
 		}

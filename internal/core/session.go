@@ -131,6 +131,9 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 		// the next trial's Reset restores it.
 		return nil, err
 	}
+	// Arm per-bit replay for the run: the kernel itself bows out for
+	// traced or multi-process configurations, so arming is unconditional.
+	s.sys.ArmReplay()
 
 	runErr := s.sys.Run()
 	if runErr != nil {
@@ -161,6 +164,20 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 	*res = Result{Latencies: l.lat}
 	s.decoded, s.bits, err = l.assemble(res, &s.dec, s.decoded, s.bits)
 	return res, err
+}
+
+// KernelStats reports the pinned machine's cumulative kernel counters —
+// coroutine switches into process bodies, symbol windows served by the
+// replay fast path, and symbol windows marked in total. The bench harness
+// reads deltas across trials to derive switches-per-bit and the replay
+// hit rate. All zero before the first trial acquires a machine.
+func (s *Session) KernelStats() (switches, replayedBits, totalBits uint64) {
+	if s.sys == nil {
+		return 0, 0, 0
+	}
+	k := s.sys.Kernel()
+	replayed, total := k.ReplayStats()
+	return k.Switches(), replayed, total
 }
 
 // Close returns the session's machine to the shared pool (or releases it

@@ -315,3 +315,96 @@ func BenchmarkSessionTrials(b *testing.B) {
 		}
 	}
 }
+
+// TestSwitchesPerBitBudget pins the scheduler's structural efficiency per
+// transmitted symbol: the kernel's coroutine-switch counter, read across a
+// batch of steady-state trials, must stay within each channel family's
+// recorded budget. Cooperation channels run at ~1 switch per bit (the
+// receiver parks, the sender's wake is the only transfer — the pause fast
+// path absorbs the rest); contention channels pay up to two (the
+// rendezvous barrier's park/wake round on top of the resource handoff).
+// A regression here — an optimisation that silently adds a dispatch per
+// bit — moves wall-clock more than any heap tweak, so it gets its own
+// gate alongside the alloc budgets.
+func TestSwitchesPerBitBudget(t *testing.T) {
+	budgets := []struct {
+		mech   Mechanism
+		budget float64
+	}{
+		{Event, 1.1}, {Timer, 1.1}, {CondVar, 1.1}, // cooperation
+		{WriteSync, 1.1},                // journal wake, no barrier
+		{FileLockEX, 1.6}, {Mutex, 1.6}, // contention, granted in place
+		{Flock, 2.0}, {Semaphore, 2.0}, {Futex, 2.0}, // contention + barrier round
+	}
+	for _, c := range budgets {
+		cfg := Config{
+			Mechanism: c.mech,
+			Scenario:  Local(),
+			Payload:   sessionTestPayload(400),
+			Seed:      9,
+		}
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatalf("%v: NewSession: %v", c.mech, err)
+		}
+		if _, err := s.Run(9); err != nil { // warm: spawn switches amortize
+			t.Fatalf("%v: warm-up trial: %v", c.mech, err)
+		}
+		sw0, _, bits0 := s.KernelStats()
+		for trial := 0; trial < 4; trial++ {
+			if _, err := s.Run(runner.TrialSeed(9, trial)); err != nil {
+				t.Fatalf("%v trial %d: %v", c.mech, trial, err)
+			}
+		}
+		sw1, _, bits1 := s.KernelStats()
+		s.Close()
+		if bits1 == bits0 {
+			t.Fatalf("%v: no symbol windows marked — replay marks missing from the sender loop", c.mech)
+		}
+		perBit := float64(sw1-sw0) / float64(bits1-bits0)
+		if perBit > c.budget {
+			t.Errorf("%v: %.3f coroutine switches per bit, budget %.2f", c.mech, perBit, c.budget)
+		}
+	}
+}
+
+// TestSessionReplayHitRate pins the replay engine's efficiency on its
+// design workload: across the full mechanism family, the steady-state
+// session path must serve the overwhelming share of symbol windows from
+// recorded skeletons (cooperation channels replay nearly every window;
+// contention channels bail on genuinely jitter-flipped orderings only).
+func TestSessionReplayHitRate(t *testing.T) {
+	for _, mech := range Mechanisms() {
+		cfg := Config{
+			Mechanism: mech,
+			Scenario:  Local(),
+			Payload:   sessionTestPayload(400),
+			Seed:      9,
+		}
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatalf("%v: NewSession: %v", mech, err)
+		}
+		// The counters are cumulative for the kernel's lifetime and a
+		// pooled machine arrives with another test's history, so measure
+		// deltas — and only after the first trial, which records the
+		// skeletons the rest replay.
+		if _, err := s.Run(runner.TrialSeed(9, 0)); err != nil {
+			t.Fatalf("%v recording trial: %v", mech, err)
+		}
+		_, rep0, bits0 := s.KernelStats()
+		for trial := 1; trial < 4; trial++ {
+			if _, err := s.Run(runner.TrialSeed(9, trial)); err != nil {
+				t.Fatalf("%v trial %d: %v", mech, trial, err)
+			}
+		}
+		_, rep1, bits1 := s.KernelStats()
+		s.Close()
+		if bits1 == bits0 {
+			t.Fatalf("%v: no symbol windows marked", mech)
+		}
+		if rate := float64(rep1-rep0) / float64(bits1-bits0); rate < 0.5 {
+			t.Errorf("%v: replay hit rate %.2f, want ≥ 0.50 on the steady-state path", mech, rate)
+		}
+	}
+}

@@ -23,6 +23,60 @@ func BenchmarkDetectAnalyze(b *testing.B) {
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
 }
 
+// BenchmarkAnalyzerScan measures the pooled-scratch scan — the form the
+// bench harness tracks as detect_allocs_per_scan.
+func BenchmarkAnalyzerScan(b *testing.B) {
+	const n = 8192
+	entries := BenchTrace(n)
+	a := NewAnalyzer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scores := a.Analyze(entries); len(scores) == 0 {
+			b.Fatal("no resources scored")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+// TestAnalyzerAllocBudget mirrors TestTransmissionAllocBudget for the
+// defender side: a warmed Analyzer must scan a standard trace with zero
+// heap allocations — the grouping map, timestamp series, interval and
+// cluster buffers and the score slice are all reused scratch.
+func TestAnalyzerAllocBudget(t *testing.T) {
+	entries := BenchTrace(8192)
+	a := NewAnalyzer()
+	run := func() {
+		if scores := a.Analyze(entries); len(scores) == 0 {
+			t.Fatal("no resources scored")
+		}
+	}
+	run() // warm the scratch: maps sized, buffers grown, names interned
+	if allocs := testing.AllocsPerRun(10, run); allocs > 0 {
+		t.Errorf("analyzer scan allocations = %.1f per run, want 0 steady-state", allocs)
+	}
+}
+
+// TestAnalyzerMatchesOneShot pins the pooling refactor's contract: a
+// reused Analyzer must produce scores identical to the one-shot Analyze,
+// scan after scan, including after scanning a different trace.
+func TestAnalyzerMatchesOneShot(t *testing.T) {
+	big, small := BenchTrace(4096), BenchTrace(512)
+	a := NewAnalyzer()
+	for _, entries := range [][]sim.Entry{big, small, big} {
+		want := Analyze(entries)
+		got := a.Analyze(entries)
+		if len(got) != len(want) {
+			t.Fatalf("pooled scan found %d resources, one-shot %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("score %d diverged:\npooled  %v\noneshot %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestAnalyzeKeysMatchRenderedDetails pins the keying contract: resources
 // derived from entry arguments must group and render exactly as keying off
 // the rendered detail text did, including the kill→"target=" form and

@@ -13,9 +13,10 @@
 package detect
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"mes/internal/sim"
@@ -73,13 +74,52 @@ var channelEvents = map[string]bool{
 	"write":      true,
 }
 
+// Analyzer scans traces for covert-channel discipline while reusing every
+// piece of per-scan scratch: the resource grouping map, the per-resource
+// timestamp series, the interval/cluster/bin buffers and the score slice
+// all persist across scans, so a warmed Analyzer scores a trace with
+// (amortized) zero heap allocations. The zero value is ready to use. An
+// Analyzer is not safe for concurrent use; give each scanning goroutine
+// its own.
+type Analyzer struct {
+	groups map[resID]int // resource → index into ids/series
+	ids    []resID       // insertion-ordered resources of the open scan
+	series [][]sim.Time  // per-resource timestamps, reused backing arrays
+	names  map[resID]string
+	out    []Score
+
+	// scoreSeries scratch.
+	intervals []float64
+	lo, hi    []float64
+	bins      map[int]int
+	counts    []int
+}
+
+// NewAnalyzer returns an Analyzer with its maps pre-built.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		groups: make(map[resID]int),
+		names:  make(map[resID]string),
+		bins:   make(map[int]int),
+	}
+}
+
 // Analyze scores every resource appearing in the trace's channel-relevant
-// events. Per-resource keys are derived from the entries' stored arguments
-// (Entry.ResourceHint), so scanning a trace never renders Entry.Detail's
-// fmt.Sprintf per entry; the displayed resource name is built once per
-// unique resource.
-func Analyze(entries []sim.Entry) []Score {
-	byResource := make(map[resID][]sim.Time)
+// events, most suspicious first. Per-resource keys are derived from the
+// entries' stored arguments (Entry.ResourceHint), so scanning a trace
+// never renders Entry.Detail's fmt.Sprintf per entry; the displayed
+// resource name is interned once per unique resource for the Analyzer's
+// lifetime. The returned slice is borrowed: it is valid until the
+// Analyzer's next scan.
+func (a *Analyzer) Analyze(entries []sim.Entry) []Score {
+	if a.groups == nil {
+		a.groups = make(map[resID]int)
+		a.names = make(map[resID]string)
+		a.bins = make(map[int]int)
+	}
+	clear(a.groups)
+	a.ids = a.ids[:0]
+	a.out = a.out[:0]
 	for _, e := range entries {
 		if !channelEvents[e.Event] {
 			continue
@@ -97,22 +137,44 @@ func Analyze(entries []sim.Entry) []Score {
 			res = strings.TrimPrefix(res, "target=")
 		}
 		id := resID{event: e.Event, res: res}
-		byResource[id] = append(byResource[id], e.T)
+		idx, ok := a.groups[id]
+		if !ok {
+			idx = len(a.ids)
+			a.ids = append(a.ids, id)
+			if idx < len(a.series) {
+				a.series[idx] = a.series[idx][:0]
+			} else {
+				a.series = append(a.series, nil)
+			}
+			a.groups[id] = idx
+		}
+		a.series[idx] = append(a.series[idx], e.T)
 	}
-	var out []Score
-	//lint:allow detnondet scores are re-sorted below with a total order, so accumulation order is unobservable
-	for id, times := range byResource {
-		out = append(out, scoreSeries(resourceName(id), times))
+	for i, id := range a.ids {
+		name, ok := a.names[id]
+		if !ok {
+			name = resourceName(id)
+			a.names[id] = name
+		}
+		a.out = append(a.out, a.scoreSeries(name, a.series[i]))
 	}
 	// Tie-break equal suspicions by resource name: without it, the order
-	// of tied scores would leak map iteration order into reports.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Suspicion != out[j].Suspicion {
-			return out[i].Suspicion > out[j].Suspicion
+	// of tied scores would leak accumulation order into reports. The
+	// comparator captures nothing, so the sort does not allocate.
+	slices.SortFunc(a.out, func(x, y Score) int {
+		if x.Suspicion != y.Suspicion {
+			return cmp.Compare(y.Suspicion, x.Suspicion)
 		}
-		return out[i].Resource < out[j].Resource
+		return strings.Compare(x.Resource, y.Resource)
 	})
-	return out
+	return a.out
+}
+
+// Analyze scores a trace with a one-shot Analyzer — the convenience form
+// for callers outside scanning loops. The result is caller-owned.
+func Analyze(entries []sim.Entry) []Score {
+	var a Analyzer
+	return a.Analyze(entries)
 }
 
 // resourceName renders the per-resource display key, matching what keying
@@ -146,23 +208,25 @@ func normalizeDetail(detail string) string {
 	return detail
 }
 
-// scoreSeries computes the suspicion components for one resource.
-func scoreSeries(res string, times []sim.Time) Score {
+// scoreSeries computes the suspicion components for one resource, using
+// the Analyzer's reusable interval/cluster/bin scratch.
+func (a *Analyzer) scoreSeries(res string, times []sim.Time) Score {
 	s := Score{Resource: res, Events: len(times)}
 	if len(times) < 8 {
 		return s
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	slices.Sort(times)
 	span := times[len(times)-1].Sub(times[0]).Seconds()
 	if span > 0 {
 		s.RatePerSec = float64(len(times)-1) / span
 	}
-	intervals := make([]float64, 0, len(times)-1)
+	intervals := a.intervals[:0]
 	for i := 1; i < len(times); i++ {
 		intervals = append(intervals, times[i].Sub(times[i-1]).Micros())
 	}
-	s.Concentration = topBinMass(intervals, 5.0, 3)
-	lo, hi := twoMeans(intervals)
+	a.intervals = intervals
+	s.Concentration = a.topBinMass(intervals, 5.0, 3)
+	lo, hi := a.twoMeans(intervals)
 	if len(lo) >= len(intervals)/10 && len(hi) >= len(intervals)/10 {
 		mLo, sdLo := meanStd(lo)
 		mHi, sdHi := meanStd(hi)
@@ -193,20 +257,24 @@ func scoreSeries(res string, times []sim.Time) Score {
 
 // topBinMass quantizes samples into binWidth-µs bins and returns the mass
 // fraction of the k most populated bins.
-func topBinMass(v []float64, binWidth float64, k int) float64 {
+func (a *Analyzer) topBinMass(v []float64, binWidth float64, k int) float64 {
 	if len(v) == 0 {
 		return 0
 	}
-	bins := make(map[int]int)
-	for _, x := range v {
-		bins[int(x/binWidth)]++
+	if a.bins == nil {
+		a.bins = make(map[int]int)
 	}
-	counts := make([]int, 0, len(bins))
+	clear(a.bins)
+	for _, x := range v {
+		a.bins[int(x/binWidth)]++
+	}
+	counts := a.counts[:0]
 	//lint:allow detnondet the counts are sorted with a total order before any are consumed
-	for _, c := range bins {
+	for _, c := range a.bins {
 		counts = append(counts, c)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	slices.SortFunc(counts, func(x, y int) int { return cmp.Compare(y, x) })
+	a.counts = counts
 	top := 0
 	for i := 0; i < k && i < len(counts); i++ {
 		top += counts[i]
@@ -214,11 +282,14 @@ func topBinMass(v []float64, binWidth float64, k int) float64 {
 	return float64(top) / float64(len(v))
 }
 
-// twoMeans clusters samples with 1-D 2-means (Lloyd iterations).
-func twoMeans(v []float64) (lo, hi []float64) {
+// twoMeans clusters samples with 1-D 2-means (Lloyd iterations). The
+// returned slices are the Analyzer's reusable cluster buffers.
+func (a *Analyzer) twoMeans(v []float64) (lo, hi []float64) {
 	if len(v) < 2 {
 		return v, nil
 	}
+	lo, hi = a.lo, a.hi
+	defer func() { a.lo, a.hi = lo, hi }()
 	minV, maxV := v[0], v[0]
 	for _, x := range v {
 		minV = math.Min(minV, x)

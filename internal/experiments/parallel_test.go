@@ -112,27 +112,35 @@ func TestRegistryCachesSharedSweeps(t *testing.T) {
 // and trial-session contract at the registry level: the full registry
 // renders byte-identical output whether sweep cells run on one worker or
 // eight, whether each transmission builds a fresh simulated machine or
-// recycles one from the pool (core.SetSystemReuse), and whether cells run
+// recycles one from the pool (core.SetSystemReuse), whether cells run
 // through worker-affine trial sessions or the one-shot Run path
-// (core.SetTrialSessions) — the full 2×2×2 cube. The sweep cache is reset
-// between renderings so every configuration really recomputes.
+// (core.SetTrialSessions), and — PR 8 — whether wakes ride the kernel's
+// fused one-slot buffer (sim.SetFusedRendezvous) and steady-state trials
+// replay recorded per-bit event skeletons (sim.SetReplay). The sweep
+// cache is reset between renderings so every configuration really
+// recomputes.
 func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry sweep in -short mode")
 	}
-	render := func(reuse, sessions bool, workers int, plane bool) string {
+	render := func(reuse, sessions bool, workers int, plane, fused, replay bool) string {
 		core.SetSystemReuse(reuse)
 		core.SetTrialSessions(sessions)
 		sim.SetJitterPlane(plane)
+		sim.SetFusedRendezvous(fused)
+		sim.SetReplay(replay)
 		defer core.SetSystemReuse(true)
 		defer core.SetTrialSessions(true)
 		defer sim.SetJitterPlane(true)
+		defer sim.SetFusedRendezvous(true)
+		defer sim.SetReplay(true)
 		resetSweepCaches()
 		var b strings.Builder
 		for _, e := range Registry() {
 			out, err := e.Run(Options{Quick: true, Seed: 9, Workers: workers})
 			if err != nil {
-				t.Fatalf("%s (reuse=%v sessions=%v workers=%d): %v", e.Name, reuse, sessions, workers, err)
+				t.Fatalf("%s (reuse=%v sessions=%v workers=%d fused=%v replay=%v): %v",
+					e.Name, reuse, sessions, workers, fused, replay, err)
 			}
 			b.WriteString(e.Name)
 			b.WriteByte('\n')
@@ -140,7 +148,9 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		}
 		return b.String()
 	}
-	base := render(false, false, 1, true)
+	// The base corner disables every optimisation layer at once: fresh
+	// machines, one-shot runs, serial, heap-delivered wakes, no replay.
+	base := render(false, false, 1, true, false, false)
 	// The registry sweep must include the crossmech extension experiment —
 	// the determinism contract covers the full mechanism family, not just
 	// the paper's six.
@@ -152,22 +162,35 @@ func TestRegistryDeterministicAcrossPoolingAndWorkers(t *testing.T) {
 		sessions bool
 		workers  int
 		plane    bool
+		fused    bool
+		replay   bool
 	}{
-		{false, false, 8, true},
-		{false, true, 1, true}, {false, true, 8, true},
-		{true, false, 1, true}, {true, false, 8, true},
-		{true, true, 1, true}, {true, true, 8, true},
+		{false, false, 8, true, true, true},
+		{false, true, 1, true, true, true}, {false, true, 8, true, true, true},
+		{true, false, 1, true, true, true}, {true, false, 8, true, true, true},
+		{true, true, 1, true, true, true}, {true, true, 8, true, true, true},
 		// Plane off: the jitter substream refills its deviate buffer in
 		// 8-byte rather than 512-byte chunks, which must serve the exact
 		// same byte sequence — the batched plane is a pure buffering
 		// optimisation, invisible to every consumer (PR 7). Two corners of
 		// the cube suffice: the fully pooled parallel-session path and the
 		// fully fresh serial path.
-		{true, true, 8, false},
-		{false, false, 1, false},
+		{true, true, 8, false, true, true},
+		{false, false, 1, false, false, false},
+		// Fused and replay move independently: each alone against the
+		// production defaults of everything else, and both off on the
+		// fully pooled parallel path — events delivered via the one-slot
+		// buffer or the replay ring must fire at the same (at, seq)
+		// instants as heap events, and replayed trials must consume
+		// jitter in the same order as recorded ones.
+		{true, true, 8, true, false, true},
+		{true, true, 8, true, true, false},
+		{true, true, 8, true, false, false},
+		{false, false, 1, true, true, true},
 	} {
-		if got := render(c.reuse, c.sessions, c.workers, c.plane); got != base {
-			t.Errorf("registry output diverged with reuse=%v sessions=%v workers=%d plane=%v", c.reuse, c.sessions, c.workers, c.plane)
+		if got := render(c.reuse, c.sessions, c.workers, c.plane, c.fused, c.replay); got != base {
+			t.Errorf("registry output diverged with reuse=%v sessions=%v workers=%d plane=%v fused=%v replay=%v",
+				c.reuse, c.sessions, c.workers, c.plane, c.fused, c.replay)
 		}
 	}
 }

@@ -90,6 +90,33 @@ type Kernel struct {
 	hasHandoff   bool
 	pendingPanic any
 	panicPending bool
+
+	// Side-buffered events (see replay.go). fused is the one-slot wake
+	// buffer; ring holds a replayed window's pending events (occupancy in
+	// ringMask); side counts all events living outside the heap, so the
+	// hot paths can rule both out with one compare.
+	fused    event
+	hasFused bool
+	ring     [replayRingCap]event
+	ringMask uint8
+	side     int
+
+	// Replay engine state (see replay.go): state machine, the open
+	// window's symbol and skeleton cursor, and the per-symbol skeletons
+	// (capacity retained across Reset — steady-state trials re-record
+	// into the same backing arrays).
+	rstate   uint8
+	rcur     int
+	rpos     int
+	rprev    int
+	skel     [replayKeys][]replayOp
+	skelDone [replayKeys]bool
+
+	// Perf counters, cumulative across Reset (cleared by Release): the
+	// bench harness reads deltas across pooled trials.
+	switches uint64
+	bitsSeen uint64
+	bitsHit  uint64
 }
 
 // Option configures a Kernel.
@@ -194,6 +221,7 @@ func (k *Kernel) Release() {
 	k.hooks = NopHooks{}
 	k.nop = true
 	k.rng.Reseed(1)
+	k.switches, k.bitsSeen, k.bitsHit = 0, 0, 0
 }
 
 // resetState clears the simulation state shared by Reset and ResetTo,
@@ -230,6 +258,27 @@ func (k *Kernel) resetState() {
 	k.handoff = event{}
 	k.hasHandoff = false
 	k.pendingPanic, k.panicPending = nil, false
+	k.fused = event{}
+	k.hasFused = false
+	if k.ringMask != 0 {
+		for i := range k.ring {
+			k.ring[i] = event{}
+		}
+		k.ringMask = 0
+	}
+	k.side = 0
+	k.rstate = replayOff
+	k.rcur, k.rpos, k.rprev = 0, 0, 0
+	for i := range k.skel {
+		// Zero the full capacity, not just the length: truncated entries
+		// would otherwise keep Proc references alive past Release.
+		s := k.skel[i][:cap(k.skel[i])]
+		for j := range s {
+			s[j].proc = nil
+		}
+		k.skel[i] = s[:0]
+	}
+	k.skelDone = [replayKeys]bool{}
 }
 
 // Now returns the current virtual time.
@@ -264,6 +313,9 @@ func (k *Kernel) schedule(t Time, kind eventKind, p *Proc, value int, fn func())
 		t = k.now
 	}
 	k.seq++
+	if k.rstate >= replayRecord && k.replayScheduled(t, kind, p, value, fn) {
+		return // stored in the replay ring, sequence number already burned
+	}
 	h := append(k.events, event{at: t, seq: k.seq, kind: kind, value: value, proc: p, fn: fn})
 	// Sift up only when the new event beats its parent; scheduling into
 	// the future (the dominant pattern — sleeps and wakes) appends in
@@ -296,7 +348,7 @@ func (k *Kernel) popTop() (at Time, kind eventKind, value int, q *Proc, fn func(
 	at, kind, value, q, fn = h[0].at, h[0].kind, h[0].value, h[0].proc, h[0].fn
 	n := len(h) - 1
 	last := h[n]
-	h[n] = event{} // release fn/proc references held in the vacated slot
+	h[n].proc, h[n].fn = nil, nil // release the vacated slot's references
 	h = h[:n]
 	if n > 0 {
 		i := 0
@@ -354,6 +406,11 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 // finished process structures — including their live coroutines, parked in
 // loop's idle yield — are recycled, so respawning allocates nothing.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	if k.rstate != replayOff {
+		// A spawn after arming means the run is not a straight-line
+		// two-process trial; replay bows out for the rest of it.
+		k.replayDisarm()
+	}
 	var p *Proc
 	if n := len(k.free); n > 0 {
 		p = k.free[n-1]
@@ -393,6 +450,7 @@ func (k *Kernel) resume(q *Proc) {
 		q.started = true
 		q.resume, q.cancel = iter.Pull(iter.Seq[struct{}](q.loop))
 	}
+	k.switches++
 	q.resume()
 }
 
@@ -461,7 +519,7 @@ func (k *Kernel) execute(kind eventKind, value int, q *Proc, fn func()) {
 func (k *Kernel) Run() error {
 	k.hosting = true
 	defer func() { k.hosting = false }()
-	for len(k.events) > 0 {
+	for k.pendingEvents() {
 		if k.panicPending {
 			r := k.pendingPanic
 			k.pendingPanic, k.panicPending = nil, false
@@ -475,11 +533,11 @@ func (k *Kernel) Run() error {
 			// timers) remain. Process-less simulations drain the queue.
 			return nil
 		}
-		if k.horizon > 0 && k.events[0].at > k.horizon {
+		if k.horizon > 0 && k.peekAt() > k.horizon {
 			k.now = k.horizon
 			return nil
 		}
-		at, kind, value, q, fn := k.popTop()
+		at, kind, value, q, fn := k.popNext()
 		if at > k.now {
 			k.now = at
 		}
@@ -507,13 +565,13 @@ func (k *Kernel) Run() error {
 // now; when false the host parks and lets control unwind to Run, which
 // owns the corresponding terminal decision.
 func (k *Kernel) runnable() bool {
-	if k.stopped || len(k.events) == 0 {
+	if k.stopped || !k.pendingEvents() {
 		return false
 	}
 	if k.spawned > 0 && k.live == 0 {
 		return false
 	}
-	if k.horizon > 0 && k.events[0].at > k.horizon {
+	if k.horizon > 0 && k.peekAt() > k.horizon {
 		return false
 	}
 	return true
@@ -523,14 +581,14 @@ func (k *Kernel) runnable() bool {
 // events beyond the horizon are not executed (the clock clamps to the
 // horizon instead, matching Run).
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 || k.stopped {
+	if !k.pendingEvents() || k.stopped {
 		return false
 	}
-	if k.horizon > 0 && k.events[0].at > k.horizon {
+	if k.horizon > 0 && k.peekAt() > k.horizon {
 		k.now = k.horizon
 		return false
 	}
-	at, kind, value, q, fn := k.popTop()
+	at, kind, value, q, fn := k.popNext()
 	if at > k.now {
 		k.now = at
 	}

@@ -210,7 +210,7 @@ func (p *Proc) host() {
 			p.yieldOut()
 			continue
 		}
-		at, kind, value, q, fn := k.popTop()
+		at, kind, value, q, fn := k.popNext()
 		if at > k.now {
 			k.now = at
 		}
@@ -287,11 +287,19 @@ func (p *Proc) runDetached(fn func()) {
 // so FIFO ordering by sequence number is preserved.
 func (p *Proc) pause(t Time) {
 	k := p.k
-	if !k.stopped &&
-		(len(k.events) == 0 || t < k.events[0].at) &&
-		(k.horizon <= 0 || t <= k.horizon) {
-		k.now = t
-		return
+	if !k.stopped && (k.horizon <= 0 || t <= k.horizon) {
+		if k.side == 0 {
+			if len(k.events) == 0 || t < k.events[0].at {
+				k.now = t
+				return
+			}
+		} else if t < k.peekAt() {
+			// A fused wake or replay-ring event is pending: the strict
+			// comparison must span every source, exactly as the heap-only
+			// check does. Ties still take the slow path.
+			k.now = t
+			return
+		}
 	}
 	k.schedule(t, evDispatch, p, 0, nil)
 	p.yield(ProcSleeping)

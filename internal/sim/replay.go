@@ -1,0 +1,475 @@
+package sim
+
+import "math/bits"
+
+// This file implements the two structural fast paths of the event core's
+// third generation (PR 8): fused wake delivery and per-bit event replay.
+//
+// Fused wake delivery gives the kernel a one-slot side buffer for the
+// dominant wake pattern — one parked peer, woken once, delivered at the
+// next block point. WakeFused stores the wake event in the slot instead of
+// pushing it through the 4-ary heap; every next-event decision compares
+// the slot against the heap top by the same (at, seq) total order, so the
+// delivery instant, tie-breaks and downstream in-place handoff are
+// byte-identical to the heap path. The osmodel routes the rendezvous
+// barrier wake and kernel-object wakes through it.
+//
+// Per-bit replay removes the heap from straight-line trial runs entirely.
+// The protocol layer marks symbol-window boundaries (ReplayMark); the
+// kernel records one window's push/pop skeleton per symbol value and then
+// serves later windows of the same symbol from a small ring: scheduled
+// events are stored in free ring slots (verified against the recorded
+// skeleton) and pops scan the ring, the fused slot and the heap top for
+// the exact (at, seq) minimum. Correctness never depends on the skeleton —
+// pops always serve the true minimum and every event keeps the sequence
+// number the heap path would have assigned — so the skeleton only decides
+// eligibility: the moment an op deviates from the recorded pattern (an
+// interferer's event, a jitter-flipped ordering, a mid-run spawn) the ring
+// drains back into the heap and the run continues on the classic path.
+
+// fusedWakeOn gates WakeFused's slot (true routes single-pending wakes
+// around the heap; false falls back to Proc.Wake). Output is identical
+// either way — the registry determinism cube flips it to prove the
+// equivalence. Set it only while no simulation is running.
+var fusedWakeOn = true
+
+// SetFusedRendezvous selects whether the rendezvous barrier and the
+// kernel-object wake path deliver their wake through the kernel's fused
+// one-slot buffer (on) or through the event heap (off). Output is
+// identical; see fusedWakeOn.
+func SetFusedRendezvous(on bool) { fusedWakeOn = on }
+
+// FusedRendezvousEnabled reports the current fused wake delivery mode.
+func FusedRendezvousEnabled() bool { return fusedWakeOn }
+
+// replayOn gates the per-bit replay engine (ReplayArm no-ops when off).
+// Output is identical either way — the determinism cube flips it. Set it
+// only while no simulation is running.
+var replayOn = true
+
+// SetReplay selects whether armed kernels record and replay per-symbol
+// event skeletons (on) or run every event through the heap (off). Output
+// is identical; see replayOn.
+func SetReplay(on bool) { replayOn = on }
+
+// ReplayEnabled reports the current replay mode.
+func ReplayEnabled() bool { return replayOn }
+
+// Replay engine states. Hot-path hooks trigger on rstate >= replayRecord
+// only: an armed or primed kernel costs one predictable-false branch per
+// schedule/pop until the protocol layer starts marking windows.
+const (
+	replayOff    uint8 = iota // not armed (or bailed): pure heap
+	replayArmed               // armed, waiting for the first window mark
+	replayPrimed              // first (warm-up) window running unrecorded
+	replayRecord              // recording the open window's skeleton
+	replayLive                // serving the open window from the ring
+)
+
+const (
+	// replayRingCap bounds the pending events a replayed window may hold
+	// outside the heap. Steady two-process windows keep at most four in
+	// flight (two self-dispatches, a wake, a timer); anything beyond is a
+	// third party intruding, which bails to the heap.
+	replayRingCap = 6
+	// replaySymbols bounds the per-window symbol alphabet (the paper's
+	// widest coding is 2-bit). Marks outside the range disarm replay.
+	replaySymbols = 4
+	// replayKeys is the skeleton key space: windows are keyed by the
+	// (previous, current) symbol pair, because a window opened at the
+	// sender's mark also contains the receiver's tail of the previous
+	// symbol (its measurement completion and barrier arrival), whose op
+	// stream depends on what that symbol was.
+	replayKeys = replaySymbols * replaySymbols
+	// replaySkelCap bounds one window's recorded ops; longer windows are
+	// not straight-line trials and disarm.
+	replaySkelCap = 96
+)
+
+// replayOp is one recorded skeleton entry: a heap/ring/fused push or a
+// pop, with the event shape that must repeat for the window to replay.
+type replayOp struct {
+	push bool
+	kind eventKind
+	proc *Proc
+}
+
+// ReplayArm readies the kernel to record and replay per-symbol event
+// skeletons for the run about to start. It no-ops unless the replay
+// toggle is on, the run is untraced, and exactly two processes are
+// spawned — traced configurations and multi-process runs (pooling
+// interferers, benign load) bypass replay entirely. The session engine
+// arms every steady-state trial; one-shot runs stay on the heap.
+func (k *Kernel) ReplayArm() {
+	if !replayOn || k.trace != nil || k.live != 2 {
+		return
+	}
+	k.rstate = replayArmed
+	k.rpos, k.rcur, k.rprev = 0, 0, 0
+	for i := range k.skel {
+		k.skel[i] = k.skel[i][:0]
+	}
+	k.skelDone = [replayKeys]bool{}
+}
+
+// ReplayMark opens the window for the next transmitted symbol. The
+// protocol layer calls it once per symbol from the sender's loop. The
+// first marked window (the transmission's warm-up symbol, which absorbs
+// setup-phase stragglers) runs unrecorded; afterwards each unseen
+// (previous, current) symbol pair records its window's skeleton once and
+// every later window of that pair replays from the ring. A window that
+// deviates from its skeleton bails to the heap and replay resumes at the
+// next mark.
+//
+//mes:allocfree
+func (k *Kernel) ReplayMark(sym int) {
+	k.bitsSeen++
+	if k.rstate == replayOff {
+		return
+	}
+	if sym < 0 || sym >= replaySymbols {
+		k.replayDisarm()
+		return
+	}
+	prev := k.rprev
+	k.rprev = sym
+	switch k.rstate {
+	case replayArmed:
+		k.rstate = replayPrimed
+		return
+	case replayRecord:
+		k.skelDone[k.rcur] = true
+	case replayLive:
+		if k.rpos != len(k.skel[k.rcur]) {
+			k.replayBail()
+			return
+		}
+		k.bitsHit++
+	}
+	k.replayOpenWindow(prev*replaySymbols + sym)
+}
+
+// replayOpenWindow transitions to recording or replaying the window for
+// one (previous, current) symbol-pair key.
+//
+//mes:allocfree
+func (k *Kernel) replayOpenWindow(key int) {
+	if k.skelDone[key] {
+		if k.rstate != replayLive && !k.replayEnterLive() {
+			return // pending events exceed the ring: disarmed
+		}
+		k.rcur, k.rpos = key, 0
+		k.rstate = replayLive
+		return
+	}
+	if k.rstate == replayLive {
+		k.replayDrainRing()
+	}
+	k.rcur = key
+	k.skel[key] = k.skel[key][:0]
+	k.rstate = replayRecord
+}
+
+// replayEnterLive migrates the pending heap events into the ring so the
+// window ahead runs without heap operations. Events keep their original
+// (at, seq) identity; if they don't fit, replay disarms for the run.
+//
+//mes:allocfree
+func (k *Kernel) replayEnterLive() bool {
+	n := len(k.events)
+	if n > replayRingCap {
+		k.replayDisarm()
+		return false
+	}
+	// The ring is empty here (recording windows schedule into the heap),
+	// and it is unordered — slots carry full (at, seq) identity — so the
+	// heap array copies across verbatim, no pops, no sifts.
+	for i := 0; i < n; i++ {
+		k.ring[i] = k.events[i]
+		k.events[i] = event{}
+	}
+	k.events = k.events[:0]
+	k.ringMask = 1<<uint(n) - 1
+	k.side += n
+	return true
+}
+
+// replayDrainRing pushes the ring's events back into the heap, keeping
+// their original sequence numbers so the (at, seq) total order — and with
+// it every tie-break — is exactly what an unreplayed run would have seen.
+//
+//mes:allocfree
+func (k *Kernel) replayDrainRing() {
+	for m := k.ringMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		k.pushRaw(k.ring[i])
+		k.ring[i] = event{}
+		k.side--
+	}
+	k.ringMask = 0
+}
+
+// replayBail abandons the open window: the ring drains into the heap and
+// the rest of the window runs classically, unrecorded. Replay resumes at
+// the next mark — a deviation (a jitter-flipped ordering, a pattern the
+// recorded variant doesn't cover) poisons one window, not the run.
+//
+//mes:allocfree
+func (k *Kernel) replayBail() {
+	k.replayDrainRing()
+	k.rstate = replayPrimed
+}
+
+// replayDisarm turns the engine off without marking the run as a bail
+// candidate again; live rings drain first.
+//
+//mes:allocfree
+func (k *Kernel) replayDisarm() {
+	if k.rstate == replayLive {
+		k.replayDrainRing()
+	}
+	k.rstate = replayOff
+}
+
+// replayScheduled routes one schedule call through the engine. Recording
+// windows log the push and keep the event on the heap; live windows store
+// it in a free ring slot (reporting true) after verifying it matches the
+// skeleton. Any deviation — shape mismatch, skeleton exhausted, ring
+// full — bails to the heap. The caller has already assigned k.seq.
+//
+//mes:allocfree
+func (k *Kernel) replayScheduled(t Time, kind eventKind, p *Proc, value int, fn func()) bool {
+	switch k.rstate {
+	case replayRecord:
+		k.replayNotePush(kind, p)
+		return false
+	case replayLive:
+		if k.rpos >= len(k.skel[k.rcur]) {
+			k.replayBail()
+			return false
+		}
+		op := &k.skel[k.rcur][k.rpos]
+		if !op.push || op.kind != kind || op.proc != p {
+			k.replayBail()
+			return false
+		}
+		free := ^k.ringMask & (1<<replayRingCap - 1)
+		if free == 0 {
+			k.replayBail()
+			return false
+		}
+		k.rpos++
+		i := bits.TrailingZeros8(free)
+		k.ring[i] = event{at: t, seq: k.seq, kind: kind, value: value, proc: p, fn: fn}
+		k.ringMask |= 1 << uint(i)
+		k.side++
+		return true
+	}
+	return false
+}
+
+// replayNotePush records (or, live, verifies) a push that bypasses the
+// heap-or-ring routing — the fused wake slot's stores.
+//
+//mes:allocfree
+func (k *Kernel) replayNotePush(kind eventKind, p *Proc) {
+	switch k.rstate {
+	case replayRecord:
+		if len(k.skel[k.rcur]) >= replaySkelCap {
+			k.replayDisarm()
+			return
+		}
+		k.skel[k.rcur] = append(k.skel[k.rcur], replayOp{push: true, kind: kind, proc: p})
+	case replayLive:
+		if k.rpos >= len(k.skel[k.rcur]) {
+			k.replayBail()
+			return
+		}
+		op := &k.skel[k.rcur][k.rpos]
+		if !op.push || op.kind != kind || op.proc != p {
+			k.replayBail()
+			return
+		}
+		k.rpos++
+	}
+}
+
+// replayNotePop records (or, live, verifies) a pop. A live mismatch means
+// jitter flipped an ordering the skeleton pinned — the pop itself is
+// still correct (it served the exact (at, seq) minimum), so bailing is
+// purely an eligibility decision.
+//
+//mes:allocfree
+func (k *Kernel) replayNotePop(kind eventKind, p *Proc) {
+	switch k.rstate {
+	case replayRecord:
+		if len(k.skel[k.rcur]) >= replaySkelCap {
+			k.replayDisarm()
+			return
+		}
+		k.skel[k.rcur] = append(k.skel[k.rcur], replayOp{push: false, kind: kind, proc: p})
+	case replayLive:
+		if k.rpos >= len(k.skel[k.rcur]) {
+			k.replayBail()
+			return
+		}
+		op := &k.skel[k.rcur][k.rpos]
+		if op.push || op.kind != kind || op.proc != p {
+			k.replayBail()
+			return
+		}
+		k.rpos++
+	}
+}
+
+// pushRaw inserts an event that already owns its sequence number (a ring
+// drain). Unlike schedule's append — whose fresh events always lose ties —
+// the sift must compare the full (at, seq) order.
+//
+//mes:allocfree
+func (k *Kernel) pushRaw(e event) {
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	k.events = h
+}
+
+// pendingEvents reports whether any event is pending in the heap, the
+// fused slot or the replay ring.
+//
+//mes:allocfree
+func (k *Kernel) pendingEvents() bool {
+	return len(k.events) > 0 || k.side != 0
+}
+
+// peekAt returns the earliest pending event time across the heap, the
+// fused slot and the replay ring. At least one event must be pending.
+//
+//mes:allocfree
+func (k *Kernel) peekAt() Time {
+	var t Time
+	has := false
+	if len(k.events) > 0 {
+		t, has = k.events[0].at, true
+	}
+	if k.side != 0 {
+		if k.hasFused && (!has || k.fused.at < t) {
+			t, has = k.fused.at, true
+		}
+		for m := k.ringMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros8(m)
+			if at := k.ring[i].at; !has || at < t {
+				t, has = at, true
+			}
+		}
+	}
+	return t
+}
+
+// popNext removes and returns the earliest pending event. The dominant
+// unfused, unreplayed path is a straight heap pop; side-buffered events
+// (fused slot, replay ring) divert through the exact three-way minimum.
+//
+//mes:allocfree
+func (k *Kernel) popNext() (at Time, kind eventKind, value int, q *Proc, fn func()) {
+	if k.side == 0 {
+		at, kind, value, q, fn = k.popTop()
+		if k.rstate >= replayRecord {
+			k.replayNotePop(kind, q)
+		}
+		return
+	}
+	return k.popSide()
+}
+
+// popSide serves the earliest event when the fused slot or the replay
+// ring hold candidates, comparing all sources by the (at, seq) total
+// order so the served sequence is byte-identical to a pure heap run.
+//
+//mes:allocfree
+func (k *Kernel) popSide() (at Time, kind eventKind, value int, q *Proc, fn func()) {
+	var best *event
+	bestRing := -1
+	if k.hasFused {
+		best = &k.fused
+	}
+	for m := k.ringMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		if e := &k.ring[i]; best == nil || e.before(best) {
+			best, bestRing = e, i
+		}
+	}
+	if len(k.events) > 0 && (best == nil || k.events[0].before(best)) {
+		at, kind, value, q, fn = k.popTop()
+	} else {
+		at, kind, value, q, fn = best.at, best.kind, best.value, best.proc, best.fn
+		if bestRing >= 0 {
+			k.ringMask &^= 1 << uint(bestRing)
+			k.ring[bestRing] = event{}
+		} else {
+			k.hasFused = false
+			k.fused = event{}
+		}
+		k.side--
+	}
+	if k.rstate >= replayRecord {
+		k.replayNotePop(kind, q)
+	}
+	return
+}
+
+// WakeFused is Wake through the kernel's fused one-slot buffer: the wake
+// event is stored in place instead of pushed through the heap, and the
+// host chain's next block point delivers it with the same in-place handed
+// transfer a heap wake would get. The event takes the sequence number the
+// heap path would have assigned, so ordering — including ties — is
+// byte-identical. Falls back to Wake when fusion is off or the slot is
+// already occupied (a second pending wake).
+//
+//mes:allocfree
+func (p *Proc) WakeFused(delay Duration, value int) {
+	k := p.k
+	if !fusedWakeOn || k.hasFused {
+		p.Wake(delay, value)
+		return
+	}
+	if p.state == ProcDone {
+		badFusedWake(p)
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	if k.rstate >= replayRecord {
+		k.replayNotePush(evWake, p)
+	}
+	k.fused = event{at: k.now.Add(delay), seq: k.seq, kind: evWake, value: value, proc: p}
+	k.hasFused = true
+	k.side++
+}
+
+func badFusedWake(p *Proc) {
+	panic("sim: Wake of finished process " + p.name)
+}
+
+// Switches reports the cumulative number of coroutine transfers into
+// process bodies since the kernel was created. The counter survives
+// Reset — the bench harness reads deltas across pooled trials — and is
+// cleared only by Release.
+func (k *Kernel) Switches() uint64 { return k.switches }
+
+// ReplayStats reports how many symbol windows completed on the replay
+// fast path and how many windows were marked in total (across every run
+// since the kernel was created; Reset preserves both, Release clears
+// them). Their ratio is the bench trajectory's replay_hit_rate.
+func (k *Kernel) ReplayStats() (replayed, total uint64) {
+	return k.bitsHit, k.bitsSeen
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// withToggles runs fn with the fused-wake and replay toggles forced to
+// the given values, restoring the defaults afterwards.
+func withToggles(t *testing.T, fused, replay bool, fn func()) {
+	t.Helper()
+	prevF, prevR := FusedRendezvousEnabled(), ReplayEnabled()
+	SetFusedRendezvous(fused)
+	SetReplay(replay)
+	defer func() {
+		SetFusedRendezvous(prevF)
+		SetReplay(prevR)
+	}()
+	fn()
+}
+
+// pingPongScript runs a marked two-process ping-pong — the minimal
+// steady-state trial shape: the sender marks a window per symbol, sleeps
+// a symbol-dependent time, and wakes the parked receiver, which
+// timestamps the gap. It returns a transcript of receive times.
+func pingPongScript(k *Kernel, syms []int, out *[]Time) {
+	var rcv *Proc
+	k.Spawn("rcv", func(p *Proc) {
+		for range syms {
+			p.Park()
+			*out = append(*out, p.Now())
+		}
+	})
+	k.Spawn("snd", func(p *Proc) {
+		for _, s := range syms {
+			p.k.ReplayMark(s)
+			p.Sleep(Duration(10 + 5*s))
+			rcv.WakeFused(3, s)
+		}
+	})
+	rcv = k.procs[0]
+	k.ReplayArm()
+}
+
+// runPingPong executes the script on a fresh kernel and returns the
+// transcript plus the kernel for counter inspection.
+func runPingPong(t *testing.T, syms []int) ([]Time, *Kernel) {
+	t.Helper()
+	var out []Time
+	k := NewKernel()
+	pingPongScript(k, syms, &out)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out, k
+}
+
+// TestReplayMatchesHeapPath proves the engine's one contract: for every
+// toggle combination the observable schedule is identical, bit for bit.
+func TestReplayMatchesHeapPath(t *testing.T) {
+	syms := []int{0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0}
+	var base []Time
+	withToggles(t, false, false, func() {
+		base, _ = runPingPong(t, syms)
+	})
+	if len(base) != len(syms) {
+		t.Fatalf("base transcript has %d entries, want %d", len(base), len(syms))
+	}
+	for _, mode := range []struct{ fused, replay bool }{
+		{true, false}, {false, true}, {true, true},
+	} {
+		withToggles(t, mode.fused, mode.replay, func() {
+			got, k := runPingPong(t, syms)
+			if fmt.Sprint(got) != fmt.Sprint(base) {
+				t.Fatalf("fused=%v replay=%v transcript diverged:\n got %v\nwant %v",
+					mode.fused, mode.replay, got, base)
+			}
+			replayed, total := k.ReplayStats()
+			if total != uint64(len(syms)) {
+				t.Fatalf("fused=%v replay=%v marked %d windows, want %d",
+					mode.fused, mode.replay, total, len(syms))
+			}
+			if mode.replay && replayed == 0 {
+				t.Fatalf("replay enabled but no window replayed")
+			}
+			if !mode.replay && replayed != 0 {
+				t.Fatalf("replay disabled but %d windows replayed", replayed)
+			}
+		})
+	}
+}
+
+// TestReplayHitRateSteadyState pins the engine's efficiency on its design
+// workload: after the warm-up window and one recording window per
+// (previous, current) symbol pair, every later window must replay.
+func TestReplayHitRateSteadyState(t *testing.T) {
+	withToggles(t, true, true, func() {
+		syms := make([]int, 64)
+		for i := range syms {
+			syms[i] = i % 2
+		}
+		_, k := runPingPong(t, syms)
+		replayed, total := k.ReplayStats()
+		if total != uint64(len(syms)) {
+			t.Fatalf("marked %d windows, want %d", total, len(syms))
+		}
+		// Warm-up + two recordings (pairs 10 and 01) never replay, and
+		// the final window closes unobserved, so 64 - 4 must hit.
+		if want := uint64(len(syms) - 4); replayed < want {
+			t.Fatalf("replayed %d windows, want at least %d", replayed, want)
+		}
+	})
+}
+
+// TestReplayBailRecovers forces a mid-run deviation — a third process
+// spawned between windows — and checks both that output still matches the
+// heap path and that replay disarms rather than corrupting the schedule.
+func TestReplayBailRecovers(t *testing.T) {
+	script := func(k *Kernel, out *[]Time) {
+		var rcv *Proc
+		k.Spawn("rcv", func(p *Proc) {
+			for i := 0; i < 12; i++ {
+				p.Park()
+				*out = append(*out, p.Now())
+			}
+		})
+		k.Spawn("snd", func(p *Proc) {
+			for i := 0; i < 12; i++ {
+				p.k.ReplayMark(i % 2)
+				if i == 8 {
+					// A late interferer: replay must hand everything
+					// back to the heap and stay correct.
+					k.Spawn("late", func(q *Proc) { q.Sleep(1) })
+				}
+				p.Sleep(Duration(10 + 5*(i%2)))
+				rcv.WakeFused(3, i)
+			}
+		})
+		rcv = k.procs[0]
+		k.ReplayArm()
+	}
+	run := func() []Time {
+		var out []Time
+		k := NewKernel()
+		script(k, &out)
+		if err := k.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	var base, got []Time
+	withToggles(t, false, false, func() { base = run() })
+	withToggles(t, true, true, func() { got = run() })
+	if fmt.Sprint(got) != fmt.Sprint(base) {
+		t.Fatalf("transcript diverged after mid-run spawn:\n got %v\nwant %v", got, base)
+	}
+}
+
+// TestFusedWakeFallsBackWhenOccupied exercises the one-slot limit: two
+// pending fused wakes must order exactly like two heap wakes.
+func TestFusedWakeFallsBackWhenOccupied(t *testing.T) {
+	run := func(fused bool) []int {
+		var order []int
+		withToggles(t, fused, false, func() {
+			k := NewKernel()
+			var a, b *Proc
+			a = k.Spawn("a", func(p *Proc) {
+				order = append(order, p.Park())
+			})
+			b = k.Spawn("b", func(p *Proc) {
+				order = append(order, p.Park())
+			})
+			k.Spawn("waker", func(p *Proc) {
+				p.Sleep(5)
+				// Same delay: delivery must stay FIFO by schedule order
+				// even though the second wake overflows to the heap.
+				a.WakeFused(7, 1)
+				b.WakeFused(7, 2)
+			})
+			if err := k.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+		return order
+	}
+	heap, fusedOrder := run(false), run(true)
+	if fmt.Sprint(heap) != fmt.Sprint(fusedOrder) {
+		t.Fatalf("fused wake order %v, heap order %v", fusedOrder, heap)
+	}
+}
+
+// TestFusedWakeOfFinishedProcPanics mirrors Wake's contract.
+func TestFusedWakeOfFinishedProcPanics(t *testing.T) {
+	withToggles(t, true, false, func() {
+		k := NewKernel()
+		done := k.Spawn("done", func(p *Proc) {})
+		k.Spawn("waker", func(p *Proc) {
+			p.Sleep(10)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WakeFused of finished process did not panic")
+				}
+			}()
+			done.WakeFused(0, 1)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}
+
+// TestReplayResetIsolation proves a Reset clears every engine remnant: a
+// replayed run followed by Reset and an unmarked run must leave no side
+// events, no skeletons in use, and intact counters.
+func TestReplayResetIsolation(t *testing.T) {
+	withToggles(t, true, true, func() {
+		var out []Time
+		k := NewKernel()
+		syms := []int{0, 1, 0, 1, 0, 1, 0, 1}
+		pingPongScript(k, syms, &out)
+		if err := k.Run(); err != nil {
+			t.Fatalf("first run: %v", err)
+		}
+		_, totalBefore := k.ReplayStats()
+		k.Reset()
+		if k.side != 0 || k.hasFused || k.ringMask != 0 || k.rstate != replayOff {
+			t.Fatalf("reset left engine state: side=%d fused=%v mask=%b state=%d",
+				k.side, k.hasFused, k.ringMask, k.rstate)
+		}
+		// Counters are cumulative across Reset (the bench harness reads
+		// deltas) and cleared by Release.
+		if _, total := k.ReplayStats(); total != totalBefore {
+			t.Fatalf("reset cleared counters: total %d, want %d", total, totalBefore)
+		}
+		k.Spawn("plain", func(p *Proc) { p.Sleep(5) })
+		if err := k.Run(); err != nil {
+			t.Fatalf("second run: %v", err)
+		}
+		k.Release()
+		if k.switches != 0 || k.bitsSeen != 0 || k.bitsHit != 0 {
+			t.Fatalf("release kept counters: %d/%d/%d", k.switches, k.bitsSeen, k.bitsHit)
+		}
+	})
+}
+
+// TestSwitchCounter pins the switch accounting the bench trajectory
+// depends on: one ping-pong round is one switch into each body.
+func TestSwitchCounter(t *testing.T) {
+	k := NewKernel()
+	SpawnPingPong(k, 100)
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if k.Switches() == 0 {
+		t.Fatal("switch counter never incremented")
+	}
+}
