@@ -50,13 +50,25 @@
 //     and Wake — are encoded as (kind, proc, value), so scheduling them
 //     allocates nothing. Only the rare generic Kernel.At callers carry a
 //     fn closure.
-//   - The kernel↔process handoff is a coroutine switch (iter.Pull, which
-//     compiles to runtime.coroswitch): dispatch resumes the body's
-//     coroutine and a blocking op yields straight back, a direct
-//     goroutine-to-goroutine transfer with no Go-scheduler park/unpark.
-//     The old single-slot channel handoff paid chanparkcommit twice per
-//     switch (~640ns/round trip); the coroutine transfer does the same
-//     round trip in ~190ns (BenchmarkContextSwitch). On recycling kernels
+//   - The kernel↔process handoff is a coroutine switch through a
+//     hand-rolled resume layer (sim's coroHandle, PR 9): start/transfer/
+//     cancel/drop are an explicit protocol — a resume loop with an idle
+//     park and a cancellation unwind — built over a raw coroutine
+//     transfer. The transfer itself still rides iter.Pull (which compiles
+//     to runtime.coroswitch): the Go linker's blockedLinknames list
+//     restricts runtime.newcoro/coroswitch pulls to package iter, so a
+//     fully raw backend is off the table without forking the toolchain;
+//     the handle keeps the protocol logic out of iter's closure plumbing
+//     and gives the kernel one seam to swap if that restriction ever
+//     lifts. Dispatch resumes the body's coroutine and a blocking op
+//     yields straight back, a direct goroutine-to-goroutine transfer with
+//     no Go-scheduler park/unpark. The old single-slot channel handoff
+//     paid chanparkcommit twice per switch (~640ns/round trip); the
+//     coroutine transfer does the same round trip in ~190ns at PR 5,
+//     ~110ns now (BenchmarkContextSwitch), and the bare resume round trip
+//     with no kernel around it is ~118ns (BenchmarkResumeRoundTrip, the
+//     resume_ns trajectory row) — the scheduler's own overhead per switch
+//     is the few-ns delta between those two rows. On recycling kernels
 //     (any kernel that has been Reset — the pooled-machine pattern)
 //     coroutines are persistent: a finished process parks in an idle
 //     yield and the next spawn reuses it allocation-free. One-shot
@@ -130,6 +142,19 @@
 //     (BENCH_PR8.json's replay_hit_rate; skeletons are keyed by the
 //     (previous, current) symbol pair because a window carries the
 //     receiver's tail of the prior symbol).
+//   - Symbol windows whose skeleton has already survived one fully
+//     verified live replay run batched (sim.SetBatch, PR 9): a window's
+//     key is marked prevalidated on its first clean close, and later
+//     windows on that key skip the per-op shape comparison — each push
+//     and pop advances the skeleton cursor on a count-only bound check.
+//     Batching is strictly an eligibility layer over replay: it never
+//     arms where replay would not — traced kernels and multi-process
+//     spawns never arm, a spawn mid-run disarms the whole engine for the
+//     rest of the trial, and Step-driven kernels (never hosting) stay on
+//     the verified path — and any op past the prevalidated window's
+//     recorded count bails exactly that one window: the bail revokes the
+//     key's prevalidation, drains the ring back into the heap, and the
+//     next mark re-verifies live before the key can batch again.
 //
 // Outputs stay deterministic through all of this because ordering is a
 // total order on (time, sequence): the hand-rolled heap pops the same
@@ -146,10 +171,12 @@
 // the trial, and any deviation from the recorded skeleton (an intruding
 // third event, a jitter-flipped ordering) drains the ring back into the
 // heap and poisons only the current window — the next symbol mark
-// resumes matching. The registry tests assert byte-identical output
-// across the full cube of worker counts × machine pooling × trial
-// sessions × jitter plane × fused wakes × replay, and core.Session-level
-// tests pin per-trial equality with the one-shot path, including across
+// resumes matching; a batched window holds itself to the same rule, with
+// the deviation detected by the cursor bound instead of the shape
+// compare. The registry tests assert byte-identical output across the
+// full cube of worker counts × machine pooling × trial sessions × jitter
+// plane × fused wakes × replay × batching, and core.Session-level tests
+// pin per-trial equality with the one-shot path, including across
 // mid-session deadlocks.
 //
 // PR 7 before → after on the 1-core reference container (BENCH_PR7.json):
@@ -192,6 +219,41 @@
 // next generation has a measured target — the switch itself, not the
 // queue. The 10M/70ms stretch targets remain open.
 //
+// PR 9 measurements on the same container (BENCH_PR9.json; the box was
+// noisier than during PR 8 — nine runs spread 6.9–8.3M events/s and
+// 117–133ns/switch, so the checked-in file is the quietest run and the
+// before → after deltas are mostly box noise):
+//
+//	kernel events/s            8.82M → 7.51M  (8.25M best run)
+//	context switch round trip  110ns → 120ns
+//	resume round trip          (new row) 109ns (BenchmarkResumeRoundTrip)
+//	one steady-state trial     440µs/0 allocs → 480µs/0 allocs
+//	switches per symbol        1.00 → 1.00 (already the alternation bound)
+//	full `-all -quick` registry ~102ms → ~108ms
+//
+// PR 9 went at the switch itself and came back with a negative result
+// worth recording: the resume_ns row is the measurement. A bare resume
+// round trip with no kernel, queue or timing model around it costs
+// ~109ns against the full context switch's ~120ns — the scheduler's own
+// protocol (host migration, wake delivery, idle parking) adds only
+// ~10ns per switch, so everything else is the runtime's coroutine
+// transfer plus iter.Pull's CAS state machine. A fully raw
+// runtime.coroswitch backend cannot remove that: the Go linker's
+// blockedLinknames list restricts the newcoro/coroswitch linknames to
+// package iter, so the hand-rolled layer (sim's coroHandle) owns the
+// protocol — resume loop, idle park, cancellation unwind — and keeps the
+// transfer as its one irreducible primitive. Batching (prevalidated
+// windows verified by op count alone) removes the per-op shape compares
+// but cannot remove switches: every MES symbol is a Trojan↔Spy
+// alternation, and switches-per-bit already sits at that 1.00 lower
+// bound. CPU profiles of a steady-state trial accordingly still put the
+// transfer machinery at ~26% (coroswitch+mcall ~13%, the iter.Pull CAS
+// ~6%, the pull closures ~7%) — not below the 10% ISSUE 9 hoped for,
+// because the remaining cost is the runtime primitive, not our protocol
+// around it. Crossing 10M events/s from here means fewer transfers
+// (multi-symbol bodies that batch protocol work between yields), not a
+// cheaper transfer.
+//
 // PR 7 is also the project's second deliberate RNG stream change (the
 // first, PR 3, banked the Box–Muller pair). Ziggurat consumes one uint64
 // per common-case draw where Box–Muller consumed two floats per pair, and
@@ -225,13 +287,18 @@
 // schema v3) the full quick registry's wall-clock with cold caches plus
 // the steady-state trial allocation count, both gated by `make
 // perf-smoke`, which since PR 7 also enforces absolute machine-normalized
-// floors (raised by PR 8 to 7.5M events/s and a 125ms quick registry),
-// and (since schema v4) the coroutine switches per transmitted symbol and
-// the replay engine's skeleton hit rate. Trajectory so far on this
-// container: kernel 0.89M → 2.17M (PR 2) → 5.65M (PR 3) → 7.18M (PR 5) →
-// 8.19M (PR 7) → 8.82M events/s (PR 8); one transmission 9.12ms/18166
-// allocs → 1.67ms/49 → 0.83ms/10 → 0.70ms/5 → 0.48ms/5 → 0.40ms/5
-// one-shot and 0 allocs in a session.
+// floors (raised by PR 8 to 7.5M events/s and a 125ms quick registry;
+// held there by PR 9, whose noisier container cleared nothing higher)
+// plus, since PR 9, the fast batch-on/off determinism corner, (since
+// schema v4) the coroutine switches per transmitted symbol and the
+// replay engine's skeleton hit rate, and (since schema v5) the bare
+// resume round trip, resume_ns — its delta against the context-switch
+// row is the scheduler's own per-switch overhead. Trajectory so far on
+// this container: kernel 0.89M → 2.17M (PR 2) → 5.65M (PR 3) → 7.18M
+// (PR 5) → 8.19M (PR 7) → 8.82M events/s (PR 8) → 7.5–8.3M under PR 9's
+// box noise; one transmission 9.12ms/18166 allocs → 1.67ms/49 →
+// 0.83ms/10 → 0.70ms/5 → 0.48ms/5 → 0.40ms/5 one-shot and 0 allocs in a
+// session.
 //
 // # Invariants
 //
@@ -241,8 +308,10 @@
 // of the runtime tests that pin them:
 //
 //   - Determinism: simulation output is a pure function of the config
-//     and seed — byte-identical across worker counts, machine pooling
-//     and trial sessions. The detnondet analyzer forbids wall-clock
+//     and seed — byte-identical across worker counts, machine pooling,
+//     trial sessions and every event-path toggle (jitter plane, fused
+//     wakes, replay, batched windows). The detnondet analyzer forbids
+//     wall-clock
 //     reads (time.Now/Since/Until), math/rand and map-order-dependent
 //     ranges in every package that feeds simulation output; the
 //     traceguard analyzer requires every hot-path Tracef call to be

@@ -210,3 +210,38 @@ func (k *slotKernel) skelVerify(key int, kind uint8, record bool) bool {
 	k.rpos++
 	return true
 }
+
+// Mirrors of the PR 9 resume and batch hot shapes: the coroutine handle's
+// transfer calls (stored func values invoked through a field — method
+// values and pre-bound closures stored before the hot path starts are
+// not per-call closures) and the batched window's count-only cursor
+// check.
+
+type resumeHandle struct {
+	next  func() (struct{}, bool)
+	yield func(struct{}) bool
+}
+
+// transferRound mirrors coroHandle.transferIn/transferOut: invoking the
+// pre-bound resume and yield funcs through struct fields transfers
+// control without allocating — the closures were built once at start,
+// off the hot path.
+//
+//mes:allocfree
+func (h *resumeHandle) transferRound() bool {
+	h.next()
+	return h.yield(struct{}{})
+}
+
+// batchVerify mirrors replayScheduled's replayBatch arm: a prevalidated
+// window advances the skeleton cursor on a bound check alone — no
+// per-op shape compare, no escapes.
+//
+//mes:allocfree
+func (k *slotKernel) batchVerify(key int) bool {
+	if k.rpos >= len(k.skel[key]) {
+		return false
+	}
+	k.rpos++
+	return true
+}

@@ -22,12 +22,39 @@ type AggregateResult struct {
 	// Makespan is the transmission window: from the first Spy measurement
 	// completing to the last one, excluding the Trojans' fixed setup delay.
 	Makespan sim.Duration
-	// Elapsed is the total simulated time of the run, setup included
-	// (Makespan < Elapsed always, by at least the 200µs setup delay).
+	// Elapsed is the total simulated time of the run, setup included.
+	// Makespan < Elapsed always, by at least parallelSetupDelay —
+	// enforced by aggregateWindow, which errors rather than report rates
+	// from a window that swallowed the setup sleep.
 	Elapsed       sim.Duration
 	AggregateKbps float64
 	PerPairKbps   float64
 	WorstBER      float64
+}
+
+// parallelSetupDelay is the Trojans' fixed setup sleep: every Trojan
+// parks this long before touching its kernel object, so the first Spy
+// measurement — the makespan anchor — cannot complete earlier.
+const parallelSetupDelay = 200 * sim.Microsecond
+
+// aggregateWindow derives the transmission window from the first and
+// last Spy completion times and enforces the AggregateResult contract:
+// the makespan excludes the Trojans' setup delay, so whenever a window
+// exists the total elapsed time must lead it by at least
+// parallelSetupDelay. A violation means the earliest anchor regressed
+// (the bug this guards against reported rates diluted by setup time) and
+// is returned as an error instead of silently skewing the rates.
+func aggregateWindow(earliest, latest sim.Time) (makespan, elapsed sim.Duration, err error) {
+	elapsed = latest.Sub(0)
+	if earliest < latest {
+		makespan = latest.Sub(earliest)
+		if elapsed-makespan < parallelSetupDelay {
+			return 0, 0, fmt.Errorf(
+				"core: aggregate window invariant violated: elapsed %v leads makespan %v by %v, want >= the %v setup delay",
+				elapsed, makespan, elapsed-makespan, parallelSetupDelay)
+		}
+	}
+	return makespan, elapsed, nil
 }
 
 // RunParallel simulates n independent Trojan/Spy pairs of the same
@@ -98,7 +125,7 @@ func RunParallel(mech Mechanism, scn Scenario, n, bitsPerPair int, seed uint64) 
 			}
 		})
 		sys.Spawn(fmt.Sprintf("trojan%d", i), trojanDom, func(p *osmodel.Proc) {
-			p.Sleep(200 * sim.Microsecond)
+			p.Sleep(parallelSetupDelay)
 			if err := snd.setup(p); err != nil {
 				st.err = err
 				return
@@ -134,10 +161,11 @@ func RunParallel(mech Mechanism, scn Scenario, n, bitsPerPair int, seed uint64) 
 			res.WorstBER = ber
 		}
 	}
-	res.Elapsed = latest.Sub(0)
-	if earliest < latest {
-		res.Makespan = latest.Sub(earliest)
+	makespan, elapsed, err := aggregateWindow(earliest, latest)
+	if err != nil {
+		return nil, err
 	}
+	res.Makespan, res.Elapsed = makespan, elapsed
 	if res.Makespan > 0 {
 		res.AggregateKbps = metrics.TRKbps(res.TotalBits, res.Makespan)
 		res.PerPairKbps = res.AggregateKbps / float64(n)

@@ -30,3 +30,48 @@ func TestRunParallelMakespanExcludesSetup(t *testing.T) {
 		t.Errorf("rates not derived from the anchored makespan: %+v", res)
 	}
 }
+
+// TestAggregateWindowEnforcesSetupDelay pins the AggregateResult contract
+// at its computation seam: the documented "Makespan < Elapsed, by at
+// least the setup delay" invariant used to live only in a comment, so an
+// earliest-anchor regression (e.g. anchoring at t=0 again) would silently
+// dilute the reported rates. aggregateWindow must now reject any window
+// whose elapsed-makespan gap is smaller than the Trojans' setup sleep.
+func TestAggregateWindowEnforcesSetupDelay(t *testing.T) {
+	const setup = parallelSetupDelay
+	anchor := sim.Time(0).Add(setup)
+
+	// Healthy window: first Spy completes exactly at the setup boundary.
+	makespan, elapsed, err := aggregateWindow(anchor, anchor.Add(3*sim.Millisecond))
+	if err != nil {
+		t.Fatalf("healthy window rejected: %v", err)
+	}
+	if makespan != 3*sim.Millisecond {
+		t.Errorf("makespan = %v, want 3ms", makespan)
+	}
+	if elapsed != makespan+setup {
+		t.Errorf("elapsed = %v, want makespan + setup delay %v", elapsed, makespan+setup)
+	}
+
+	// Regressed anchor: the window starts before the Trojans could have
+	// signaled, so the gap undercuts the setup delay and must error.
+	early := sim.Time(0).Add(setup / 2)
+	if _, _, err := aggregateWindow(early, early.Add(3*sim.Millisecond)); err == nil {
+		t.Error("window anchored inside the setup delay accepted; invariant not enforced")
+	}
+	// The t=0 anchor of the original bug — zero gap — must error too.
+	if _, _, err := aggregateWindow(sim.Time(0), sim.Time(0).Add(3*sim.Millisecond)); err == nil {
+		t.Error("window anchored at t=0 accepted; invariant not enforced")
+	}
+
+	// No completed measurement (sentinel anchor beyond latest): no window,
+	// no invariant to enforce — elapsed still reported.
+	sentinel := sim.Time(1<<63 - 1)
+	makespan, elapsed, err = aggregateWindow(sentinel, anchor)
+	if err != nil || makespan != 0 {
+		t.Errorf("windowless run: makespan = %v, err = %v, want 0, nil", makespan, err)
+	}
+	if elapsed != anchor.Sub(0) {
+		t.Errorf("windowless run elapsed = %v, want %v", elapsed, anchor.Sub(0))
+	}
+}

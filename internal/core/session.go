@@ -54,7 +54,60 @@ type Session struct {
 	decoded []int
 	bits    codec.Bits
 
+	// Monotonic kernel-counter bookkeeping (see KernelStats). The raw
+	// kernel counters are NOT monotonic from the session's point of view:
+	// Release clears them (the deadlocked-trial recovery path), and a
+	// machine acquired from the shared pool arrives carrying another
+	// session's history. statsAcc accumulates this session's deltas
+	// retired by each Release; statsOff anchors the pinned machine's
+	// counter values at acquisition so pooled history is subtracted out.
+	statsAcc kernelCounters
+	statsOff kernelCounters
+
 	closed bool
+}
+
+// kernelCounters is one snapshot of the pinned machine's cumulative
+// kernel counters.
+type kernelCounters struct {
+	switches uint64
+	replayed uint64
+	total    uint64
+}
+
+// kernelCounters snapshots the pinned machine's raw counters. The caller
+// must hold a machine (s.sys != nil).
+func (s *Session) kernelCounters() kernelCounters {
+	k := s.sys.Kernel()
+	replayed, total := k.ReplayStats()
+	return kernelCounters{switches: k.Switches(), replayed: replayed, total: total}
+}
+
+// releaseMachine is the deadlocked-trial recovery path: when a trial's
+// kernel Run errors (deadlock, stop), the blocked coroutines are unwound
+// in place so nothing retains the trial's state. The released machine
+// stays pinned to the session — Release leaves it equivalent to a fresh
+// NewSystem, so the next trial's Reset replays exactly like a fresh
+// machine and earlier trials are not poisoned. Release also clears the
+// kernel's cumulative counters; they are folded into the session
+// accumulator first so KernelStats never moves backwards across the
+// recovery.
+func (s *Session) releaseMachine() {
+	s.retireKernelCounters()
+	s.sys.Release()
+}
+
+// retireKernelCounters folds the pinned machine's counters-since-
+// acquisition into the session accumulator. Called immediately before
+// anything that clears or abandons the machine's counters (Release,
+// returning the machine to the pool), so KernelStats stays monotonic
+// across machine swaps.
+func (s *Session) retireKernelCounters() {
+	cur := s.kernelCounters()
+	s.statsAcc.switches += cur.switches - s.statsOff.switches
+	s.statsAcc.replayed += cur.replayed - s.statsOff.replayed
+	s.statsAcc.total += cur.total - s.statsOff.total
+	s.statsOff = kernelCounters{}
 }
 
 // NewSession validates cfg and builds a session pinned to its mechanism
@@ -125,24 +178,25 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 		if s.sys == nil {
 			s.sys = osmodel.NewSystem(syscfg)
 		}
+		// Anchor the counter baseline at acquisition: a pooled machine
+		// arrives with another session's cumulative history, which must
+		// not leak into this session's KernelStats.
+		s.statsOff = s.kernelCounters()
 	}
 	if err := l.arm(s.sys); err != nil {
 		// arm fails before any process ran; the machine stays pinned and
 		// the next trial's Reset restores it.
 		return nil, err
 	}
-	// Arm per-bit replay for the run: the kernel itself bows out for
-	// traced or multi-process configurations, so arming is unconditional.
+	// Arm per-bit replay — and with it symbol batching on prevalidated
+	// windows — for the run: the kernel itself bows out for traced or
+	// multi-process configurations (and batching additionally requires
+	// the Run-driven dispatcher), so arming is unconditional.
 	s.sys.ArmReplay()
 
 	runErr := s.sys.Run()
 	if runErr != nil {
-		// Deadlocked or stopped: unwind the blocked coroutines so nothing
-		// retains this trial's state. The released machine stays pinned to
-		// the session — Release leaves it equivalent to a fresh NewSystem,
-		// so the next trial's Reset replays exactly like a fresh machine
-		// and earlier trials are not poisoned.
-		s.sys.Release()
+		s.releaseMachine()
 	}
 	if l.trojanErr != nil {
 		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
@@ -166,18 +220,24 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 	return res, err
 }
 
-// KernelStats reports the pinned machine's cumulative kernel counters —
+// KernelStats reports the session's cumulative kernel counters —
 // coroutine switches into process bodies, symbol windows served by the
-// replay fast path, and symbol windows marked in total. The bench harness
-// reads deltas across trials to derive switches-per-bit and the replay
-// hit rate. All zero before the first trial acquires a machine.
+// replay fast path, and symbol windows marked in total. The counters are
+// monotonic for the lifetime of the session: they survive the pinned
+// machine being Released after a deadlocked trial (which clears the raw
+// kernel counters) and exclude any history a pool-acquired machine
+// arrived with. The bench harness depends on that monotonicity — it
+// derives switches-per-bit and the replay hit rate from uint64 deltas
+// between two reads, which would wrap to ~1.8e19 if a counter ever moved
+// backwards. All zero before the first trial acquires a machine.
 func (s *Session) KernelStats() (switches, replayedBits, totalBits uint64) {
 	if s.sys == nil {
-		return 0, 0, 0
+		return s.statsAcc.switches, s.statsAcc.replayed, s.statsAcc.total
 	}
-	k := s.sys.Kernel()
-	replayed, total := k.ReplayStats()
-	return k.Switches(), replayed, total
+	cur := s.kernelCounters()
+	return s.statsAcc.switches + cur.switches - s.statsOff.switches,
+		s.statsAcc.replayed + cur.replayed - s.statsOff.replayed,
+		s.statsAcc.total + cur.total - s.statsOff.total
 }
 
 // Close returns the session's machine to the shared pool (or releases it
@@ -192,6 +252,9 @@ func (s *Session) Close() {
 	if s.sys == nil {
 		return
 	}
+	// The machine leaves with its raw counters (the pool's next tenant
+	// re-anchors); keep this session's KernelStats readable and final.
+	s.retireKernelCounters()
 	if reuseSystems.Load() {
 		s.sys.Detach()
 		systems.Put(s.sys)

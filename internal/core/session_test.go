@@ -159,6 +159,69 @@ func TestSessionDeadlockedTrialDoesNotPoison(t *testing.T) {
 	}
 }
 
+// TestSessionKernelStatsMonotonicAcrossDeadlock is the regression test for
+// the bench-harness delta underflow: mesbench derives switches-per-bit and
+// the replay hit rate from uint64 deltas of Session.KernelStats between
+// two reads, but a deadlocked trial between the reads takes the
+// releaseMachine recovery path, which used to clear the raw counters the
+// session reported. With more history accumulated before the deadlock
+// than after it, the second read then came back *smaller* and the
+// subtraction wrapped to ~1.8e19. KernelStats must be monotonic across
+// the mid-session recovery.
+//
+// The deadlocked trial is forced via the recovery seam itself: no public
+// Config deterministically reaches a genuine kernel deadlock (the unfair
+// Flock ablation fails later, at decoder calibration, without ever
+// erroring out of Run — verified by scanning 900 payload×seed
+// combinations), and the white-box call exercises byte-for-byte the same
+// branch RunConfig takes when Run returns an error.
+func TestSessionKernelStatsMonotonicAcrossDeadlock(t *testing.T) {
+	payload := sessionTestPayload(200)
+	fair := Config{Mechanism: Flock, Scenario: Local(), Payload: payload, Seed: 7}
+
+	s, err := NewSession(fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Two fair trials bank more counter history than any single trial can
+	// re-accumulate: if the recovery's Release zeroes what KernelStats
+	// reports, the post-deadlock read is guaranteed smaller than this one.
+	for i := 0; i < 2; i++ {
+		if _, err := s.RunConfig(fair); err != nil {
+			t.Fatalf("fair trial %d before the deadlock: %v", i, err)
+		}
+	}
+	sw0, rep0, bits0 := s.KernelStats()
+	if sw0 == 0 || bits0 == 0 {
+		t.Fatalf("fair trials recorded no kernel activity (switches=%d, bits=%d)", sw0, bits0)
+	}
+
+	// The deadlocked-trial recovery path, exactly as RunConfig runs it
+	// between the harness's two reads.
+	s.releaseMachine()
+	if _, err := s.RunConfig(fair); err != nil {
+		t.Fatalf("fair trial after the deadlock: %v", err)
+	}
+	sw1, rep1, bits1 := s.KernelStats()
+
+	if sw1 < sw0 || rep1 < rep0 || bits1 < bits0 {
+		t.Fatalf("KernelStats moved backwards across a deadlocked trial: switches %d→%d, replayed %d→%d, bits %d→%d",
+			sw0, sw1, rep0, rep1, bits0, bits1)
+	}
+	if bits1 == bits0 {
+		t.Fatalf("post-deadlock fair trial marked no symbol windows (bits stuck at %d)", bits0)
+	}
+	// The exact derivation mesbench performs: with monotonic counters the
+	// deltas stay in protocol range instead of wrapping.
+	if spb := float64(sw1-sw0) / float64(bits1-bits0); spb <= 0 || spb > 1000 {
+		t.Errorf("switches-per-bit delta %g out of protocol range: counter delta underflowed", spb)
+	}
+	if hit := float64(rep1-rep0) / float64(bits1-bits0); hit < 0 || hit > 1 {
+		t.Errorf("replay-hit-rate delta %g out of [0, 1]: counter delta underflowed", hit)
+	}
+}
+
 // TestSessionAllocsSteadyStateZero proves the headline property of the
 // trial-session engine: after warm-up, a session trial performs zero heap
 // allocations — the machine, coroutines, kernel objects, buffers, decoder

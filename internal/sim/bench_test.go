@@ -34,3 +34,13 @@ func BenchmarkContextSwitch(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkResumeRoundTrip measures the resume layer alone: one
+// transferIn/transferOut round trip on a standalone coroutine handle,
+// with no kernel, event queue or timing model around it. The delta
+// between BenchmarkContextSwitch and this row is the scheduler's own
+// per-switch overhead; it is the resume_ns row of `mesbench -benchjson`.
+func BenchmarkResumeRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	ResumeRoundTrips(b.N)
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"iter"
 	"sort"
 )
 
@@ -105,12 +104,17 @@ type Kernel struct {
 	// window's symbol and skeleton cursor, and the per-symbol skeletons
 	// (capacity retained across Reset — steady-state trials re-record
 	// into the same backing arrays).
-	rstate   uint8
-	rcur     int
-	rpos     int
-	rprev    int
-	skel     [replayKeys][]replayOp
-	skelDone [replayKeys]bool
+	rstate uint8
+	rcur   int
+	rpos   int
+	rprev  int
+	skel   [replayKeys][]replayOp
+	// skelDone marks keys with a recorded skeleton; skelPrevalid marks
+	// keys that additionally replayed cleanly once, making later windows
+	// eligible for batched (count-only verified) execution. A batch-window
+	// bail revokes prevalidation for its key.
+	skelDone     [replayKeys]bool
+	skelPrevalid [replayKeys]bool
 
 	// Perf counters, cumulative across Reset (cleared by Release): the
 	// bench harness reads deltas across pooled trials.
@@ -152,7 +156,21 @@ func NewKernel(opts ...Option) *Kernel {
 		o(k)
 	}
 	k.refreshHooks()
+	k.prefillDraws()
 	return k
+}
+
+// prefillDraws vectorizes the run's quantized timing draws up front:
+// modeled kernels fill the root RNG's jitter deviate plane at reset so
+// the trial's table-served draws (timing.Profile's quantized tables) pay
+// no lazy-refill stall mid-window. Raw kernels (NopHooks — the event-core
+// benchmarks and protocol unit tests) never draw jitter and skip it.
+// Buffering only; the served sequence, and with it every golden, is
+// unchanged.
+func (k *Kernel) prefillDraws() {
+	if !k.nop {
+		k.rng.PrefillJitter()
+	}
 }
 
 // refreshHooks recomputes the NopHooks fast-path flag after k.hooks
@@ -181,6 +199,7 @@ func (k *Kernel) Reset(opts ...Option) {
 		o(k)
 	}
 	k.refreshHooks()
+	k.prefillDraws()
 }
 
 // ResetTo is the allocation-free equivalent of
@@ -199,6 +218,7 @@ func (k *Kernel) ResetTo(seed uint64, h Hooks, tr *Trace, horizon Time) {
 	k.trace = tr
 	k.horizon = horizon
 	k.rng.Reseed(seed)
+	k.prefillDraws()
 }
 
 // Release tears the kernel down: every coroutine — blocked mid-wait or
@@ -210,8 +230,8 @@ func (k *Kernel) ResetTo(seed uint64, h Hooks, tr *Trace, horizon Time) {
 func (k *Kernel) Release() {
 	k.resetState()
 	for i, p := range k.free {
-		if p.started {
-			p.cancel()
+		if p.co.active() {
+			p.co.cancel()
 			p.detach()
 		}
 		k.free[i] = nil
@@ -235,8 +255,8 @@ func (k *Kernel) resetState() {
 	// their deferred functions schedule on the way down are discarded
 	// below.
 	for _, p := range k.procs {
-		if p.state != ProcDone && p.started {
-			p.cancel()
+		if p.state != ProcDone && p.co.active() {
+			p.co.cancel()
 			p.detach()
 		}
 	}
@@ -279,6 +299,7 @@ func (k *Kernel) resetState() {
 		k.skel[i] = s[:0]
 	}
 	k.skelDone = [replayKeys]bool{}
+	k.skelPrevalid = [replayKeys]bool{}
 }
 
 // Now returns the current virtual time.
@@ -439,19 +460,18 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 }
 
 // resume transfers control into q's coroutine, creating it on first use.
-// The transfer is a coroutine switch (iter.Pull resume / yield,
-// runtime.coroswitch underneath): a direct goroutine-to-goroutine transfer
+// The transfer is a coroutine switch (a bare runtime.coroswitch on
+// non-race builds; see coro.go): a direct goroutine-to-goroutine transfer
 // with no scheduler park/unpark, so the Go runtime never arbitrates the
 // simulation's single-threaded control flow.
 //
 //mes:allocfree
 func (k *Kernel) resume(q *Proc) {
-	if !q.started {
-		q.started = true
-		q.resume, q.cancel = iter.Pull(iter.Seq[struct{}](q.loop))
+	if !q.co.active() {
+		q.co.start(q.loop) // cold: once per process lifetime, recycled procs skip it
 	}
 	k.switches++
-	q.resume()
+	q.co.transferIn()
 }
 
 // checkWake panics on a wake of a non-parked process: lost wakeups would

@@ -34,31 +34,27 @@ func (s ProcState) String() string {
 }
 
 // procAbort is the sentinel panic a Kernel.Reset throws through an
-// abandoned process body to unwind its coroutine (see Proc.cancel). It is
-// recovered inside runBody and never escapes the sim package.
+// abandoned process body to unwind its coroutine (see coroHandle.cancel).
+// It is recovered inside runBody and never escapes the sim package.
 type procAbort struct{}
 
-// Proc is a simulated process. Its body runs on a coroutine (iter.Pull, so
-// kernel↔process switches are direct runtime.coroswitch transfers, never
-// scheduler park/unpark round-trips), and the kernel guarantees at most one
-// body executes at a time, so bodies may use plain Go code without
-// synchronization. All methods below must be called from within the owning
-// body.
+// Proc is a simulated process. Its body runs on a coroutine (a direct
+// runtime.coroswitch transfer on non-race builds, iter.Pull under -race —
+// see coro.go; never a scheduler park/unpark round-trip), and the kernel
+// guarantees at most one body executes at a time, so bodies may use plain
+// Go code without synchronization. All methods below must be called from
+// within the owning body.
 type Proc struct {
 	k    *Kernel
 	id   int
 	name string
 	body func(*Proc)
 
-	// Coroutine handoff state. resume transfers control into the body
-	// (kernel side); yieldCoro transfers it back out (body side); cancel
-	// unwinds an abandoned body during Reset. The coroutine is persistent:
-	// after the body returns it parks in loop's idle yield, so a recycled
-	// Proc restarts its next body with zero new allocations.
-	resume    func() (struct{}, bool)
-	cancel    func()
-	yieldCoro func(struct{}) bool
-	started   bool // coroutine exists (and is parked in yieldCoro)
+	// Coroutine handoff state (see coro.go for the contract). The
+	// coroutine is persistent: after the body returns it parks in loop's
+	// idle transferOut, so a recycled Proc restarts its next body with
+	// zero new allocations.
+	co coroHandle
 
 	state ProcState
 
@@ -87,14 +83,13 @@ type Proc struct {
 // no allocation. On a one-shot kernel the goroutine exits with the body:
 // an idle-parked goroutine's stack is a GC root that would pin the whole
 // machine forever if the kernel were simply dropped.
-func (p *Proc) loop(yield func(struct{}) bool) {
-	p.yieldCoro = yield
+func (p *Proc) loop() {
 	for p.runBody() {
 		if !p.k.recycle {
 			p.detach()
 			return
 		}
-		if !yield(struct{}{}) { // idle until recycled; false = kernel cancelled
+		if !p.co.transferOut() { // idle until recycled; false = kernel cancelled
 			return
 		}
 	}
@@ -102,11 +97,10 @@ func (p *Proc) loop(yield func(struct{}) bool) {
 
 // detach forgets the coroutine: a future respawn of this structure builds
 // a fresh one. Called either from inside the exiting coroutine (loop) or
-// after cancelling it (Reset/Release); the kernel only reads these fields
+// after cancelling it (Reset/Release); the kernel only reads the handle
 // between dispatches, so both are safe.
 func (p *Proc) detach() {
-	p.started = false
-	p.resume, p.cancel, p.yieldCoro = nil, nil, nil
+	p.co.drop()
 }
 
 // runBody executes one body to completion. It reports whether the
@@ -150,7 +144,7 @@ func (p *Proc) yield(s ProcState) {
 // (a Reset mid-wait), the body is unwound via the procAbort sentinel.
 func (p *Proc) yieldOut() {
 	p.hostParked = true
-	ok := p.yieldCoro(struct{}{})
+	ok := p.co.transferOut()
 	p.hostParked = false
 	if !ok {
 		panic(procAbort{})

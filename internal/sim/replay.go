@@ -26,6 +26,20 @@ import "math/bits"
 // eligibility: the moment an op deviates from the recorded pattern (an
 // interferer's event, a jitter-flipped ordering, a mid-run spawn) the ring
 // drains back into the heap and the run continues on the classic path.
+//
+// Symbol batching (PR 9) is replay's fourth gear. A window that has both
+// recorded its skeleton AND replayed it cleanly once is prevalidated: its
+// op count is known to match, so later windows of the same key run in the
+// replayBatch state, where per-op verification shrinks to a cursor bound
+// check — no 3-field shape compares on pushes and pops. Pops still serve
+// the exact (at, seq) minimum (batching never touches the ordering
+// decision), and the window's op count is re-checked when it closes; a
+// count mismatch — or any mid-window overflow — bails that one window AND
+// clears the prevalidated flag, so the next window of that key re-verifies
+// op-by-op before batching re-engages. Batching additionally requires a
+// Run-driven kernel (k.hosting): Step-driven kernels keep the classic
+// fully-verified handoff, and traced or multi-process runs never get here
+// because ReplayArm/SpawnAt already bypass replay for them.
 
 // fusedWakeOn gates WakeFused's slot (true routes single-pending wakes
 // around the heap; false falls back to Proc.Wake). Output is identical
@@ -55,6 +69,20 @@ func SetReplay(on bool) { replayOn = on }
 // ReplayEnabled reports the current replay mode.
 func ReplayEnabled() bool { return replayOn }
 
+// batchOn gates symbol batching (the replayBatch state): prevalidated
+// windows drain the per-bit ring with count-only verification instead of
+// per-op shape compares. Output is identical either way — the determinism
+// cube flips it. Set it only while no simulation is running.
+var batchOn = true
+
+// SetBatch selects whether prevalidated replay windows run batched
+// (count-only skeleton verification) or fully verified. Output is
+// identical; see batchOn.
+func SetBatch(on bool) { batchOn = on }
+
+// BatchEnabled reports the current symbol-batching mode.
+func BatchEnabled() bool { return batchOn }
+
 // Replay engine states. Hot-path hooks trigger on rstate >= replayRecord
 // only: an armed or primed kernel costs one predictable-false branch per
 // schedule/pop until the protocol layer starts marking windows.
@@ -63,7 +91,8 @@ const (
 	replayArmed               // armed, waiting for the first window mark
 	replayPrimed              // first (warm-up) window running unrecorded
 	replayRecord              // recording the open window's skeleton
-	replayLive                // serving the open window from the ring
+	replayLive                // serving the open window from the ring, verified op-by-op
+	replayBatch               // serving a prevalidated window: count-only verification
 )
 
 const (
@@ -110,6 +139,7 @@ func (k *Kernel) ReplayArm() {
 		k.skel[i] = k.skel[i][:0]
 	}
 	k.skelDone = [replayKeys]bool{}
+	k.skelPrevalid = [replayKeys]bool{}
 }
 
 // ReplayMark opens the window for the next transmitted symbol. The
@@ -145,6 +175,15 @@ func (k *Kernel) ReplayMark(sym int) {
 			return
 		}
 		k.bitsHit++
+		// A clean op-by-op verified replay prevalidates the key: later
+		// windows of this (previous, current) pair may run batched.
+		k.skelPrevalid[k.rcur] = true
+	case replayBatch:
+		if k.rpos != len(k.skel[k.rcur]) {
+			k.replayBail() // also clears the prevalidated flag, see replayBail
+			return
+		}
+		k.bitsHit++
 	}
 	k.replayOpenWindow(prev*replaySymbols + sym)
 }
@@ -155,14 +194,21 @@ func (k *Kernel) ReplayMark(sym int) {
 //mes:allocfree
 func (k *Kernel) replayOpenWindow(key int) {
 	if k.skelDone[key] {
-		if k.rstate != replayLive && !k.replayEnterLive() {
+		if k.rstate < replayLive && !k.replayEnterLive() {
 			return // pending events exceed the ring: disarmed
 		}
 		k.rcur, k.rpos = key, 0
+		if batchOn && k.hosting && k.skelPrevalid[key] {
+			// The key replayed cleanly before: batch this window. Never on
+			// Step-driven kernels (!hosting), which keep the classic
+			// fully-verified handoff.
+			k.rstate = replayBatch
+			return
+		}
 		k.rstate = replayLive
 		return
 	}
-	if k.rstate == replayLive {
+	if k.rstate >= replayLive {
 		k.replayDrainRing()
 	}
 	k.rcur = key
@@ -212,10 +258,17 @@ func (k *Kernel) replayDrainRing() {
 // replayBail abandons the open window: the ring drains into the heap and
 // the rest of the window runs classically, unrecorded. Replay resumes at
 // the next mark — a deviation (a jitter-flipped ordering, a pattern the
-// recorded variant doesn't cover) poisons one window, not the run.
+// recorded variant doesn't cover) poisons one window, not the run. A bail
+// out of a batched window additionally revokes the key's prevalidated
+// status: the deviation proves the skeleton no longer describes this key,
+// so its next window must re-verify op-by-op before batching again — no
+// stale prevalidated window ever runs after a bail.
 //
 //mes:allocfree
 func (k *Kernel) replayBail() {
+	if k.rstate == replayBatch {
+		k.skelPrevalid[k.rcur] = false
+	}
 	k.replayDrainRing()
 	k.rstate = replayPrimed
 }
@@ -225,7 +278,7 @@ func (k *Kernel) replayBail() {
 //
 //mes:allocfree
 func (k *Kernel) replayDisarm() {
-	if k.rstate == replayLive {
+	if k.rstate >= replayLive {
 		k.replayDrainRing()
 	}
 	k.rstate = replayOff
@@ -234,8 +287,11 @@ func (k *Kernel) replayDisarm() {
 // replayScheduled routes one schedule call through the engine. Recording
 // windows log the push and keep the event on the heap; live windows store
 // it in a free ring slot (reporting true) after verifying it matches the
-// skeleton. Any deviation — shape mismatch, skeleton exhausted, ring
-// full — bails to the heap. The caller has already assigned k.seq.
+// skeleton; batched windows store it after only a cursor bound check —
+// the skeleton already prevalidated this key, so the per-op shape compare
+// is skipped and a deviation surfaces as a count mismatch at the window
+// close. Any deviation — shape mismatch, skeleton exhausted, ring full —
+// bails to the heap. The caller has already assigned k.seq.
 //
 //mes:allocfree
 func (k *Kernel) replayScheduled(t Time, kind eventKind, p *Proc, value int, fn func()) bool {
@@ -264,12 +320,25 @@ func (k *Kernel) replayScheduled(t Time, kind eventKind, p *Proc, value int, fn 
 		k.ringMask |= 1 << uint(i)
 		k.side++
 		return true
+	case replayBatch:
+		free := ^k.ringMask & (1<<replayRingCap - 1)
+		if k.rpos >= len(k.skel[k.rcur]) || free == 0 {
+			k.replayBail()
+			return false
+		}
+		k.rpos++
+		i := bits.TrailingZeros8(free)
+		k.ring[i] = event{at: t, seq: k.seq, kind: kind, value: value, proc: p, fn: fn}
+		k.ringMask |= 1 << uint(i)
+		k.side++
+		return true
 	}
 	return false
 }
 
 // replayNotePush records (or, live, verifies) a push that bypasses the
-// heap-or-ring routing — the fused wake slot's stores.
+// heap-or-ring routing — the fused wake slot's stores. Batched windows
+// advance the cursor with a bound check only.
 //
 //mes:allocfree
 func (k *Kernel) replayNotePush(kind eventKind, p *Proc) {
@@ -291,13 +360,21 @@ func (k *Kernel) replayNotePush(kind eventKind, p *Proc) {
 			return
 		}
 		k.rpos++
+	case replayBatch:
+		if k.rpos >= len(k.skel[k.rcur]) {
+			k.replayBail()
+			return
+		}
+		k.rpos++
 	}
 }
 
 // replayNotePop records (or, live, verifies) a pop. A live mismatch means
 // jitter flipped an ordering the skeleton pinned — the pop itself is
 // still correct (it served the exact (at, seq) minimum), so bailing is
-// purely an eligibility decision.
+// purely an eligibility decision. Batched windows advance the cursor with
+// a bound check only: the ordering decision already happened in
+// popNext/popSide, identically to every other mode.
 //
 //mes:allocfree
 func (k *Kernel) replayNotePop(kind eventKind, p *Proc) {
@@ -315,6 +392,12 @@ func (k *Kernel) replayNotePop(kind eventKind, p *Proc) {
 		}
 		op := &k.skel[k.rcur][k.rpos]
 		if op.push || op.kind != kind || op.proc != p {
+			k.replayBail()
+			return
+		}
+		k.rpos++
+	case replayBatch:
+		if k.rpos >= len(k.skel[k.rcur]) {
 			k.replayBail()
 			return
 		}

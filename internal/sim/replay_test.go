@@ -5,16 +5,18 @@ import (
 	"testing"
 )
 
-// withToggles runs fn with the fused-wake and replay toggles forced to
-// the given values, restoring the defaults afterwards.
-func withToggles(t *testing.T, fused, replay bool, fn func()) {
+// withToggles runs fn with the fused-wake, replay and batch toggles
+// forced to the given values, restoring the defaults afterwards.
+func withToggles(t *testing.T, fused, replay, batch bool, fn func()) {
 	t.Helper()
-	prevF, prevR := FusedRendezvousEnabled(), ReplayEnabled()
+	prevF, prevR, prevB := FusedRendezvousEnabled(), ReplayEnabled(), BatchEnabled()
 	SetFusedRendezvous(fused)
 	SetReplay(replay)
+	SetBatch(batch)
 	defer func() {
 		SetFusedRendezvous(prevF)
 		SetReplay(prevR)
+		SetBatch(prevB)
 	}()
 	fn()
 }
@@ -60,25 +62,25 @@ func runPingPong(t *testing.T, syms []int) ([]Time, *Kernel) {
 func TestReplayMatchesHeapPath(t *testing.T) {
 	syms := []int{0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0}
 	var base []Time
-	withToggles(t, false, false, func() {
+	withToggles(t, false, false, false, func() {
 		base, _ = runPingPong(t, syms)
 	})
 	if len(base) != len(syms) {
 		t.Fatalf("base transcript has %d entries, want %d", len(base), len(syms))
 	}
-	for _, mode := range []struct{ fused, replay bool }{
-		{true, false}, {false, true}, {true, true},
+	for _, mode := range []struct{ fused, replay, batch bool }{
+		{true, false, false}, {false, true, false}, {true, true, false}, {true, true, true},
 	} {
-		withToggles(t, mode.fused, mode.replay, func() {
+		withToggles(t, mode.fused, mode.replay, mode.batch, func() {
 			got, k := runPingPong(t, syms)
 			if fmt.Sprint(got) != fmt.Sprint(base) {
-				t.Fatalf("fused=%v replay=%v transcript diverged:\n got %v\nwant %v",
-					mode.fused, mode.replay, got, base)
+				t.Fatalf("fused=%v replay=%v batch=%v transcript diverged:\n got %v\nwant %v",
+					mode.fused, mode.replay, mode.batch, got, base)
 			}
 			replayed, total := k.ReplayStats()
 			if total != uint64(len(syms)) {
-				t.Fatalf("fused=%v replay=%v marked %d windows, want %d",
-					mode.fused, mode.replay, total, len(syms))
+				t.Fatalf("fused=%v replay=%v batch=%v marked %d windows, want %d",
+					mode.fused, mode.replay, mode.batch, total, len(syms))
 			}
 			if mode.replay && replayed == 0 {
 				t.Fatalf("replay enabled but no window replayed")
@@ -94,7 +96,7 @@ func TestReplayMatchesHeapPath(t *testing.T) {
 // workload: after the warm-up window and one recording window per
 // (previous, current) symbol pair, every later window must replay.
 func TestReplayHitRateSteadyState(t *testing.T) {
-	withToggles(t, true, true, func() {
+	withToggles(t, true, true, true, func() {
 		syms := make([]int, 64)
 		for i := range syms {
 			syms[i] = i % 2
@@ -149,10 +151,114 @@ func TestReplayBailRecovers(t *testing.T) {
 		return out
 	}
 	var base, got []Time
-	withToggles(t, false, false, func() { base = run() })
-	withToggles(t, true, true, func() { got = run() })
+	withToggles(t, false, false, false, func() { base = run() })
+	withToggles(t, true, true, true, func() { got = run() })
 	if fmt.Sprint(got) != fmt.Sprint(base) {
 		t.Fatalf("transcript diverged after mid-run spawn:\n got %v\nwant %v", got, base)
+	}
+}
+
+// TestStepMatchesRunAcrossToggles drives the same marked ping-pong
+// through the Run loop and the Step dispatcher under every corner of the
+// fused × replay × batch cube and demands transcripts byte-identical to
+// the all-off corner. Step never hosts, so batching silently disarms
+// there — the toggle must be a pure no-op on Step-driven kernels, not a
+// divergence.
+func TestStepMatchesRunAcrossToggles(t *testing.T) {
+	syms := []int{0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 1}
+	stepPong := func() []Time {
+		var out []Time
+		k := NewKernel()
+		pingPongScript(k, syms, &out)
+		for k.Step() {
+		}
+		return out
+	}
+	var base []Time
+	withToggles(t, false, false, false, func() { base, _ = runPingPong(t, syms) })
+	for _, fused := range []bool{false, true} {
+		for _, replay := range []bool{false, true} {
+			for _, batch := range []bool{false, true} {
+				withToggles(t, fused, replay, batch, func() {
+					got, _ := runPingPong(t, syms)
+					if fmt.Sprint(got) != fmt.Sprint(base) {
+						t.Fatalf("Run fused=%v replay=%v batch=%v diverged:\n got %v\nwant %v",
+							fused, replay, batch, got, base)
+					}
+					stepped := stepPong()
+					if fmt.Sprint(stepped) != fmt.Sprint(base) {
+						t.Fatalf("Step fused=%v replay=%v batch=%v diverged:\n got %v\nwant %v",
+							fused, replay, batch, stepped, base)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchDeviationBailsOneWindow pins the batch engine's recovery
+// contract: a mid-batch skeleton deviation bails exactly one window and
+// revokes the key's prevalidated status, so the next window of that key
+// re-verifies op-by-op (replayLive) before batching re-engages — no
+// stale prevalidated window ever runs after a bail. The transcript must
+// still match the all-off corner bit for bit.
+func TestBatchDeviationBailsOneWindow(t *testing.T) {
+	const n = 12
+	script := func(k *Kernel, out *[]Time, states *[]uint8) {
+		var rcv *Proc
+		k.Spawn("rcv", func(p *Proc) {
+			// One extra park absorbs the deviation window's extra wake.
+			for i := 0; i < n+1; i++ {
+				p.Park()
+				*out = append(*out, p.Now())
+			}
+		})
+		k.Spawn("snd", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.k.ReplayMark(0)
+				if states != nil {
+					*states = append(*states, k.rstate)
+				}
+				if i == 6 {
+					// An extra wake the key's skeleton does not contain: its
+					// push and pop overflow the batched window's op count,
+					// which the cursor bound check must catch mid-window.
+					// (An extra Sleep or Yield would not deviate: the inline
+					// pause fast path serves them without queueing anything.)
+					rcv.WakeFused(1, 9)
+				}
+				p.Sleep(10)
+				rcv.WakeFused(3, 0)
+			}
+		})
+		rcv = k.procs[0]
+		k.ReplayArm()
+	}
+	run := func(states *[]uint8) []Time {
+		var out []Time
+		k := NewKernel()
+		script(k, &out, states)
+		if err := k.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	var base, got []Time
+	var states []uint8
+	withToggles(t, false, false, false, func() { base = run(nil) })
+	withToggles(t, true, true, true, func() { got = run(&states) })
+	if fmt.Sprint(got) != fmt.Sprint(base) {
+		t.Fatalf("transcript diverged after mid-batch deviation:\n got %v\nwant %v", got, base)
+	}
+	// The state of each window as it opens: warm-up, record, one verified
+	// replay, then batch; window 6 opens batched and deviates mid-window,
+	// so window 7 must re-verify (live, the prevalidated flag was revoked)
+	// and window 8 batches again.
+	want := []uint8{replayPrimed, replayRecord, replayLive, replayBatch,
+		replayBatch, replayBatch, replayBatch, replayLive, replayBatch,
+		replayBatch, replayBatch, replayBatch}
+	if fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Fatalf("window-open states = %v, want %v (bail must cost exactly one verified window)", states, want)
 	}
 }
 
@@ -161,7 +267,7 @@ func TestReplayBailRecovers(t *testing.T) {
 func TestFusedWakeFallsBackWhenOccupied(t *testing.T) {
 	run := func(fused bool) []int {
 		var order []int
-		withToggles(t, fused, false, func() {
+		withToggles(t, fused, false, false, func() {
 			k := NewKernel()
 			var a, b *Proc
 			a = k.Spawn("a", func(p *Proc) {
@@ -191,7 +297,7 @@ func TestFusedWakeFallsBackWhenOccupied(t *testing.T) {
 
 // TestFusedWakeOfFinishedProcPanics mirrors Wake's contract.
 func TestFusedWakeOfFinishedProcPanics(t *testing.T) {
-	withToggles(t, true, false, func() {
+	withToggles(t, true, false, false, func() {
 		k := NewKernel()
 		done := k.Spawn("done", func(p *Proc) {})
 		k.Spawn("waker", func(p *Proc) {
@@ -213,7 +319,7 @@ func TestFusedWakeOfFinishedProcPanics(t *testing.T) {
 // replayed run followed by Reset and an unmarked run must leave no side
 // events, no skeletons in use, and intact counters.
 func TestReplayResetIsolation(t *testing.T) {
-	withToggles(t, true, true, func() {
+	withToggles(t, true, true, true, func() {
 		var out []Time
 		k := NewKernel()
 		syms := []int{0, 1, 0, 1, 0, 1, 0, 1}

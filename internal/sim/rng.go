@@ -289,6 +289,21 @@ func (r *RNG) JitterIndex() uint8 {
 //mes:allocfree
 func (r *RNG) JitterNorm() float64 { return quantNorm[r.JitterIndex()] }
 
+// PrefillJitter eagerly fills the jitter deviate plane so the trial ahead
+// draws its quantized timing indices from a table vectorized up front —
+// the first priced op of a batched window never stalls on a lazy refill.
+// Purely a buffering decision: the served index sequence is a function of
+// the substream state alone, so output is byte-identical with or without
+// the call. No-op when the plane is off (word-at-a-time mode keeps its
+// lazy cadence) or still holds unserved indices. The kernel calls it once
+// per reset on modeled (non-NopHooks) kernels; child RNGs from Split stay
+// lazy — many never draw jitter at all.
+func (r *RNG) PrefillJitter() {
+	if r.planeOn && r.jn == 0 {
+		r.jitterRefill()
+	}
+}
+
 // jitterRefill unpacks the next batch of substream words into the plane:
 // the full plane in bulk mode, a single word otherwise. Words unpack
 // low-byte-first in both modes, so the served sequence is identical.

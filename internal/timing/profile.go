@@ -79,22 +79,27 @@ type Profile struct {
 	// noisier than local).
 	HazardScale float64
 
-	// quant points at the profile's precomputed sigma×deviate lookup
-	// tables, built by initSigma on the calibrated construction paths.
-	// The jitter sigma set is static after construction, so the hot
-	// stochastic calls (Cost, SleepExtra, Cross) reduce to one jitter
-	// substream index plus one table load — no Gaussian sampling, no
-	// float pipeline. The tables are shared immutably between the copies
-	// a Profile value spawns (inlining them would put ~50KB in every
-	// copy); hand-built test profiles leave quant nil and take the
-	// compute-on-the-fly fallback.
+	// quant points at the profile's precomputed full-cost timing tables,
+	// built by initSigma on the calibrated construction paths. Both the
+	// costs and the jitter sigmas are static after construction, so the
+	// hot stochastic calls (Cost, SleepExtra, Cross) reduce to one jitter
+	// substream index plus one load of an already-clamped total — no
+	// Gaussian sampling, no float pipeline, no per-call add/clamp. The
+	// tables are shared immutably between the copies a Profile value
+	// spawns (inlining them would put ~50KB in every copy); hand-built
+	// test profiles leave quant nil and take the compute-on-the-fly
+	// fallback.
 	quant *quantJitter
 }
 
-// quantJitter holds a profile's per-op quantized jitter tables: entry
-// [op][i] is sigma_op × QuantNorm(i), so a jittered cost is one index
-// draw and one add. sleep and cross are the same product for the sleep
-// overshoot and boundary-crossing sigmas.
+// quantJitter holds a profile's quantized timing tables. Since PR 9 they
+// are full-cost, not sigma-only: entry cost[op][i] is the already-clamped
+// total OpCost[op] + sigma_op × QuantNorm(i), sleep[i] the clamped
+// overshoot max(0, mean + sigma × QuantNorm(i)) and cross[i] the clamped
+// crossing total — so a trial's stochastic draws vectorize to one jitter
+// substream index plus one table load each, with no per-call add or
+// clamp. The arithmetic baking the tables is the exact int64 expression
+// the fallback path evaluates per call, so outputs are byte-identical.
 type quantJitter struct {
 	cost  [numOps][256]sim.Duration
 	sleep [256]sim.Duration
@@ -111,37 +116,49 @@ func (p *Profile) sigmaFor(op Op) float64 {
 	return sigma
 }
 
-// initSigma builds the quantized jitter tables from the current jitter
-// parameters. Must be re-run after mutating OpCost, OpJitterFrac,
-// OpJitterFloor, SleepOvershootSigma or CrossJitter. It always allocates
-// a fresh table so profile copies sharing the old one are unaffected;
-// the calibrated construction paths run it once per cached profile at
-// package init.
+// initSigma builds the quantized timing tables from the current cost and
+// jitter parameters. Must be re-run after mutating OpCost, OpJitterFrac,
+// OpJitterFloor, SleepOvershootMean/Sigma, CrossCost or CrossJitter. It
+// always allocates a fresh table so profile copies sharing the old one
+// are unaffected; the calibrated construction paths run it once per
+// cached profile at package init, strictly after the last parameter
+// mutation (see calib.go).
 func (p *Profile) initSigma() {
 	q := new(quantJitter)
 	for op := Op(0); op < numOps; op++ {
 		sigma := p.sigmaFor(op)
+		base := p.OpCost[op]
 		for i := 0; i < 256; i++ {
-			q.cost[op][i] = sim.Duration(sigma * sim.QuantNorm(uint8(i)))
+			d := base + sim.Duration(sigma*sim.QuantNorm(uint8(i)))
+			if d < 0 {
+				d = 0
+			}
+			q.cost[op][i] = d
 		}
 	}
 	for i := 0; i < 256; i++ {
-		q.sleep[i] = sim.Duration(float64(p.SleepOvershootSigma) * sim.QuantNorm(uint8(i)))
-		q.cross[i] = sim.Duration(float64(p.CrossJitter) * sim.QuantNorm(uint8(i)))
+		over := p.SleepOvershootMean + sim.Duration(float64(p.SleepOvershootSigma)*sim.QuantNorm(uint8(i)))
+		if over < 0 {
+			over = 0
+		}
+		q.sleep[i] = over
+		cross := p.CrossCost + sim.Duration(float64(p.CrossJitter)*sim.QuantNorm(uint8(i)))
+		if cross < 0 {
+			cross = 0
+		}
+		q.cross[i] = cross
 	}
 	p.quant = q
 }
 
-// Cost returns the jittered cost of op.
+// Cost returns the jittered cost of op: with quantized tables one index
+// draw and one load of the precomputed clamped total.
 //mes:allocfree
 func (p *Profile) Cost(r *sim.RNG, op Op) sim.Duration {
-	base := p.OpCost[op]
-	var d sim.Duration
 	if q := p.quant; q != nil {
-		d = base + q.cost[op][r.JitterIndex()]
-	} else {
-		d = base + sim.Duration(p.sigmaFor(op)*r.NormFloat64())
+		return q.cost[op][r.JitterIndex()]
 	}
+	d := p.OpCost[op] + sim.Duration(p.sigmaFor(op)*r.NormFloat64())
 	if d < 0 {
 		d = 0
 	}
@@ -156,12 +173,11 @@ func (p *Profile) SleepExtra(r *sim.RNG, requested sim.Duration) sim.Duration {
 	if requested < p.SleepFloor {
 		extra = p.SleepFloor - requested
 	}
-	var over sim.Duration
 	if q := p.quant; q != nil {
-		over = p.SleepOvershootMean + q.sleep[r.JitterIndex()]
-	} else {
-		over = p.SleepOvershootMean + sim.Duration(float64(p.SleepOvershootSigma)*r.NormFloat64())
+		// The table entry is the already-clamped max(0, mean + deviate).
+		return extra + q.sleep[r.JitterIndex()]
 	}
+	over := p.SleepOvershootMean + sim.Duration(float64(p.SleepOvershootSigma)*r.NormFloat64())
 	if over > 0 {
 		extra += over
 	}
@@ -224,18 +240,19 @@ func (p *Profile) Miss(r *sim.RNG, hold sim.Duration) bool {
 	return r.Bernoulli(prob)
 }
 
-// Cross returns the penalty for one cross-boundary signaling op.
+// Cross returns the penalty for one cross-boundary signaling op. The
+// CrossCost == 0 early return consumes no jitter index — local scenarios
+// must not burn substream state they never used, or the draw sequence
+// (and with it every golden) would shift.
 //mes:allocfree
 func (p *Profile) Cross(r *sim.RNG) sim.Duration {
 	if p.CrossCost == 0 {
 		return 0
 	}
-	var d sim.Duration
 	if q := p.quant; q != nil {
-		d = p.CrossCost + q.cross[r.JitterIndex()]
-	} else {
-		d = p.CrossCost + sim.Duration(float64(p.CrossJitter)*r.NormFloat64())
+		return q.cross[r.JitterIndex()]
 	}
+	d := p.CrossCost + sim.Duration(float64(p.CrossJitter)*r.NormFloat64())
 	if d < 0 {
 		d = 0
 	}
