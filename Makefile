@@ -6,11 +6,11 @@ GO ?= go
 # Which BENCH_PR<n>.json the bench-json target writes; bump per PR so the
 # repo accumulates a performance trajectory. Point BENCH_BASELINE at the
 # previous PR's file to embed it as the "before" column.
-BENCH_PR ?= PR9
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_PR ?= PR10
+BENCH_BASELINE ?= BENCH_PR9.json
 
 # The measurement file perf-smoke's wall-clock gate compares against.
-PERF_BASELINE ?= BENCH_PR9.json
+PERF_BASELINE ?= BENCH_PR10.json
 
 # Coverage floors for the packages guarding the mechanism abstraction,
 # raised to the PR 5 baseline (core 82.0%, kobj 99.7% with the session
@@ -26,9 +26,9 @@ COVER_KOBJ_MIN ?= 99.0
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci build vet lint test race bench bench-json perf-smoke fuzz-smoke cover
+.PHONY: ci build vet lint test race bench bench-json perf-smoke fault-smoke fuzz-smoke cover
 
-ci: build vet lint race perf-smoke cover
+ci: build vet lint race perf-smoke fault-smoke cover
 
 # Static contract enforcement: the meslint vettool checks the Tracing()
 # guard, determinism, pool-hygiene, mechanism-table and allocfree
@@ -66,6 +66,25 @@ perf-smoke:
 	$(GO) test -count=1 -run 'TestSessionAllocsSteadyStateZero' ./internal/core
 	$(GO) test -count=1 -run 'TestQuickBatchDeterminism' ./internal/experiments
 	$(GO) run ./cmd/mesbench -perfcheck $(PERF_BASELINE)
+
+# Fault-matrix smoke (PR 10): the faultsweep experiment — fault rate ×
+# mechanism × recovery mode, nonzero rates included — must complete in
+# quick mode (failed trials are data to it, so completing proves the
+# crash/recovery plumbing end to end), and a -faultrate 0 run of the
+# full quick registry must render byte-identical to a run without the
+# flag: the disabled fault plane is free. (A nonzero *global* rate is
+# exercised by the faultsweep's own cells; applying one to the whole
+# registry legitimately kills non-recovering experiments, which mesbench
+# reports and skips, so it gates nothing.)
+fault-smoke:
+	$(GO) build -o bin/mesbench ./cmd/mesbench
+	bin/mesbench -exp faultsweep -quick > /dev/null
+	@a="$$(bin/mesbench -all -quick 2>&1)"; \
+	b="$$(bin/mesbench -all -quick -faultrate 0 -faultseed 99 2>&1)"; \
+	if [ "$$a" != "$$b" ]; then \
+		echo "fault-smoke: faultrate=0 registry diverged from the plain registry"; exit 1; \
+	fi; \
+	echo "fault-smoke: faultrate=0 registry byte-identical"
 
 build:
 	$(GO) build ./...

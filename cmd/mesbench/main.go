@@ -36,6 +36,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -77,6 +78,8 @@ func realMain() int {
 		seed       = flag.Uint64("seed", 1, "random seed (equal seeds replay identically)")
 		quick      = flag.Bool("quick", false, "reduced payload for a fast pass")
 		workers    = flag.Int("workers", 0, "parallel trials per experiment sweep (0 = GOMAXPROCS; any value yields identical output)")
+		faultRate  = flag.Float64("faultrate", 0, "inject deterministic kernel faults at this per-consult rate into every trial (0 = off; the faultsweep experiment pins its own axis)")
+		faultSeed  = flag.Uint64("faultseed", 0, "seed of the injected-fault substream (only with -faultrate)")
 		benchJSON  = flag.String("benchjson", "", "write performance-trajectory measurements to this JSON file and exit")
 		benchBase  = flag.String("benchbaseline", "", "embed this earlier -benchjson file as the before column")
 		perfCheck  = flag.String("perfcheck", "", "re-measure the session-trial allocation and quick-registry gates against this measurement file and exit non-zero on regression")
@@ -138,14 +141,15 @@ func realMain() int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opt := experiments.Options{Bits: *bits, Seed: *seed, Quick: *quick, Workers: *workers, Ctx: ctx}
+	opt := experiments.Options{Bits: *bits, Seed: *seed, Quick: *quick, Workers: *workers, Ctx: ctx,
+		FaultRate: *faultRate, FaultSeed: *faultSeed}
 	switch {
 	case *all:
 		for _, e := range experiments.Registry() {
 			fmt.Printf("==== %s — %s ====\n", e.Name, e.Paper)
 			out, err := e.Run(opt)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+				fmt.Fprintf(os.Stderr, "%s: %s\n", e.Name, failureMessage(err))
 				if ctx.Err() != nil {
 					return 1
 				}
@@ -161,7 +165,7 @@ func realMain() int {
 		}
 		out, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, failureMessage(err))
 			return 1
 		}
 		fmt.Println(out)
@@ -170,6 +174,25 @@ func realMain() int {
 		return 2
 	}
 	return 0
+}
+
+// failureMessage classifies a sweep failure by core's typed error
+// taxonomy: the sentinels survive every wrapping layer (trial context,
+// runner.Map), so the exit message can say what killed the sweep instead
+// of only where.
+func failureMessage(err error) string {
+	switch {
+	case errors.Is(err, core.ErrCrashed):
+		return fmt.Sprintf("trial lost a process to an injected crash: %v", err)
+	case errors.Is(err, core.ErrDeadlock):
+		return fmt.Sprintf("trial deadlocked: %v", err)
+	case errors.Is(err, core.ErrSyncLoss):
+		return fmt.Sprintf("trial lost symbol sync beyond recovery: %v", err)
+	case errors.Is(err, core.ErrCalibration):
+		return fmt.Sprintf("decoder calibration failed: %v", err)
+	default:
+		return err.Error()
+	}
 }
 
 // benchResults is one measurement snapshot of the performance trajectory.

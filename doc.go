@@ -300,6 +300,58 @@
 // 0.83ms/10 → 0.70ms/5 → 0.48ms/5 → 0.40ms/5 one-shot and 0 allocs in a
 // session.
 //
+// # Robustness
+//
+// PR 10 adds a deterministic fault-injection plane to the kernel and a
+// self-healing protocol layer above it, so the channels' behavior under
+// scheduler misbehavior — the noise source the paper's §V robustness
+// discussion worries about — is measurable rather than anecdotal.
+//
+// The fault plane (internal/sim/fault.go) is a third splitmix64
+// substream alongside the value and jitter streams, seeded from
+// (Config.FaultSeed, run seed) alone and consulted at the two
+// scheduling choke points every protocol interaction passes through:
+// Proc.Sleep and the wake paths. Each consult draws one word against a
+// fixed threshold (probability Config.FaultRate); a hit draws a second
+// word to pick the class — for a sleep, crash the sleeper, spurious
+// early wakeup, or a preemption burst of 1–8 scheduler quanta; for a
+// wake, crash the parked wakee, lose the wake, or delay it 1–8 quanta.
+// The determinism rule is the same one the jitter plane obeys: the
+// substream is drawn at call time, before the engine decides whether an
+// event rides the heap, the fused slot or the replay ring, so the
+// injected fault schedule is a pure function of (config, seed,
+// faultSeed) — byte-identical across worker counts, pooling, sessions
+// and every event-path toggle, and faultrate=0 never draws a word at
+// all (byte-identical to a kernel without the plane). Crashed processes
+// unwind through their deferred functions, which carry the OS model's
+// wait-queue hooks: a corpse is dequeued from whatever kobj/vfs wait
+// queue it blocked in, so a later grant (a signal, an unlock handoff, a
+// lock release) reaches the next live waiter instead of vanishing.
+//
+// The self-healing layer (core.Config.Recover) answers faults at
+// protocol level: a trial watchdog force-wakes waits blocked past an
+// adaptive patience (checking Kernel.PendingWakeFor first, so an
+// in-flight delayed wake is never double-delivered), rescued waits fill
+// their symbol slot with an erasure instead of shearing the stream, and
+// the sender interleaves a fresh resync preamble every 32 payload
+// symbols so the decoder can re-lock after a desync (Result.Resyncs
+// counts the re-locks). Failures carry a typed taxonomy, errors.Is-able
+// end to end through the facade and cmd/mesbench: ErrDeadlock (the run
+// stalled), ErrCrashed (a process died mid-trial — recovery cannot
+// resurrect it), ErrSyncLoss (Recover-mode decoder never achieved
+// symbol lock) and ErrCalibration. Either way the trial releases its
+// machine: crashed and deadlocked session trials leave no goroutines
+// behind and the next trial on the session replays byte-identical to a
+// fresh one-shot run.
+//
+// The faultsweep registry experiment sweeps fault rate × mechanism ×
+// recovery mode and renders the BER/throughput degradation matrix; its
+// conformance test pins the headline result — BER degrades monotonically
+// with fault rate for every mechanism, and recovery-on strictly
+// dominates recovery-off at nonzero rates — and the engine-cube test
+// pins the fault matrix byte-identical across all the toggles above.
+// cmd/mesbench exposes the axis as -faultrate/-faultseed.
+//
 // # Invariants
 //
 // Three contracts hold everything above together, and all three are
@@ -310,8 +362,13 @@
 //   - Determinism: simulation output is a pure function of the config
 //     and seed — byte-identical across worker counts, machine pooling,
 //     trial sessions and every event-path toggle (jitter plane, fused
-//     wakes, replay, batched windows). The detnondet analyzer forbids
-//     wall-clock
+//     wakes, replay, batched windows) — including the fault axis: the
+//     fault substream is drawn at call time, and because an injected
+//     deviation keeps the recorded event shape (only times move), every
+//     injection explicitly bails the open replay window and a crash
+//     disarms the engine for the rest of the run, so replayed and
+//     batched windows never run across an injected fault. The
+//     detnondet analyzer forbids wall-clock
 //     reads (time.Now/Since/Until), math/rand and map-order-dependent
 //     ranges in every package that feeds simulation output; the
 //     traceguard analyzer requires every hot-path Tracef call to be

@@ -245,3 +245,67 @@ func (k *slotKernel) batchVerify(key int) bool {
 	k.rpos++
 	return true
 }
+
+// Mirrors of the PR 10 fault-plane hot shapes: the per-consult substream
+// draw (a Weyl increment through the splitmix64 finalizer), the
+// threshold compare with its class-switch perturbation arithmetic, and
+// the wake drop/delay decision are all allocation-free constructs and
+// must pass the analyzer silently — the fault hooks sit on the
+// Sleep/Wake paths the zero-alloc steady-state contract covers.
+
+type faultKernel struct {
+	fstate   uint64
+	fthresh  uint64
+	spurious uint64
+	preempts uint64
+	lost     uint64
+	delayed  uint64
+}
+
+// faultDraw mirrors Kernel.faultUint64: one substream word per consult,
+// pure integer mixing.
+//
+//mes:allocfree
+func (k *faultKernel) faultDraw() uint64 {
+	k.fstate += 0xbb67ae8584caa73b
+	z := k.fstate
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// faultPerturb mirrors Kernel.faultSleep: threshold compare, class
+// switch on the low nibble, duration arithmetic in place — no escapes.
+//
+//mes:allocfree
+func (k *faultKernel) faultPerturb(total int64) int64 {
+	if k.faultDraw() >= k.fthresh {
+		return total
+	}
+	r := k.faultDraw()
+	switch {
+	case r&15 < 8:
+		k.spurious++
+		return total * int64(1+(r>>4)&3) / 8
+	default:
+		k.preempts++
+		return total + 100*int64(1+(r>>4)&7)
+	}
+}
+
+// faultGate mirrors Kernel.faultWake: the lose/delay decision returns a
+// multi-value verdict with counters bumped in place.
+//
+//mes:allocfree
+func (k *faultKernel) faultGate(delay int64) (int64, bool) {
+	if k.faultDraw() >= k.fthresh {
+		return delay, true
+	}
+	r := k.faultDraw()
+	if r&15 < 8 {
+		k.lost++
+		return 0, false
+	}
+	k.delayed++
+	return delay + 100*int64(1+(r>>4)&7), true
+}

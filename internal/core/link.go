@@ -61,6 +61,20 @@ type Config struct {
 	// SetupDelay is how long the Trojan waits before opening the shared
 	// object (default 200µs).
 	SetupDelay sim.Duration
+	// FaultRate arms the kernel's deterministic fault-injection plane:
+	// the probability, per schedule/wake consult, of injecting a spurious
+	// wakeup, lost or delayed wake, preemption burst, or process crash.
+	// 0 disables the plane and is byte-identical to a build without it.
+	// Negative values normalize to 0 (the sweep layer's unset sentinel).
+	FaultRate float64
+	// FaultSeed decorrelates the fault substream from the noise seed;
+	// equal (Seed, FaultRate, FaultSeed) triples inject identically.
+	FaultSeed uint64
+	// Recover arms the self-healing protocol layer: a trial watchdog
+	// that converts lost wakes into ErrTimedOut rescues, timeout-tolerant
+	// sender/receiver loops, and periodic resync preambles the decoder
+	// re-locks on after sync loss.
+	Recover bool
 }
 
 // Result reports one transmission.
@@ -74,6 +88,7 @@ type Result struct {
 	DecodedSyms  []int          // decoded payload symbols
 	ReceivedBits codec.Bits     // decoded payload bits (trimmed to payload length)
 	SyncOK       bool           // preamble verified (paper §V.B round check)
+	Resyncs      int            // decoder re-locks performed on resync preambles (Recover mode)
 
 	BitErrors int
 	BER       float64 // payload bit error rate
@@ -111,9 +126,14 @@ type link struct {
 	uncontend sim.Duration // redraw value for missed acquisitions
 
 	// symsBuf/latBuf are the retained scratch buffers behind syms and lat:
-	// grow-once, resliced per run.
-	symsBuf []int
-	latBuf  []sim.Duration
+	// grow-once, resliced per run. packBuf stages the packed payload when
+	// Recover mode interleaves resync preambles; decScratch is the trial
+	// re-lock candidate so a failed recalibration never clobbers a good
+	// lock.
+	symsBuf    []int
+	latBuf     []sim.Duration
+	packBuf    []int
+	decScratch Decoder
 
 	// Per-run channel machinery. The sender/receiver pair is cached per
 	// mechanism (pairMech) and rebound to the run's parameters and object
@@ -157,7 +177,10 @@ func newLink() *link {
 	return l
 }
 
-// runSpy is the Spy process body: one measurement per symbol.
+// runSpy is the Spy process body: one measurement per symbol. In Recover
+// mode a watchdog-rescued wait (barrier or measurement) logs the
+// long-level sentinel instead of aborting, so every symbol slot stays
+// filled and the decoder can resync downstream.
 //mes:allocfree
 func (l *link) runSpy(p *osmodel.Proc) {
 	if err := l.rcv.setup(p); err != nil {
@@ -166,15 +189,26 @@ func (l *link) runSpy(p *osmodel.Proc) {
 	}
 	var prevM sim.Duration
 	for i := range l.syms {
+		synced := true
 		if l.rv != nil {
-			l.rv.ArriveFollow(p)
+			synced = l.rv.ArriveFollow(p)
 		}
-		m, err := l.rcv.measure(p)
-		if err != nil {
-			l.spyErr = err
-			return
+		var m sim.Duration
+		if synced {
+			var err error
+			m, err = l.rcv.measure(p)
+			switch {
+			case err == nil:
+				m = l.observe(p, m, prevM)
+			case l.cfg.Recover && errors.Is(err, osmodel.ErrTimedOut):
+				m = l.timeoutMeasure()
+			default:
+				l.spyErr = err
+				return
+			}
+		} else {
+			m = l.timeoutMeasure()
 		}
-		m = l.observe(p, m, prevM)
 		prevM = m
 		l.lat = append(l.lat, m)
 		if l.contention && l.rv == nil && !l.cfg.UnfairCompetition {
@@ -204,9 +238,14 @@ func (l *link) runTrojan(p *osmodel.Proc) {
 		// event between here and the next mark belongs to sym's skeleton.
 		p.MarkBit(sym)
 		if l.rv != nil {
-			l.rv.ArriveLead(p)
+			if !l.rv.ArriveLead(p) {
+				continue // round lost to a timeout; the spy logs a sentinel
+			}
 		}
 		if err := l.snd.send(p, sym); err != nil {
+			if l.cfg.Recover && errors.Is(err, osmodel.ErrTimedOut) {
+				continue // skip the symbol; the decoder re-locks downstream
+			}
 			l.trojanErr = err
 			return
 		}
@@ -230,15 +269,50 @@ func (l *link) release() {
 	links.Put(l)
 }
 
+// timeoutMeasure is the deterministic long-level sentinel the Spy logs
+// for a symbol slot whose wait was rescued by the trial watchdog: the
+// longest latency the substrate legitimately produces, so the slot
+// decodes as the max symbol instead of corrupting calibration medians.
+//
+//mes:allocfree
+func (l *link) timeoutMeasure() sim.Duration {
+	if l.cfg.Mechanism.Kind() == Cooperation {
+		return l.par.TW0 + l.par.TI*sim.Duration(l.m-1) + 25*sim.Microsecond
+	}
+	return l.par.TT1
+}
+
+// watchdog derives the recovery watchdog's check period and rescue
+// patience from the run's time parameters: patience spans several bit
+// periods (plus setup slack) so no legitimately blocked wait is ever
+// rescued, and the check period quarters it so a lost wake costs a
+// bounded number of bit slots.
+func (l *link) watchdog() (period, patience sim.Duration) {
+	bit := l.par.TT0 + l.par.TT1 + l.par.TW0 + l.par.TI*sim.Duration(l.m)
+	patience = 8*bit + 2*sim.Millisecond
+	return patience / 4, patience
+}
+
+// resyncEvery is the Recover-mode resync cadence: a fresh sync preamble
+// is interleaved after every resyncEvery payload symbols, giving the
+// decoder a re-lock point at most one block after any sync loss.
+const resyncEvery = 32
+
 // bindSymbols (re)builds the run's symbol sequence — one warm-up symbol
 // that absorbs the Trojan's setup latency so the first preamble
 // measurement reflects steady-state timing, the sync preamble, then the
-// packed payload — into the retained scratch buffer. The immutable
-// handed-out copy (l.syms) is replaced only when the contents actually
-// changed, so replayed configurations share one allocation across runs.
-// The latency buffer is resliced to empty.
+// packed payload — into the retained scratch buffer. In Recover mode the
+// payload is chunked with a resync preamble between blocks (see
+// resyncEvery). The immutable handed-out copy (l.syms) is replaced only
+// when the contents actually changed, so replayed configurations share
+// one allocation across runs. The latency buffer is resliced to empty.
 func (l *link) bindSymbols() error {
-	need := 1 + l.syncLen + codec.PackedLen(len(l.cfg.Payload), l.par.bps())
+	packed := codec.PackedLen(len(l.cfg.Payload), l.par.bps())
+	blocks := 0
+	if l.cfg.Recover && packed > resyncEvery {
+		blocks = (packed - 1) / resyncEvery
+	}
+	need := 1 + l.syncLen + packed + blocks*l.syncLen
 	buf := l.symsBuf[:0]
 	if cap(buf) < need {
 		buf = make([]int, 0, need)
@@ -246,9 +320,22 @@ func (l *link) bindSymbols() error {
 	buf = append(buf, 0)
 	buf = codec.AppendSyncSymbols(buf, l.syncLen, l.par.bps())
 	var err error
-	buf, err = codec.AppendPack(buf, l.cfg.Payload, l.par.bps())
-	if err != nil {
-		return err
+	if blocks == 0 {
+		buf, err = codec.AppendPack(buf, l.cfg.Payload, l.par.bps())
+		if err != nil {
+			return err
+		}
+	} else {
+		l.packBuf, err = codec.AppendPack(l.packBuf[:0], l.cfg.Payload, l.par.bps())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < len(l.packBuf); i += resyncEvery {
+			if i > 0 {
+				buf = codec.AppendSyncSymbols(buf, l.syncLen, l.par.bps())
+			}
+			buf = append(buf, l.packBuf[i:min(i+resyncEvery, len(l.packBuf))]...)
+		}
 	}
 	l.symsBuf = buf
 	if !slices.Equal(l.syms, buf) {
@@ -363,6 +450,9 @@ func prepare(cfg *Config) (par Params, syncLen int, err error) {
 	if syncLen < 2 {
 		return par, 0, errors.New("core: sync preamble needs at least 2 symbols")
 	}
+	if cfg.FaultRate < 0 {
+		cfg.FaultRate = 0 // the sweep layer's explicit-zero sentinel
+	}
 	return par, syncLen, nil
 }
 
@@ -392,7 +482,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Noiseless {
 		l.prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	}
-	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace}
+	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace,
+		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed}
 	var sys *osmodel.System
 	if reuseSystems.Load() {
 		if pooled, ok := systems.Get(); ok {
@@ -407,13 +498,36 @@ func Run(cfg Config) (*Result, error) {
 		sys.Release() // drop the machine without leaving parked coroutines
 		return nil, err
 	}
+	if cfg.Recover {
+		wp, wpat := l.watchdog()
+		sys.ArmWatchdog(wp, wpat)
+	}
 
 	runErr := sys.Run()
+	// Diagnose before teardown: the crash count and the wait-for snapshot
+	// live on the machine, which Release scrubs.
+	var crashes uint64
+	if sys.Kernel().FaultsArmed() {
+		crashes = sys.Kernel().FaultStats().Crashes
+	}
+	var waiters []string
+	if runErr != nil && crashes == 0 {
+		// Scoped so the errors.As target only heap-escapes on this cold
+		// path, keeping steady-state trials allocation-free.
+		var dl *sim.DeadlockError
+		if errors.As(runErr, &dl) {
+			waiters = sys.WaitSnapshot(nil)
+		}
+	}
 	switch {
 	case runErr != nil:
 		// Deadlocked or stopped: unwind the blocked coroutines so the
 		// machine (and this link, which their stacks reference) can be
 		// collected instead of being pinned by parked goroutines.
+		sys.Release()
+	case crashes > 0:
+		// The run drained, but a process died to an injected crash — the
+		// machine still holds its unwound remains; scrub, don't pool.
 		sys.Release()
 	case reuseSystems.Load():
 		// Clean completion: every process finished, so the machine can be
@@ -426,6 +540,9 @@ func Run(cfg Config) (*Result, error) {
 		// coroutines behind.
 		sys.Release()
 	}
+	if crashes > 0 {
+		return nil, &CrashError{Crashes: crashes}
+	}
 	if l.trojanErr != nil {
 		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
 	}
@@ -433,13 +550,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: spy failed: %w", l.spyErr)
 	}
 	if runErr != nil {
-		// Scoped so the errors.As target only heap-escapes on this cold
-		// path, keeping steady-state trials allocation-free.
 		var dl *sim.DeadlockError
 		if !errors.As(runErr, &dl) {
 			return nil, runErr
 		}
-		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
+		return nil, &DeadlockError{cause: runErr, Waiters: waiters}
 	}
 	res, err := l.decode()
 	if err == nil {
@@ -522,6 +637,9 @@ func (l *link) assemble(res *Result, dec *Decoder, decodedBuf []int, bitsBuf cod
 	if len(l.lat) != len(l.syms) {
 		return decodedBuf, bitsBuf, fmt.Errorf("core: received %d measurements for %d symbols", len(l.lat), len(l.syms))
 	}
+	if l.cfg.Recover {
+		return l.assembleRecover(res, dec, decodedBuf, bitsBuf)
+	}
 	const warmup = 1
 	if err := dec.calibrate(l.m, l.syms[warmup:warmup+l.syncLen], l.lat[warmup:warmup+l.syncLen]); err != nil {
 		return decodedBuf, bitsBuf, err
@@ -537,6 +655,76 @@ func (l *link) assemble(res *Result, dec *Decoder, decodedBuf []int, bitsBuf cod
 	}
 
 	decodedBuf = dec.AppendDecodeAll(decodedBuf[:0], l.lat[warmup+l.syncLen:])
+	return l.finishDecode(res, decodedBuf, bitsBuf)
+}
+
+// assembleRecover is assemble's Recover-mode decode: the symbol stream
+// is chunked with resync preambles (bindSymbols), and the decoder walks
+// it block-wise. Each resync preamble is first verified against the
+// current lock; a mismatch is a detected sync loss and the decoder
+// re-calibrates from the preamble's own measurements (res.Resyncs). A
+// preamble that fails to calibrate keeps the previous lock. If no
+// preamble in the whole run locks, the trial fails with ErrSyncLoss.
+func (l *link) assembleRecover(res *Result, dec *Decoder, decodedBuf []int, bitsBuf codec.Bits) ([]int, codec.Bits, error) {
+	const warmup = 1
+	bps := l.par.bps()
+	pos := warmup
+	preambles := 1
+	locked := dec.calibrate(l.m, l.syms[pos:pos+l.syncLen], l.lat[pos:pos+l.syncLen]) == nil
+	res.Decoder = dec
+	res.SyncOK = locked
+	if locked {
+		for i := 0; i < l.syncLen; i++ {
+			if dec.Decode(l.lat[pos+i]) != codec.SyncSymbolAt(i, bps) {
+				res.SyncOK = false
+				break
+			}
+		}
+	}
+	pos += l.syncLen
+	decodedBuf = decodedBuf[:0]
+	for first := true; pos < len(l.syms); first = false {
+		if !first {
+			inSync := locked
+			if inSync {
+				for i := 0; i < l.syncLen; i++ {
+					if dec.Decode(l.lat[pos+i]) != codec.SyncSymbolAt(i, bps) {
+						inSync = false
+						break
+					}
+				}
+			}
+			if !inSync {
+				preambles++
+				if l.decScratch.calibrate(l.m, l.syms[pos:pos+l.syncLen], l.lat[pos:pos+l.syncLen]) == nil {
+					*dec = l.decScratch
+					locked = true
+					res.Resyncs++
+				}
+			}
+			pos += l.syncLen
+		}
+		n := min(resyncEvery, len(l.syms)-pos)
+		if locked {
+			decodedBuf = dec.AppendDecodeAll(decodedBuf, l.lat[pos:pos+n])
+		} else {
+			// No lock yet: the block is unreadable; emit symbol 0 so the
+			// payload keeps its framing (errors land in the BER).
+			for i := 0; i < n; i++ {
+				decodedBuf = append(decodedBuf, 0)
+			}
+		}
+		pos += n
+	}
+	if !locked {
+		return decodedBuf, bitsBuf, &SyncLossError{Preambles: preambles}
+	}
+	return l.finishDecode(res, decodedBuf, bitsBuf)
+}
+
+// finishDecode unpacks the decoded payload symbols and computes the
+// error metrics — the shared tail of both assemble paths.
+func (l *link) finishDecode(res *Result, decodedBuf []int, bitsBuf codec.Bits) ([]int, codec.Bits, error) {
 	res.DecodedSyms = decodedBuf
 	bitsBuf, err := codec.AppendUnpack(bitsBuf[:0], decodedBuf, l.par.bps())
 	if err != nil {

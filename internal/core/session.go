@@ -162,7 +162,8 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 	if cfg.Noiseless {
 		l.prof = timing.Noiseless(cfg.Mechanism.OS(), cfg.Scenario.Isolation)
 	}
-	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace}
+	syscfg := osmodel.Config{Profile: l.prof, Seed: cfg.Seed, Trace: cfg.Trace,
+		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed}
 	switch {
 	case s.sys != nil:
 		// The pinned machine: reset in place and reseed. This is the whole
@@ -193,10 +194,35 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 	// multi-process configurations (and batching additionally requires
 	// the Run-driven dispatcher), so arming is unconditional.
 	s.sys.ArmReplay()
+	if cfg.Recover {
+		wp, wpat := l.watchdog()
+		s.sys.ArmWatchdog(wp, wpat)
+	}
 
 	runErr := s.sys.Run()
-	if runErr != nil {
+	// Diagnose before teardown: the crash count and the wait-for snapshot
+	// live on the machine, which releaseMachine scrubs.
+	var crashes uint64
+	if s.sys.Kernel().FaultsArmed() {
+		crashes = s.sys.Kernel().FaultStats().Crashes
+	}
+	var waiters []string
+	if runErr != nil && crashes == 0 {
+		// Scoped so the errors.As target only heap-escapes on this cold
+		// path, keeping steady-state trials allocation-free.
+		var dl *sim.DeadlockError
+		if errors.As(runErr, &dl) {
+			waiters = s.sys.WaitSnapshot(nil)
+		}
+	}
+	if runErr != nil || crashes > 0 {
+		// A crashed-but-drained run still holds the dead process's
+		// remains; scrub the machine exactly like a deadlocked trial so
+		// later trials replay like fresh runs.
 		s.releaseMachine()
+	}
+	if crashes > 0 {
+		return nil, &CrashError{Crashes: crashes}
 	}
 	if l.trojanErr != nil {
 		return nil, fmt.Errorf("core: trojan failed: %w", l.trojanErr)
@@ -205,13 +231,11 @@ func (s *Session) RunConfig(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: spy failed: %w", l.spyErr)
 	}
 	if runErr != nil {
-		// Scoped so the errors.As target only heap-escapes on this cold
-		// path, keeping steady-state trials allocation-free.
 		var dl *sim.DeadlockError
 		if !errors.As(runErr, &dl) {
 			return nil, runErr
 		}
-		return nil, fmt.Errorf("core: transmission stalled: %w", runErr)
+		return nil, &DeadlockError{cause: runErr, Waiters: waiters}
 	}
 
 	res := &s.res

@@ -51,11 +51,25 @@ func runTrials[T, R any](o Options, trials []T, cfg func(T) core.Config, post fu
 	return runner.MapWith(o.ctx(), trials,
 		core.NewSessionCache, (*core.SessionCache).Close,
 		func(_ context.Context, sc *core.SessionCache, t T) (R, error) {
-			res, err := runTrial(sc, cfg(t))
+			c := cfg(t)
+			if c.FaultRate == 0 && o.FaultRate != 0 {
+				// Global fault injection (mesbench -faultrate): trials that
+				// declare no rate of their own inherit the sweep-wide one.
+				// Cells pinned fault-free carry the negative sentinel, which
+				// core normalizes to rate 0.
+				c.FaultRate = o.FaultRate
+				c.FaultSeed = o.FaultSeed
+			}
+			res, err := runTrial(sc, c)
 			return post(t, res, err)
 		},
 		runner.Workers(o.Workers))
 }
+
+// faultRateNone pins a trial fault-free even when a sweep-wide
+// Options.FaultRate is set: core.prepare normalizes negative rates to 0,
+// and the runTrials injection above only overrides rate-0 configs.
+const faultRateNone = -1
 
 // trialResults memoizes completed transmissions across sweeps by their
 // full effective configuration. Several registry experiments measure the
@@ -123,11 +137,18 @@ func trialKey(cfg *core.Config) string {
 	if setup == 0 {
 		setup = 200 * sim.Microsecond
 	}
+	// The fault axis, normalized as core normalizes it: negative rates are
+	// the fault-free sentinel, and the fault seed only matters when faults
+	// actually fire.
+	frate, fseed := cfg.FaultRate, cfg.FaultSeed
+	if frate <= 0 {
+		frate, fseed = 0, 0
+	}
 	h := fnv.New64a()
 	h.Write(cfg.Payload)
 	return runner.Fingerprint(int(cfg.Mechanism), cfg.Scenario, par, syncLen,
 		cfg.Seed, cfg.Noiseless, cfg.DisableInterBitSync, cfg.UnfairCompetition,
-		int64(setup), len(cfg.Payload), h.Sum64())
+		int64(setup), len(cfg.Payload), h.Sum64(), frate, fseed, cfg.Recover)
 }
 
 // cloneResult deep-copies a borrowed session Result into an owned one.

@@ -34,6 +34,15 @@ type Options struct {
 	// Cancellation stops dispatching further grid cells and the experiment
 	// returns the context's error.
 	Ctx context.Context
+	// FaultRate injects deterministic kernel faults (core.Config.FaultRate)
+	// into every trial that does not set its own rate. Cells that must run
+	// fault-free regardless (the fault sweep's baseline column) opt out
+	// with the negative faultRateNone sentinel. 0 leaves every trial
+	// untouched.
+	FaultRate float64
+	// FaultSeed decorrelates the injected fault substream from the noise
+	// seed (core.Config.FaultSeed); only meaningful with FaultRate > 0.
+	FaultSeed uint64
 }
 
 func (o Options) bits() int {

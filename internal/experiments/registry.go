@@ -30,7 +30,7 @@ var sweeps = runner.NewCache()
 
 // cached routes a generator through the sweep cache.
 func cached[T any](name string, o Options, gen func(Options) (T, error)) (T, error) {
-	key := name + "-" + runner.Fingerprint(o.bits(), o.seed(), o.Quick)
+	key := name + "-" + runner.Fingerprint(o.bits(), o.seed(), o.Quick, o.FaultRate, o.FaultSeed)
 	return runner.Do(sweeps, key, func() (T, error) { return gen(o) })
 }
 
@@ -57,6 +57,13 @@ func Registry() []Experiment {
 				return "", err
 			}
 			return RenderFig9(pts), nil
+		}},
+		{"faultsweep", "robustness extension: fault-rate × mechanism degradation curves", func(o Options) (string, error) {
+			rows, err := cached("faultsweep", o, FaultSweep)
+			if err != nil {
+				return "", err
+			}
+			return RenderFaultSweep(rows), nil
 		}},
 		{"fig10", "Fig. 10 flock BER/TR sweep", func(o Options) (string, error) {
 			pts, err := cached("fig10", o, Fig10)

@@ -1,0 +1,248 @@
+package osmodel
+
+import (
+	"testing"
+
+	"mes/internal/sim"
+	"mes/internal/timing"
+	"mes/internal/vfs"
+)
+
+// crashReplayTail verifies a crash left no residue on the machine: after
+// Reset, the recycled system must replay a fresh workload exactly like a
+// brand-new one (mirrors TestResetUnwindsFutexAndCondWaiters's tail).
+func crashReplayTail(t *testing.T, s *System, cfg Config) {
+	t.Helper()
+	s.Reset(cfg)
+	replay := func(sys *System) sim.Duration {
+		var waited sim.Duration
+		sys.Spawn("spy", sys.Host(), func(p *Proc) {
+			h, _ := p.CreateCond("cv2")
+			start := p.Timestamp()
+			if err := p.CondWait(h); err != nil {
+				t.Errorf("replay wait: %v", err)
+			}
+			waited = p.Timestamp().Sub(start)
+		})
+		sys.Spawn("trojan", sys.Host(), func(p *Proc) {
+			p.Sleep(80 * sim.Microsecond)
+			h, err := p.OpenCond("cv2")
+			if err != nil {
+				t.Errorf("replay open: %v", err)
+				return
+			}
+			if err := p.CondSignal(h); err != nil {
+				t.Errorf("replay signal: %v", err)
+			}
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatalf("replay Run: %v", err)
+		}
+		return waited
+	}
+	got := replay(s)
+	want := replay(NewSystem(cfg))
+	if got != want {
+		t.Fatalf("recycled machine replayed %v, fresh machine %v", got, want)
+	}
+	s.Release()
+}
+
+// TestCrashedWaiterLeavesNoGhosts is the regression test for the crash
+// unwind path (PR 10): a process killed by the fault plane while blocked
+// in CondWait, FutexLock or Flock must be dequeued from the kobj/vfs
+// wait queue on its way down. The probe is a single grant issued after
+// the crash — one CondSignal, one futex unlock handoff, one flock
+// release. If the corpse ghosted at the head of the FIFO queue, the
+// grant would target it and vanish, stranding the survivor behind it
+// (Run would report a deadlock). Spawn order puts the doomed waiter
+// last, so its park yields its host frame out — the resumable state the
+// crash path requires, exactly as in a protocol trial where the machine
+// keeps running other processes past a parked waiter.
+func TestCrashedWaiterLeavesNoGhosts(t *testing.T) {
+	t.Run("cond", func(t *testing.T) {
+		cfg := Config{Profile: timing.Noiseless(timing.Linux, timing.Local), Seed: 5}
+		s := NewSystem(cfg)
+		unwound, granted := false, false
+		var doomed *Proc
+		s.Spawn("killer", s.Host(), func(p *Proc) {
+			p.Sleep(100 * sim.Microsecond)
+			if !p.System().Kernel().InjectCrash(doomed.sp) {
+				t.Error("InjectCrash refused the parked cond waiter")
+			}
+			h, err := p.OpenCond("cv")
+			if err != nil {
+				t.Errorf("open cond: %v", err)
+				return
+			}
+			if err := p.CondSignal(h); err != nil {
+				t.Errorf("signal: %v", err)
+			}
+		})
+		s.Spawn("survivor", s.Host(), func(p *Proc) {
+			p.Sleep(50 * sim.Microsecond)
+			h, err := p.OpenCond("cv")
+			if err != nil {
+				t.Errorf("open cond: %v", err)
+				return
+			}
+			if err := p.CondWait(h); err != nil {
+				t.Errorf("survivor wait: %v", err)
+				return
+			}
+			granted = true
+		})
+		doomed = s.Spawn("doomed", s.Host(), func(p *Proc) {
+			defer func() { unwound = true }()
+			h, _ := p.CreateCond("cv")
+			_ = p.CondWait(h)
+			t.Error("doomed resumed after crash")
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v (ghost waiter swallowed the signal)", err)
+		}
+		if !granted {
+			t.Error("survivor never received the post-crash signal")
+		}
+		if !unwound {
+			t.Error("crash skipped the doomed body's defers")
+		}
+		crashReplayTail(t, s, cfg)
+	})
+
+	t.Run("futex", func(t *testing.T) {
+		cfg := Config{Profile: timing.Noiseless(timing.Linux, timing.Local), Seed: 6}
+		s := NewSystem(cfg)
+		unwound, granted := false, false
+		var doomed *Proc
+		// The holder sleeps in short heartbeats rather than one long sleep:
+		// each heartbeat event targets the chain-root holder, so any
+		// process parked since the last beat yields its host frame out —
+		// the resumable state the crash path requires.
+		s.Spawn("holder", s.Host(), func(p *Proc) {
+			h, _ := p.CreateFutex("fu")
+			if err := p.FutexLock(h); err != nil {
+				t.Errorf("holder lock: %v", err)
+				return
+			}
+			for i := 0; i < 40; i++ {
+				p.Sleep(10 * sim.Microsecond)
+			}
+			if err := p.FutexUnlock(h); err != nil {
+				t.Errorf("holder unlock: %v", err)
+			}
+		})
+		s.Spawn("killer", s.Host(), func(p *Proc) {
+			p.Sleep(100 * sim.Microsecond)
+			if !p.System().Kernel().InjectCrash(doomed.sp) {
+				t.Error("InjectCrash refused the parked futex waiter")
+			}
+		})
+		s.Spawn("survivor", s.Host(), func(p *Proc) {
+			p.Sleep(40 * sim.Microsecond)
+			h, err := p.OpenFutex("fu")
+			if err != nil {
+				t.Errorf("open futex: %v", err)
+				return
+			}
+			if err := p.FutexLock(h); err != nil {
+				t.Errorf("survivor lock: %v", err)
+				return
+			}
+			granted = true
+			_ = p.FutexUnlock(h)
+		})
+		doomed = s.Spawn("doomed", s.Host(), func(p *Proc) {
+			defer func() { unwound = true }()
+			p.Sleep(20 * sim.Microsecond) // after the holder's create+lock
+			h, err := p.OpenFutex("fu")
+			if err != nil {
+				t.Errorf("open futex: %v", err)
+				return
+			}
+			_ = p.FutexLock(h)
+			t.Error("doomed resumed after crash")
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v (ghost waiter swallowed the handoff)", err)
+		}
+		if !granted {
+			t.Error("survivor never acquired the futex after the crash")
+		}
+		if !unwound {
+			t.Error("crash skipped the doomed body's defers")
+		}
+		crashReplayTail(t, s, cfg)
+	})
+
+	t.Run("flock", func(t *testing.T) {
+		cfg := Config{Profile: timing.Noiseless(timing.Linux, timing.Local), Seed: 7}
+		s := NewSystem(cfg)
+		unwound, granted := false, false
+		var doomed *Proc
+		s.Spawn("holder", s.Host(), func(p *Proc) {
+			if _, err := p.CreateHostFile("/g.lock", 0, false, false); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			fd, err := p.OpenFile("/g.lock", true)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			if err := p.Flock(fd, vfs.LockEx, false); err != nil {
+				t.Errorf("holder flock: %v", err)
+				return
+			}
+			// Heartbeat sleeps, as in the futex case: keep the chain-root
+			// holder receiving events so parked waiters yield out.
+			for i := 0; i < 40; i++ {
+				p.Sleep(10 * sim.Microsecond)
+			}
+			if err := p.Flock(fd, vfs.LockNone, false); err != nil {
+				t.Errorf("holder unlock: %v", err)
+			}
+		})
+		s.Spawn("killer", s.Host(), func(p *Proc) {
+			p.Sleep(100 * sim.Microsecond)
+			if !p.System().Kernel().InjectCrash(doomed.sp) {
+				t.Error("InjectCrash refused the parked flock waiter")
+			}
+		})
+		s.Spawn("survivor", s.Host(), func(p *Proc) {
+			p.Sleep(40 * sim.Microsecond)
+			fd, err := p.OpenFile("/g.lock", true)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			if err := p.Flock(fd, vfs.LockEx, false); err != nil {
+				t.Errorf("survivor flock: %v", err)
+				return
+			}
+			granted = true
+			_ = p.Flock(fd, vfs.LockNone, false)
+		})
+		doomed = s.Spawn("doomed", s.Host(), func(p *Proc) {
+			defer func() { unwound = true }()
+			p.Sleep(20 * sim.Microsecond) // after the holder's create+lock
+			fd, err := p.OpenFile("/g.lock", true)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			_ = p.Flock(fd, vfs.LockEx, false)
+			t.Error("doomed resumed after crash")
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v (ghost waiter swallowed the lock grant)", err)
+		}
+		if !granted {
+			t.Error("survivor never acquired the lock after the crash")
+		}
+		if !unwound {
+			t.Error("crash skipped the doomed body's defers")
+		}
+		crashReplayTail(t, s, cfg)
+	})
+}

@@ -78,10 +78,14 @@ func (p *Proc) Flock(fd int, kind vfs.LockKind, nonblock bool) error {
 			return vfs.ErrWouldBlock
 		}
 		in.EnqueueFlock(f, kind, p)
-		p.park()
+		p.waitIn, p.waitFile = in, f
+		v := p.park()
 		if f.Held() == kind {
 			// Fair mode: the lock was installed for us during promotion.
 			return nil
+		}
+		if v == WaitTimeout {
+			return ErrTimedOut // watchdog rescue: the holder is gone
 		}
 		// Unfair mode: we were woken to re-contend and may have lost the
 		// race; try again (and possibly starve — paper §V.B).

@@ -24,6 +24,10 @@ var (
 	ErrBadHandle = errors.New("osmodel: invalid handle")
 	ErrBadFd     = errors.New("osmodel: bad file descriptor")
 	ErrWrongType = errors.New("osmodel: handle refers to an object of another type")
+	// ErrTimedOut reports that a blocking syscall was force-timed-out by
+	// the trial watchdog (System.TimeoutBlocked): its wake was lost or
+	// its peer crashed, and waiting longer could not succeed.
+	ErrTimedOut = errors.New("osmodel: blocked wait timed out")
 )
 
 // Proc is a simulated OS process: a simulation process plus its
@@ -56,6 +60,17 @@ type Proc struct {
 
 	blocked    bool
 	blockStart sim.Time
+
+	// Wait context: which resource the process is currently parked on.
+	// Set at each enqueue site, cleared on every park return. The crash
+	// unwind path (parkUnwind) and the trial watchdog (TimeoutBlocked)
+	// use it to dequeue the process so an injected crash or forced
+	// timeout never leaves a ghost waiter in a kernel-object or inode
+	// wait queue.
+	waitObj  kobj.Object
+	waitIn   *vfs.Inode
+	waitFile *vfs.File
+	waitRv   *Rendezvous
 
 	// POSIX-style signal state (see signal.go).
 	pendingSignals map[int]int
@@ -153,13 +168,53 @@ func (p *Proc) crossFd(fd int) {
 }
 
 // park blocks the process until woken, tracking the blocked interval for
-// the wake-path hazard model. It returns the wake value.
+// the wake-path hazard model. It returns the wake value. If the process
+// is crashed while parked (sim fault plane), the deferred unwind hook
+// removes it from whatever wait queue it sits in before the panic
+// propagates, so no ghost waiter survives the crash.
 func (p *Proc) park() int {
 	p.blocked = true
 	p.blockStart = p.Now()
+	defer p.parkUnwind()
 	v := p.sp.Park()
 	p.blocked = false
 	return v
+}
+
+// parkUnwind runs as park's deferred epilogue. On a normal return it
+// just drops the wait context. On a panic (coroutine cancellation from
+// an injected crash, or machine teardown) it first dequeues the process
+// from its wait queue, then re-panics so the unwind continues.
+func (p *Proc) parkUnwind() {
+	if r := recover(); r != nil {
+		p.cancelWait()
+		p.blocked = false
+		p.sigWaiting = -1
+		panic(r)
+	}
+	p.waitObj = nil
+	p.waitIn, p.waitFile = nil, nil
+	p.waitRv = nil
+}
+
+// cancelWait removes the process from the wait queue recorded in its
+// wait context, if any. Used by the crash unwind and by the watchdog's
+// forced timeout; both run outside the process body.
+func (p *Proc) cancelWait() {
+	if p.waitObj != nil {
+		p.waitObj.CancelWait(p)
+		p.waitObj = nil
+	}
+	if p.waitIn != nil {
+		p.waitIn.CancelFlock(p.waitFile)
+		p.waitIn, p.waitFile = nil, nil
+	}
+	if rv := p.waitRv; rv != nil {
+		if rv.waiting == p {
+			rv.waiting = nil
+		}
+		p.waitRv = nil
+	}
 }
 
 // blockedFor reports how long the process has been blocked (0 if it is
@@ -219,6 +274,7 @@ func (p *Proc) WaitForSingleObject(h kobj.Handle, timeout sim.Duration) (int, er
 		return WaitTimeout, nil
 	}
 	obj.Enqueue(p)
+	p.waitObj = obj
 	if timeout > 0 {
 		p.sys.k.After(timeout, func() {
 			if p.blocked && obj.CancelWait(p) {
@@ -226,5 +282,11 @@ func (p *Proc) WaitForSingleObject(h kobj.Handle, timeout sim.Duration) (int, er
 			}
 		})
 	}
-	return p.park(), nil
+	v := p.park()
+	if v == WaitTimeout && timeout < 0 {
+		// An unbounded wait can only time out via a watchdog rescue
+		// (TimeoutBlocked); surface it as an error, not a wait result.
+		return 0, ErrTimedOut
+	}
+	return v, nil
 }

@@ -35,18 +35,21 @@ func (r *Rendezvous) Init(sys *System) {
 	r.sys, r.waiting, r.rounds = sys, nil, 0
 }
 
-// ArriveLead synchronizes the leader side (the Trojan).
-func (r *Rendezvous) ArriveLead(p *Proc) { r.arrive(p, true) }
+// ArriveLead synchronizes the leader side (the Trojan). It reports false
+// when the wait was force-timed-out by the trial watchdog (the peer
+// crashed or its wake was lost) — the caller should abandon the round.
+func (r *Rendezvous) ArriveLead(p *Proc) bool { return r.arrive(p, true) }
 
-// ArriveFollow synchronizes the follower side (the Spy).
-func (r *Rendezvous) ArriveFollow(p *Proc) { r.arrive(p, false) }
+// ArriveFollow synchronizes the follower side (the Spy). See ArriveLead
+// for the meaning of the return value.
+func (r *Rendezvous) ArriveFollow(p *Proc) bool { return r.arrive(p, false) }
 
-func (r *Rendezvous) arrive(p *Proc, lead bool) {
+func (r *Rendezvous) arrive(p *Proc, lead bool) bool {
 	p.exec(timing.OpBarrier)
 	if r.waiting == nil {
 		r.waiting = p
-		p.park()
-		return
+		p.waitRv = r
+		return p.park() != WaitTimeout
 	}
 	first := r.waiting
 	r.waiting = nil
@@ -55,7 +58,7 @@ func (r *Rendezvous) arrive(p *Proc, lead bool) {
 		// The parked follower resumes after wake delivery plus the leader
 		// head-start lag; the leader continues immediately.
 		r.wakeWithLag(p, first, r.sys.prof.BarrierLag)
-		return
+		return true
 	}
 	// The parked leader resumes after plain wake delivery; the follower
 	// self-delays by the same delivery (including any crossing penalty the
@@ -66,6 +69,7 @@ func (r *Rendezvous) arrive(p *Proc, lead bool) {
 		delay += r.sys.prof.Cross(p.rng)
 	}
 	p.sp.Advance(delay)
+	return true
 }
 
 // wakeWithLag wakes the parked peer with wake delivery, a crossing penalty

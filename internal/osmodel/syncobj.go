@@ -70,8 +70,12 @@ func (p *Proc) FutexLock(h kobj.Handle) error {
 			return nil
 		}
 		obj.Enqueue(p)
-		if p.park() == WaitObject0 {
+		p.waitObj = obj
+		switch p.park() {
+		case WaitObject0:
 			return nil // the releasing side handed the word off directly
+		case WaitTimeout:
+			return ErrTimedOut // watchdog rescue: the handoff is not coming
 		}
 		// Raw FUTEX_WAKE: the word was not transferred — contend again.
 	}
@@ -156,7 +160,10 @@ func (p *Proc) CondWait(h kobj.Handle) error {
 	p.exec(timing.OpCondWait)
 	p.crossHandle(h)
 	obj.Enqueue(p)
-	p.park()
+	p.waitObj = obj
+	if p.park() == WaitTimeout {
+		return ErrTimedOut // watchdog rescue: the signal was lost
+	}
 	return nil
 }
 

@@ -20,6 +20,16 @@ type Config struct {
 	Trace *sim.Trace
 	// Horizon optionally bounds the simulation (0 = unbounded).
 	Horizon sim.Time
+	// FaultRate arms the kernel's deterministic fault-injection plane:
+	// each scheduling consult point (sleeps and wake deliveries) injects
+	// a fault with this probability, drawn from a substream derived from
+	// FaultSeed and Seed only. 0 disables injection and is byte-identical
+	// to a machine without the plane (see sim/fault.go).
+	FaultRate float64
+	// FaultSeed decorrelates the fault schedule from the run seed, so a
+	// fault sweep can vary the fault pattern while replaying the same
+	// protocol randomness (and vice versa).
+	FaultSeed uint64
 }
 
 // System is one simulated physical machine: a simulation kernel, a host
@@ -44,6 +54,14 @@ type System struct {
 	// convBuf is the reusable vfs→kobj waiter conversion buffer (wakeVFS is
 	// on the flock channel's per-bit path).
 	convBuf []kobj.Waiter
+
+	// Trial watchdog (see ArmWatchdog): watchFn is the reusable
+	// self-rescheduling scan closure, watchPeriod its cadence and
+	// watchPatience the blocked-interval threshold past which a waiter
+	// with no wake in flight is force-timed-out.
+	watchFn       func()
+	watchPeriod   sim.Duration
+	watchPatience sim.Duration
 }
 
 // freeDomainCap bounds the recycled-domain free list; trials use at most
@@ -62,6 +80,7 @@ func NewSystem(cfg Config) *System {
 		opts = append(opts, sim.WithHorizon(cfg.Horizon))
 	}
 	k := sim.NewKernel(opts...)
+	k.ArmFaults(cfg.FaultRate, cfg.FaultSeed, cfg.Seed)
 	s := &System{
 		k:         k,
 		prof:      prof,
@@ -98,6 +117,8 @@ func (s *System) Reset(cfg Config) {
 	// allocations of the variadic Reset.
 	s.prof = cfg.Profile
 	s.k.ResetTo(cfg.Seed, s.prof.Hooks(), cfg.Trace, cfg.Horizon)
+	// ResetTo cleared the fault plane; re-arm it for the trial ahead.
+	s.k.ArmFaults(cfg.FaultRate, cfg.FaultSeed, cfg.Seed)
 	// Same derivation as NewSystem's Split: one draw from the root stream.
 	s.rng.Reseed(s.k.Rand().Uint64())
 	clear(s.objHome)
@@ -238,6 +259,9 @@ func (s *System) Spawn(name string, d *Domain, body func(*Proc)) *Proc {
 		p.fdcross = p.fdcross[:0]
 		p.blocked = false
 		p.blockStart = 0
+		p.waitObj = nil
+		p.waitIn, p.waitFile = nil, nil
+		p.waitRv = nil
 		clear(p.pendingSignals)
 		p.sigWaiting = -1
 	} else {
@@ -327,6 +351,74 @@ func (s *System) CreateSharedFile(path string, size int64, readOnly, mandatory b
 	}
 	s.registerInode(in, s.hostDomain)
 	return in, nil
+}
+
+// ArmWatchdog schedules a periodic virtual-time scan that force-wakes
+// any process blocked longer than patience with no wake in flight,
+// delivering WaitTimeout to its park (the blocking syscall then returns
+// ErrTimedOut, or WaitTimeout for WaitForSingleObject/SigWait). This is
+// the self-healing layer's deadlock valve: a wake lost to the fault
+// plane leaves its waiter parked forever, and the watchdog converts
+// that into a timeout the protocol can diagnose and recover from. The
+// scan closure is built once and reused; Reset clears the scheduled
+// event, so the watchdog must be re-armed per trial. The watchdog's
+// own rescue wakes bypass the fault plane (sim.Proc.WakeDirect).
+func (s *System) ArmWatchdog(period, patience sim.Duration) {
+	s.watchPeriod, s.watchPatience = period, patience
+	if s.watchFn == nil {
+		s.watchFn = func() {
+			if s.k.Live() == 0 {
+				return // trial over: let the queue drain
+			}
+			s.TimeoutBlocked(s.watchPatience)
+			s.k.After(s.watchPeriod, s.watchFn)
+		}
+	}
+	s.k.After(period, s.watchFn)
+}
+
+// TimeoutBlocked force-times-out every process blocked for at least
+// minBlocked that has no undelivered wake: each is removed from its
+// wait queue (the same unwind hook a crash runs) and woken with
+// WaitTimeout. It returns how many processes were rescued.
+func (s *System) TimeoutBlocked(minBlocked sim.Duration) int {
+	n := 0
+	for _, p := range s.procs {
+		if !p.blocked || p.blockedFor() < minBlocked {
+			continue
+		}
+		if s.k.PendingWakeFor(p.sp) {
+			continue // its wake is in flight; delivery will unblock it
+		}
+		p.cancelWait()
+		p.sp.WakeDirect(0, WaitTimeout)
+		n++
+	}
+	return n
+}
+
+// WaitSnapshot appends one "proc→resource" edge per currently blocked
+// process — the wait-for picture a deadlock diagnosis needs. The core
+// layer captures it into ErrDeadlock before releasing the machine.
+func (s *System) WaitSnapshot(buf []string) []string {
+	for _, p := range s.procs {
+		if !p.blocked {
+			continue
+		}
+		res := "unknown"
+		switch {
+		case p.waitObj != nil:
+			res = p.waitObj.Type().String() + ":" + p.waitObj.Name()
+		case p.waitIn != nil:
+			res = "flock:" + p.waitIn.Path()
+		case p.waitRv != nil:
+			res = "rendezvous"
+		case p.sigWaiting >= 0:
+			res = "signal"
+		}
+		buf = append(buf, p.name+"→"+res)
+	}
+	return buf
 }
 
 // wake delivers wake-ups to the waiters returned by a kobj/vfs operation

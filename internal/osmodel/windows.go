@@ -317,7 +317,10 @@ func (p *Proc) LockFileEx(h kobj.Handle, exclusive, nonblocking bool) (bool, err
 		return false, nil
 	}
 	fo.EnqueueLock(p, exclusive)
-	p.park()
+	p.waitObj = fo
+	if p.park() == WaitTimeout {
+		return false, ErrTimedOut // watchdog rescue: the holder is gone
+	}
 	return true, nil
 }
 

@@ -1,0 +1,174 @@
+package sim
+
+import "testing"
+
+// faultWorkload drives a waker/parker pair through enough sleep and wake
+// consults that the fault classes fire at moderate rates; it returns the
+// final virtual time and the accumulated fault statistics. The parker
+// loops more parks than the waker can ever satisfy, so lost wakes (and a
+// crashed waker) strand it and Run reports a deadlock — which the
+// workload treats as data, not as a failure.
+func faultWorkload(rate float64, faultSeed, runSeed uint64, rounds int) (Time, FaultStats) {
+	k := NewKernel()
+	k.ArmFaults(rate, faultSeed, runSeed)
+	var b *Proc
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Sleep(10 * Microsecond)
+			if b.State() == ProcParked {
+				b.Wake(2*Microsecond, 1)
+			}
+		}
+	})
+	b = k.Spawn("b", func(p *Proc) {
+		for i := 0; i < 2*rounds; i++ {
+			p.Park()
+		}
+	})
+	_ = k.Run()
+	return k.Now(), k.FaultStats()
+}
+
+// TestFaultPlaneDisabledIsIdentity: rate 0 must not arm the plane, and a
+// run with the disabled plane must be byte-identical to a kernel that
+// never heard of faults.
+func TestFaultPlaneDisabledIsIdentity(t *testing.T) {
+	k := NewKernel()
+	if k.FaultsArmed() {
+		t.Fatal("fresh kernel reports faults armed")
+	}
+	k.ArmFaults(0, 99, 7)
+	if k.FaultsArmed() {
+		t.Fatal("rate 0 armed the fault plane")
+	}
+
+	run := func(arm bool) (Time, FaultStats) {
+		k := NewKernel()
+		if arm {
+			k.ArmFaults(0, 99, 7)
+		}
+		var b *Proc
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(13 * Microsecond)
+				if b.State() == ProcParked {
+					b.Wake(Microsecond, 1)
+				}
+			}
+		})
+		b = k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Park()
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return k.Now(), k.FaultStats()
+	}
+	bt, bs := run(false)
+	at, as := run(true)
+	if bt != at {
+		t.Fatalf("rate-0 fault plane changed timing: %v vs %v", bt, at)
+	}
+	if bs != (FaultStats{}) || as != (FaultStats{}) {
+		t.Fatalf("rate-0 runs recorded faults: %+v / %+v", bs, as)
+	}
+}
+
+// TestFaultStreamDeterministic: equal (rate, faultSeed, runSeed) triples
+// must inject the exact same fault schedule; changing either seed must
+// change it.
+func TestFaultStreamDeterministic(t *testing.T) {
+	at1, s1 := faultWorkload(0.2, 11, 5, 400)
+	at2, s2 := faultWorkload(0.2, 11, 5, 400)
+	if at1 != at2 || s1 != s2 {
+		t.Fatalf("identical fault runs diverged: %v/%+v vs %v/%+v", at1, s1, at2, s2)
+	}
+	if s1 == (FaultStats{}) {
+		t.Fatal("rate 0.2 workload injected nothing; the plane is dead")
+	}
+	_, s3 := faultWorkload(0.2, 12, 5, 400)
+	if s1 == s3 {
+		t.Fatal("changing the fault seed did not change the injection pattern")
+	}
+	_, s4 := faultWorkload(0.2, 11, 6, 400)
+	if s1 == s4 {
+		t.Fatal("changing the run seed did not change the injection pattern")
+	}
+}
+
+// TestFaultStatsClasses: at a high rate over a mixed workload both
+// consult points fire and the run still terminates.
+func TestFaultStatsClasses(t *testing.T) {
+	_, s := faultWorkload(0.5, 3, 9, 600)
+	if s.Spurious == 0 && s.Preempts == 0 && s.Crashes == 0 {
+		t.Errorf("no sleep-path faults fired: %+v", s)
+	}
+	if s.Lost == 0 && s.Delayed == 0 && s.Crashes == 0 {
+		t.Errorf("no wake-path faults fired: %+v", s)
+	}
+}
+
+// TestInjectCrashUnwindsParked: a crashed parked process runs its
+// deferred functions (the OS model's unwind hooks ride them), later
+// wakes targeting the corpse drop silently, and the kernel finishes the
+// run cleanly.
+func TestInjectCrashUnwindsParked(t *testing.T) {
+	k := NewKernel()
+	unwound, resumed := false, false
+	// Spawn order matters: the killer runs (and blocks) first, so the
+	// victim's park yields its host frame out — the resumable state the
+	// crash path requires, exactly as in a protocol trial where the
+	// machine keeps running other processes past a parked waiter.
+	var victim *Proc
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(50 * Microsecond)
+		if !k.InjectCrash(victim) {
+			t.Error("InjectCrash refused a parked victim")
+		}
+		// A straggler wake for the corpse must drop, not panic.
+		victim.Wake(0, 1)
+		p.Sleep(10 * Microsecond)
+	})
+	victim = k.Spawn("victim", func(p *Proc) {
+		defer func() { unwound = true }()
+		p.Park()
+		resumed = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run after crash: %v", err)
+	}
+	if !unwound {
+		t.Error("crash did not unwind the victim's body (defers skipped)")
+	}
+	if resumed {
+		t.Error("victim resumed past Park after crash")
+	}
+	if got := k.FaultStats().Crashes; got != 1 {
+		t.Errorf("Crashes = %d, want 1", got)
+	}
+	if k.InjectCrash(victim) {
+		t.Error("InjectCrash crashed an already-dead process")
+	}
+}
+
+// TestResetClearsFaultPlane: ResetTo must disarm the plane and zero its
+// statistics, so a pooled machine never leaks faults into its next
+// tenant.
+func TestResetClearsFaultPlane(t *testing.T) {
+	k := NewKernel()
+	k.ArmFaults(0.5, 2, 3)
+	if !k.FaultsArmed() {
+		t.Fatal("ArmFaults(0.5) did not arm")
+	}
+	k.Spawn("p", func(p *Proc) { p.Sleep(Microsecond) })
+	_ = k.Run()
+	k.ResetTo(1, nil, nil, 0)
+	if k.FaultsArmed() {
+		t.Error("ResetTo left the fault plane armed")
+	}
+	if k.FaultStats() != (FaultStats{}) {
+		t.Errorf("ResetTo left fault stats: %+v", k.FaultStats())
+	}
+}

@@ -116,6 +116,15 @@ type Kernel struct {
 	skelDone     [replayKeys]bool
 	skelPrevalid [replayKeys]bool
 
+	// Fault-injection plane (see fault.go): fthresh is the per-consult
+	// hit threshold (0 = disarmed — the compiled-in hooks reduce to one
+	// false compare), fstate the dedicated splitmix64 substream, fstats
+	// the per-run injection counters. Cleared by resetState; ArmFaults
+	// re-arms after a Reset/ResetTo.
+	fthresh uint64
+	fstate  uint64
+	fstats  FaultStats
+
 	// Perf counters, cumulative across Reset (cleared by Release): the
 	// bench harness reads deltas across pooled trials.
 	switches uint64
@@ -300,6 +309,8 @@ func (k *Kernel) resetState() {
 	}
 	k.skelDone = [replayKeys]bool{}
 	k.skelPrevalid = [replayKeys]bool{}
+	k.fthresh, k.fstate = 0, 0
+	k.fstats = FaultStats{}
 }
 
 // Now returns the current virtual time.
@@ -443,6 +454,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 		p.state = ProcCreated
 		p.wakeValue = 0
 		p.handed = false
+		p.crashed = false
 	} else {
 		p = &Proc{
 			k:     k,
@@ -476,9 +488,11 @@ func (k *Kernel) resume(q *Proc) {
 
 // checkWake panics on a wake of a non-parked process: lost wakeups would
 // silently corrupt channel timing measurements. The panic itself lives
-// in badWake so this guard inlines into the dispatch loops.
+// in badWake so this guard inlines into the dispatch loops. A wake whose
+// target crashed after it was scheduled is the one legitimate straggler:
+// deliver/dispatch drop it on the ProcDone check.
 func (k *Kernel) checkWake(kind eventKind, q *Proc) {
-	if kind == evWake && q.state != ProcParked {
+	if kind == evWake && q.state != ProcParked && !q.crashed {
 		badWake(q)
 	}
 }

@@ -73,6 +73,12 @@ type Proc struct {
 	inChain    bool
 	hostParked bool
 	handed     bool
+
+	// crashed marks a process killed by the fault plane (see fault.go):
+	// Done like a finished process, but wakes already in flight — or
+	// issued later by peers that have not noticed — drop silently
+	// instead of tripping the lost-wakeup panic.
+	crashed bool
 }
 
 // loop is the coroutine entry point: it runs process bodies until the
@@ -93,6 +99,11 @@ func (p *Proc) loop() {
 			return
 		}
 	}
+	// runBody returned false: the body was unwound (Reset, or a fault-
+	// plane crash) or panicked for real. The coroutine is exiting, so
+	// forget the handle — a recycled respawn of this structure must
+	// build a fresh one, not transfer into an exhausted coroutine.
+	p.detach()
 }
 
 // detach forgets the coroutine: a future respawn of this structure builds
@@ -325,6 +336,12 @@ func (p *Proc) Sleep(d Duration) {
 	if !p.k.nop {
 		total += p.k.hooks.SleepLatency(p.k.rng, d)
 	}
+	if p.k.fthresh != 0 {
+		// Fault plane (fault.go): may cut the sleep short, stretch it by
+		// a preemption burst, or crash the process here. Consulted after
+		// the model draw so the primary RNG stream is unperturbed.
+		total = p.k.faultSleep(p, total)
+	}
 	if p.k.trace != nil {
 		p.k.tracef(p, "sleep", "%v (effective %v)", d, total)
 	}
@@ -364,8 +381,35 @@ func (p *Proc) Park() int {
 // Wake schedules p to resume after delay, delivering value to its Park.
 // Waking a process that is not parked is a programming error and panics at
 // fire time: lost wakeups would silently corrupt channel timing
-// measurements.
+// measurements. With the fault plane armed the wake may be lost, delayed
+// or convert into a crash of the wakee (fault.go); wakes of an already
+// crashed process drop silently.
 func (p *Proc) Wake(delay Duration, value int) {
+	if p.crashed {
+		return
+	}
+	if p.k.fthresh != 0 {
+		var ok bool
+		if delay, ok = p.k.faultWake(p, delay); !ok {
+			return
+		}
+	}
+	p.wakeRaw(delay, value)
+}
+
+// WakeDirect is Wake with the fault plane bypassed: the delivery path
+// for recovery machinery (timeout timers, the trial watchdog) whose own
+// wakes must not be subject to the faults they rescue the run from.
+func (p *Proc) WakeDirect(delay Duration, value int) {
+	if p.crashed {
+		return
+	}
+	p.wakeRaw(delay, value)
+}
+
+// wakeRaw schedules the wake event unconditionally (fault consult and
+// crashed-target drop already done by the caller).
+func (p *Proc) wakeRaw(delay Duration, value int) {
 	if p.state == ProcDone {
 		panic(fmt.Sprintf("sim: Wake of finished process %q", p.name))
 	}

@@ -520,8 +520,21 @@ func (k *Kernel) popSide() (at Time, kind eventKind, value int, q *Proc, fn func
 //mes:allocfree
 func (p *Proc) WakeFused(delay Duration, value int) {
 	k := p.k
+	if p.crashed {
+		return
+	}
+	if k.fthresh != 0 {
+		// Fault consult happens here, before the storage decision, so the
+		// substream advances identically whether the wake rides the fused
+		// slot or falls back to the heap — fused on/off runs stay
+		// byte-identical at any fault rate.
+		var ok bool
+		if delay, ok = k.faultWake(p, delay); !ok {
+			return
+		}
+	}
 	if !fusedWakeOn || k.hasFused {
-		p.Wake(delay, value)
+		p.wakeRaw(delay, value)
 		return
 	}
 	if p.state == ProcDone {
